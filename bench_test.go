@@ -1,0 +1,512 @@
+// Benchmarks regenerating the paper's evaluation (one bench per table and
+// figure, plus ablations of the design choices DESIGN.md calls out). Run:
+//
+//	go test -bench=. -benchmem
+package diffprov_test
+
+import (
+	"fmt"
+	"testing"
+
+	diffprov "repro"
+	"repro/internal/evaluation"
+	"repro/internal/failures"
+	"repro/internal/mapreduce"
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+	"repro/internal/scenarios"
+	"repro/internal/stanford"
+	"repro/internal/trace"
+	"repro/internal/treediff"
+)
+
+// BenchmarkTable1 runs each diagnostic scenario end to end (build, query
+// both trees, diagnose) — the workload behind Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range scenarios.Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := scenarios.Build(name, scenarios.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Diagnose()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Changes) == 0 {
+					b.Fatal("no changes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5LoggingRate measures log encoding throughput per traffic
+// rate (Figure 5's underlying cost).
+func BenchmarkFig5LoggingRate(b *testing.B) {
+	for _, rate := range []float64{1e6, 1e8, 1e10} {
+		b.Run(fmt.Sprintf("rate=%.0e", rate), func(b *testing.B) {
+			g := trace.New(trace.Config{Seed: 50, RateBps: rate, PacketSize: 500})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bps, err := g.LoggingRate(2000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(bps, "logbytes/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6PacketSize measures the log rate per packet size at 1 Gbps.
+func BenchmarkFig6PacketSize(b *testing.B) {
+	for _, size := range []int{500, 1000, 1500} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			g := trace.New(trace.Config{Seed: 60, RateBps: 1e9, PacketSize: size})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bps, err := g.LoggingRate(2000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(bps, "logbytes/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Turnaround measures the full differential query (DiffProv
+// side of Figure 7) against prebuilt scenarios.
+func BenchmarkFig7Turnaround(b *testing.B) {
+	for _, name := range scenarios.Names() {
+		s, err := scenarios.Build(name, scenarios.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Diagnose(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7YBang measures the Y!-style single-tree baseline.
+func BenchmarkFig7YBang(b *testing.B) {
+	for _, name := range []string{"SDN1", "SDN4", "MR1-D"} {
+		s, err := scenarios.Build(name, scenarios.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.BadSession.Replay(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Reasoning isolates DiffProv's pure reasoning time (Figure
+// 8): the replay (UpdateTree) portion is subtracted via the timings.
+func BenchmarkFig8Reasoning(b *testing.B) {
+	for _, name := range scenarios.Names() {
+		s, err := scenarios.Build(name, scenarios.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var reasoning float64
+			for i := 0; i < b.N; i++ {
+				res, err := s.Diagnose()
+				if err != nil {
+					b.Fatal(err)
+				}
+				t := res.Timings
+				reasoning += float64((t.FindSeed + t.Divergence + t.MakeAppear).Nanoseconds())
+			}
+			b.ReportMetric(reasoning/float64(b.N), "reasoning-ns/op")
+		})
+	}
+}
+
+// BenchmarkLoggingLatencySDN measures the §6.4 per-packet logging cost.
+func BenchmarkLoggingLatencySDN(b *testing.B) {
+	prog := diffprov.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+	fe := diffprov.NewTuple("flowEntry", diffprov.Int(1), diffprov.MustParsePrefix("0.0.0.0/0"), diffprov.Str("h"))
+	gen := trace.New(trace.Config{Seed: 70})
+	pkts := gen.Packets(4096)
+	b.Run("logged", func(b *testing.B) {
+		s := diffprov.NewSession(prog)
+		if err := s.Insert("s1", fe, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pkts[i%len(pkts)]
+			if err := s.Insert("s1", diffprov.NewTuple("packet", p.Dst), int64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bare", func(b *testing.B) {
+		e := ndlog.New(ndlog.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`), nil)
+		if err := e.ScheduleInsert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(1), ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str("h")), 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pkts[i%len(pkts)]
+			if err := e.ScheduleInsert("s1", ndlog.NewTuple("packet", p.Dst), int64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLoggingLatencyMR measures the §6.4 job overheads: provenance
+// off, on with cached checksums, and on with per-record checksums.
+func BenchmarkLoggingLatencyMR(b *testing.B) {
+	f := mapreduce.ParseInput("bench.txt", benchCorpus())
+	cases := []struct {
+		name                string
+		recompute, disabled bool
+	}{
+		{"provenance-off", false, true},
+		{"cached-checksums", false, false},
+		{"per-record-checksums", true, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := mapreduce.NewJob("bench", f, 2, 4, mapreduce.GoodMapper)
+				j.RecomputeChecksums = c.recompute
+				j.DisableProvenance = c.disabled
+				if _, err := j.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchCorpus() string {
+	out := ""
+	for i := 0; i < 64; i++ {
+		out += "alpha beta gamma delta epsilon zeta eta theta\n"
+	}
+	return out
+}
+
+// BenchmarkStanford runs the §6.7 diagnosis at increasing scale.
+func BenchmarkStanford(b *testing.B) {
+	for _, entries := range []int{1000, 4000} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bb, err := stanford.Build(stanford.Config{
+					Seed: 7, ForwardingEntries: entries, ACLRules: 100, BackgroundPackets: 200,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := bb.Diagnose()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Changes) != 1 {
+					b.Fatal("wrong diagnosis")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationArgmax compares the argmax (priority-select) rule
+// against a derive-all variant: the cost of OpenFlow semantics in the
+// engine (DESIGN.md ablation).
+func BenchmarkAblationArgmax(b *testing.B) {
+	run := func(b *testing.B, src string) {
+		prog := ndlog.MustParse(src)
+		gen := trace.New(trace.Config{Seed: 80})
+		pkts := gen.Packets(2048)
+		e := ndlog.New(prog, nil)
+		for p := 0; p < 64; p++ {
+			pfx := ndlog.Prefix{Addr: ndlog.IP(uint32(p) << 24), Bits: 8}
+			if err := e.ScheduleInsert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(int64(p)), pfx, ndlog.Str("h")), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pkts[i%len(pkts)]
+			if err := e.ScheduleInsert("s1", ndlog.NewTuple("packet", p.Dst), int64(i+1)); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("argmax", func(b *testing.B) {
+		run(b, `
+table flowEntry/3 base mutable;
+table packet/1 event base;
+table out/2 event;
+rule fw out(Dst, Nxt) :- packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+	})
+	b.Run("derive-all", func(b *testing.B) {
+		run(b, `
+table flowEntry/3 base mutable;
+table packet/1 event base;
+table out/2 event;
+rule fw out(Dst, Nxt) :- packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M).
+`)
+	})
+}
+
+// BenchmarkAblationRuntimeVsQuerytime compares the two provenance capture
+// modes (§5): runtime capture pays per event; query-time capture pays at
+// query time via replay.
+func BenchmarkAblationRuntimeVsQuerytime(b *testing.B) {
+	prog := diffprov.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+	gen := trace.New(trace.Config{Seed: 81})
+	pkts := gen.Packets(512)
+	drive := func(s *diffprov.Session) error {
+		if err := s.Insert("s1", diffprov.NewTuple("flowEntry",
+			diffprov.Int(1), diffprov.MustParsePrefix("0.0.0.0/0"), diffprov.Str("h")), 0); err != nil {
+			return err
+		}
+		for i, p := range pkts {
+			if err := s.Insert("s1", diffprov.NewTuple("packet", p.Dst), int64(i+1)); err != nil {
+				return err
+			}
+		}
+		if err := s.Run(); err != nil {
+			return err
+		}
+		_, _, err := s.Graph() // one provenance query
+		return err
+	}
+	b.Run("querytime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := drive(diffprov.NewSession(prog)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("runtime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := drive(diffprov.NewSession(prog, diffprov.WithRuntimeProvenance())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCheckpointSpacing sweeps the checkpoint interval: the
+// cost of state snapshots during the live run.
+func BenchmarkAblationCheckpointSpacing(b *testing.B) {
+	prog := diffprov.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+	gen := trace.New(trace.Config{Seed: 82})
+	pkts := gen.Packets(512)
+	for _, every := range []int64{0, 64, 16} {
+		name := fmt.Sprintf("every=%d", every)
+		if every == 0 {
+			name = "disabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var s *diffprov.Session
+				if every == 0 {
+					s = diffprov.NewSession(prog)
+				} else {
+					s = diffprov.NewSession(prog, diffprov.WithCheckpointEvery(every))
+				}
+				if err := s.Insert("s1", diffprov.NewTuple("flowEntry",
+					diffprov.Int(1), diffprov.MustParsePrefix("0.0.0.0/0"), diffprov.Str("h")), 0); err != nil {
+					b.Fatal(err)
+				}
+				for j, p := range pkts {
+					if err := s.Insert("s1", diffprov.NewTuple("packet", p.Dst), int64(j+1)); err != nil {
+						b.Fatal(err)
+					}
+					if j%32 == 0 {
+						if err := s.Run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSelectiveReplay compares a full replay against the
+// truncated (ReplayUntil) reconstruction used for queries about past
+// events.
+func BenchmarkAblationSelectiveReplay(b *testing.B) {
+	s, err := scenarios.Build("SDN1", scenarios.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := s.BadSession
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.Replay(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("until-mid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sess.ReplayUntil(sess.Live().Now().T / 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTreeDiffBaselines compares the §2.5 strawmen on real
+// provenance trees: label-multiset diff vs Zhang–Shasha edit distance.
+func BenchmarkTreeDiffBaselines(b *testing.B) {
+	s, err := scenarios.Build("SDN1", scenarios.Small)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain-diff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if treediff.PlainDiff(s.Good, s.Bad) == 0 {
+				b.Fatal("unexpected zero diff")
+			}
+		}
+	})
+	b.Run("zhang-shasha", func(b *testing.B) {
+		t1 := treediff.FromProvenance(s.Good)
+		t2 := treediff.FromProvenance(s.Bad)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if treediff.EditDistance(t1, t2) == 0 {
+				b.Fatal("unexpected zero distance")
+			}
+		}
+	})
+}
+
+// BenchmarkLogEncode measures raw log serialization throughput (the
+// logging engine's write path).
+func BenchmarkLogEncode(b *testing.B) {
+	gen := trace.New(trace.Config{Seed: 83})
+	l := gen.BuildLog("border", 0, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.EncodedSize() == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+	b.SetBytes(l.EncodedSize())
+}
+
+// BenchmarkLogDecode measures log deserialization.
+func BenchmarkLogDecode(b *testing.B) {
+	gen := trace.New(trace.Config{Seed: 84})
+	l := gen.BuildLog("border", 0, 10000)
+	var buf writeBuffer
+	if err := l.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replay.Decode(readerOf(buf)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writeBuffer []byte
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+func readerOf(b []byte) *sliceReader { return &sliceReader{b: b} }
+
+type sliceReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("EOF")
+	}
+	n := copy(p, r.b[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// BenchmarkFailureClasses diagnoses the §2.3 failure taxonomy.
+func BenchmarkFailureClasses(b *testing.B) {
+	for _, class := range []failures.Class{failures.Partial, failures.Sudden, failures.Intermittent} {
+		b.Run(class.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := failures.Generate(class)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := c.Diagnose()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Changes) != 1 {
+					b.Fatal("wrong diagnosis")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLatencyHarness runs the §6.4 measurement harness itself.
+func BenchmarkLatencyHarness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := evaluation.MeasureLatency(2000, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

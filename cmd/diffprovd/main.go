@@ -1,0 +1,38 @@
+// Command diffprovd serves the DiffProv debugger over HTTP.
+//
+//	diffprovd -addr :8080 -scale small
+//
+//	curl localhost:8080/scenarios
+//	curl localhost:8080/scenarios/SDN1
+//	curl localhost:8080/scenarios/SDN1/tree/bad?format=explain
+//	curl -X POST localhost:8080/scenarios/SDN1/diagnose
+//	curl -X POST localhost:8080/scenarios/SDN1/autoref
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/scenarios"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	scaleStr := flag.String("scale", "small", "workload scale: small or paper")
+	flag.Parse()
+
+	scale := scenarios.Small
+	if *scaleStr == "paper" {
+		scale = scenarios.Paper
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(scale).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("diffprovd listening on %s (scale=%s)", *addr, *scaleStr)
+	log.Fatal(srv.ListenAndServe())
+}

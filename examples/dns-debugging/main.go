@@ -1,0 +1,129 @@
+// DNS debugging: the survey's lead example (§2.4 of the paper): "one
+// thread reported that a batch of DNS servers contained expired entries,
+// while records on other servers were up to date" — a partial failure
+// with a reference readily available on a healthy server.
+//
+// The model: authoritative servers hold zone records (keyed by name, so
+// a zone transfer replaces stale values); the service address is anycast
+// — each query lands on a replica picked deterministically from the
+// query id. One server missed the last zone transfer and still serves
+// the old address, so some queries get stale answers while others are
+// fine (a textbook partial failure). DiffProv compares a stale response
+// against a fresh one and pinpoints the stale record as the root cause:
+// the anycast choice re-derives from the (immutable) query, so the only
+// way to align the trees is to fix the record.
+//
+//	go run ./examples/dns-debugging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	diffprov "repro"
+)
+
+const dnsModel = `
+// Authoritative state: one record per name per server (keyed by name, so
+// zone transfers replace).
+table record/2 base mutable key(0);      // (name, address)
+
+// The anycast pool the resolver knows about.
+table pool/2 base mutable key(0);        // (index, serverNode)
+table poolSize/1 base mutable;           // (n)
+
+// Events.
+table query/2 event base;                // (queryID, name) at the resolver
+table ask/2 event;                       // (queryID, name) at a server
+table response/3 event;                  // (queryID, name, address)
+
+// Anycast: the query id picks a replica deterministically.
+rule q1 ask(@Srv, Q, Name) :-
+    query(@R, Q, Name),
+    poolSize(@R, N),
+    I := hashmod(Q, N),
+    pool(@R, I, Srv).
+
+// The chosen server answers from its zone.
+rule q2 response(@resolver1, Q, Name, Addr) :-
+    ask(@Srv, Q, Name),
+    record(@Srv, Name, Addr).
+`
+
+func main() {
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	prog := diffprov.MustParse(dnsModel)
+	sess := diffprov.NewSession(prog)
+
+	oldAddr := diffprov.MustParseIP("192.0.2.10")
+	newAddr := diffprov.MustParseIP("192.0.2.99")
+	rec := func(name string, a diffprov.IP) diffprov.Tuple {
+		return diffprov.NewTuple("record", diffprov.Str(name), a)
+	}
+
+	// All three authoritative servers initially hold the old record.
+	for _, srv := range []string{"nsA", "nsB", "nsC"} {
+		check(sess.Insert(srv, rec("api.example.com", oldAddr), 1))
+	}
+	// The zone is updated; the transfer reaches nsB and nsC but nsA
+	// misses it (the fault).
+	check(sess.Insert("nsB", rec("api.example.com", newAddr), 50))
+	check(sess.Insert("nsC", rec("api.example.com", newAddr), 51))
+
+	// The anycast pool.
+	for i, srv := range []string{"nsA", "nsB", "nsC"} {
+		check(sess.Insert("resolver1", diffprov.NewTuple("pool", diffprov.Int(int64(i)), diffprov.Str(srv)), 60))
+	}
+	check(sess.Insert("resolver1", diffprov.NewTuple("poolSize", diffprov.Int(3)), 61))
+
+	// Find query ids landing on the stale nsA (index 0) and a healthy
+	// replica, then issue both queries.
+	badQ, goodQ := int64(-1), int64(-1)
+	for q := int64(1); badQ < 0 || goodQ < 0; q++ {
+		switch diffprov.Hash64(diffprov.Int(q)) % 3 {
+		case 0:
+			if badQ < 0 {
+				badQ = q
+			}
+		default:
+			if goodQ < 0 {
+				goodQ = q
+			}
+		}
+	}
+	check(sess.Insert("resolver1", diffprov.NewTuple("query", diffprov.Int(badQ), diffprov.Str("api.example.com")), 100))
+	check(sess.Insert("resolver1", diffprov.NewTuple("query", diffprov.Int(goodQ), diffprov.Str("api.example.com")), 110))
+	check(sess.Run())
+
+	_, g, err := sess.Graph()
+	check(err)
+	badResp := diffprov.NewTuple("response", diffprov.Int(badQ), diffprov.Str("api.example.com"), oldAddr)
+	goodResp := diffprov.NewTuple("response", diffprov.Int(goodQ), diffprov.Str("api.example.com"), newAddr)
+	fmt.Printf("query %d (anycast -> nsA): %s  <- STALE\n", badQ, badResp)
+	fmt.Printf("query %d (anycast -> healthy): %s\n", goodQ, goodResp)
+
+	bad := g.Tree(g.LastAppear("resolver1", badResp).ID)
+	good := g.Tree(g.LastAppear("resolver1", goodResp).ID)
+	fmt.Printf("\nprovenance: good tree %d vertexes, bad tree %d vertexes\n", good.Size(), bad.Size())
+
+	world, err := diffprov.NewWorld(sess)
+	check(err)
+	// FollowKeyedRows makes the diagnosis respect the anycast selection:
+	// the bad query's hash picked replica slot 0, so slot 0's SERVER and
+	// that server's RECORD are what the alignment reasons about — rather
+	// than proposing to re-aim the selector itself.
+	res, err := diffprov.Diagnose(good, bad, world, diffprov.Options{FollowKeyedRows: true})
+	check(err)
+	fmt.Println("\nDiffProv root cause:")
+	for _, c := range res.Changes {
+		fmt.Println(" ", c)
+	}
+	fmt.Println("\nThe stale record on nsA is replaced by the fresh one — the answer the")
+	fmt.Println("operator on the Outages list was looking for. The anycast choice is")
+	fmt.Println("recomputed from the (immutable) query id, so DiffProv cannot cheat by")
+	fmt.Println("re-routing the query; the only alignment is fixing the record.")
+}

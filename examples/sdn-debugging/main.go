@@ -1,0 +1,98 @@
+// SDN debugging: the paper's Figure 1 scenario end to end.
+//
+// The network has six switches, two web servers, and a DPI box. The
+// operator's NetCore policy routes untrusted sources through the DPI
+// path, but the untrusted subnet 4.3.2.0/23 was mistyped as /24, so part
+// of it reaches web2 unscrubbed. We query the provenance of a misrouted
+// packet, supply a correctly-routed packet as the reference, and let
+// DiffProv trace the divergence back to the typo in the controller's
+// intent — through the derived flow entries, across switches, into the
+// controller program.
+//
+//	go run ./examples/sdn-debugging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ndlog"
+	"repro/internal/netcore"
+	"repro/internal/sdn"
+	"repro/internal/treediff"
+)
+
+const policy = `
+// Untrusted subnets go to web1, which is co-located with the DPI.
+policy untrusted priority 10 {
+    match src in 4.3.2.0/24;   // TYPO: the untrusted subnet is /23
+    route web1;
+}
+policy default priority 1 {
+    route web2;
+}
+mirror at s6 {
+    match src in 0.0.0.0/0;
+    to dpi;
+}
+`
+
+func main() {
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Build the Figure 1 topology.
+	n := sdn.NewNetwork()
+	for _, sw := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
+		check(n.SwitchUp(sw))
+	}
+	check(n.AddPath("web1", "s1", "s2", "s6", "web1"))
+	check(n.AddPath("web2", "s1", "s2", "s3", "s4", "s5", "web2"))
+
+	// Compile and install the controller program.
+	prog, err := netcore.Parse(policy)
+	check(err)
+	check(prog.Install(n))
+
+	// Two HTTP requests from the untrusted /23.
+	web := ndlog.MustParseIP("10.0.0.80")
+	good := sdn.Header{Src: ndlog.MustParseIP("4.3.2.1"), Dst: web, Proto: 6}
+	bad := sdn.Header{Src: ndlog.MustParseIP("4.3.3.1"), Dst: web, Proto: 6}
+	_, err = n.InjectPacket("s1", good)
+	check(err)
+	_, err = n.InjectPacket("s1", bad)
+	check(err)
+	check(n.Run())
+
+	fmt.Println("request from 4.3.2.1: web1 =", n.Arrived("web1", good), " dpi =", n.Arrived("dpi", good))
+	fmt.Println("request from 4.3.3.1: web2 =", n.Arrived("web2", bad), " dpi =", n.Arrived("dpi", bad))
+	fmt.Println("-> 4.3.3.1 bypassed the DPI: the security hole of §2.")
+
+	// Classical provenance is complete but overwhelming.
+	goodTree, err := n.ArrivalTree("web1", good)
+	check(err)
+	badTree, err := n.ArrivalTree("web2", bad)
+	check(err)
+	fmt.Printf("\nprovenance trees: good %d vertexes, bad %d vertexes\n", goodTree.Size(), badTree.Size())
+	fmt.Printf("naive tree diff (§2.5): %d vertexes — larger than the root cause by two orders\n",
+		treediff.PlainDiff(goodTree, badTree))
+
+	// Differential provenance pinpoints the intent.
+	world, err := core.NewWorld(n.Session())
+	check(err)
+	res, err := core.Diagnose(goodTree, badTree, world, core.Options{})
+	check(err)
+	fmt.Println("\nDiffProv root cause:")
+	for _, c := range res.Changes {
+		fmt.Println(" ", c)
+	}
+	fmt.Println("\nThe divergence was traced through the flow entries on s2, the")
+	fmt.Println("controller's policyRoute, down to the mistyped intent — and the")
+	fmt.Println("proposed change generalizes it to the /23 the operator meant.")
+	fmt.Printf("\nreasoning time: %v (plus %v replaying the clone)\n",
+		res.Timings.FindSeed+res.Timings.Divergence+res.Timings.MakeAppear, res.Timings.UpdateTree)
+}

@@ -1,0 +1,64 @@
+// Stanford backbone: the paper's §6.7 complex-network case study.
+//
+// A replica of the Stanford campus backbone — 14 operational-zone routers
+// and 2 backbone routers — is loaded with generated forwarding entries
+// and ACL rules, 20 additional injected faults, and heavy mixed
+// background traffic. One entry on S2 is misconfigured: it drops packets
+// to H2's subnet 172.20.10.32/27. The reference event is a packet to the
+// co-located subnet 172.19.254.0/24, which H1 can still reach. DiffProv
+// must find the one faulty entry despite all the noise.
+//
+//	go run ./examples/stanford-backbone
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/stanford"
+	"repro/internal/treediff"
+)
+
+func main() {
+	cfg := stanford.Config{
+		Seed:              7,
+		ForwardingEntries: 5000,
+		ACLRules:          300,
+		ExtraFaults:       20,
+		BackgroundPackets: 1000,
+	}
+	fmt.Printf("building the backbone: %d forwarding entries, %d ACLs, %d injected faults, %d background packets...\n",
+		cfg.ForwardingEntries, cfg.ACLRules, cfg.ExtraFaults, cfg.BackgroundPackets)
+	b, err := stanford.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nH1 -> %s (reference): delivered = %v\n", stanford.RefSubnet, b.Net.Arrived(b.Zone2Hosts, b.GoodHeader))
+	fmt.Printf("H1 -> %s (faulty):    dropped  = %v\n", stanford.H2Subnet, b.Net.Arrived(b.DropNode, b.BadHeader))
+
+	good, bad, err := b.Trees()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprovenance trees: good %d, bad %d vertexes (paper: 67 and 75)\n", good.Size(), bad.Size())
+	fmt.Printf("plain diff: %d vertexes (paper: 108)\n", treediff.PlainDiff(good, bad))
+
+	start := time.Now()
+	res, err := b.Diagnose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDiffProv root cause (found in %v):\n", time.Since(start))
+	for _, c := range res.Changes {
+		fmt.Println(" ", c)
+	}
+	if len(res.Changes) == 1 && b.IsFaultChange(res.Changes[0]) {
+		fmt.Println("\nThe one misconfigured entry was identified — despite 20 other")
+		fmt.Println("concurrent faults and the background traffic. Provenance captures")
+		fmt.Println("true causality, so unrelated noise cannot confuse the diagnosis.")
+	} else {
+		fmt.Println("\nWARNING: expected exactly the misconfigured drop entry")
+	}
+}

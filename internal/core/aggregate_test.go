@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+)
+
+// A minimal counting pipeline for core-local aggregate tests.
+const countProgram = `
+table item/2 event base;        // (group, seq)
+table allowed/1 base mutable;   // (group)
+table passed/2 event;           // (group, seq)
+table total/2;                  // (group, count)
+
+rule p passed(G, S) :- item(G, S), allowed(G).
+rule t total(G, N) :- passed(G, S), N := count().
+`
+
+func buildCounting(t *testing.T, groups []string, perGroup int, allow []string) *replay.Session {
+	t.Helper()
+	s := replay.NewSession(ndlog.MustParse(countProgram))
+	tick := int64(0)
+	for _, g := range allow {
+		tick++
+		if err := s.Insert("n", ndlog.NewTuple("allowed", ndlog.Str(g)), tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tick += 10
+	for i := 0; i < perGroup; i++ {
+		for _, g := range groups {
+			tick++
+			if err := s.Insert("n", ndlog.NewTuple("item", ndlog.Str(g), ndlog.Int(int64(i))), tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAggregateDivergenceCountMismatch: the bad execution lost an
+// "allowed" tuple mid-run, so the group's count is short; DiffProv must
+// reinstate it.
+func TestAggregateDivergenceCountMismatch(t *testing.T) {
+	good := buildCounting(t, []string{"g"}, 4, []string{"g"})
+	// Bad: allowed(g) never present -> zero events... that yields no bad
+	// tree; instead allow g but remove it partway.
+	bad := replay.NewSession(ndlog.MustParse(countProgram))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(bad.Insert("n", ndlog.NewTuple("allowed", ndlog.Str("g")), 1))
+	for i := 0; i < 2; i++ {
+		must(bad.Insert("n", ndlog.NewTuple("item", ndlog.Str("g"), ndlog.Int(int64(i))), int64(20+i)))
+	}
+	must(bad.Delete("n", ndlog.NewTuple("allowed", ndlog.Str("g")), 30))
+	for i := 2; i < 4; i++ {
+		must(bad.Insert("n", ndlog.NewTuple("item", ndlog.Str("g"), ndlog.Int(int64(i))), int64(40+i)))
+	}
+	must(bad.Run())
+
+	_, gg, err := good.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gb, err := bad.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodTree := treeFor(t, gg, "n", ndlog.NewTuple("total", ndlog.Str("g"), ndlog.Int(4)))
+	badTree := treeFor(t, gb, "n", ndlog.NewTuple("total", ndlog.Str("g"), ndlog.Int(2)))
+	world, err := NewWorld(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(goodTree, badTree, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want reinstating allowed(g)", res.Changes)
+	}
+	c := res.Changes[0]
+	if !c.Insert || !c.Tuple.Equal(ndlog.NewTuple("allowed", ndlog.Str("g"))) {
+		t.Fatalf("change = %v, want insert allowed(g)", c)
+	}
+	// The reinsertion must land before the first missed item (tick 42).
+	if c.Tick >= 42 {
+		t.Errorf("change at t=%d, want before the first missed contribution", c.Tick)
+	}
+}
+
+// TestAggregateHelpers covers the aggregate utility functions directly.
+func TestAggregateHelpers(t *testing.T) {
+	prog := ndlog.MustParse(countProgram)
+	rule := prog.Rule("t")
+	a := ndlog.NewTuple("total", ndlog.Str("g"), ndlog.Int(3))
+	b := ndlog.NewTuple("total", ndlog.Str("g"), ndlog.Int(7))
+	c := ndlog.NewTuple("total", ndlog.Str("h"), ndlog.Int(3))
+	if !groupFieldsEqual(rule, a, b) {
+		t.Error("same group, different count: group-equal")
+	}
+	if groupFieldsEqual(rule, a, c) {
+		t.Error("different groups must not be group-equal")
+	}
+	if groupFieldsEqual(rule, a, ndlog.NewTuple("other", ndlog.Str("g"), ndlog.Int(3))) {
+		t.Error("different tables must not be group-equal")
+	}
+	if v, ok := headCountValue(rule, a); !ok || v != ndlog.Int(3) {
+		t.Errorf("headCountValue = %v, %v", v, ok)
+	}
+}
+
+func TestSortChangesDeterministic(t *testing.T) {
+	cs := []replay.Change{
+		{Insert: true, Node: "b", Tuple: ndlog.NewTuple("t", ndlog.Int(2)), Tick: 5},
+		{Insert: true, Node: "a", Tuple: ndlog.NewTuple("t", ndlog.Int(1)), Tick: 5},
+		{Insert: false, Node: "c", Tuple: ndlog.NewTuple("t", ndlog.Int(3)), Tick: 1},
+		{Insert: true, Node: "a", Tuple: ndlog.NewTuple("t", ndlog.Int(0)), Tick: 5},
+	}
+	sortChanges(cs)
+	if cs[0].Tick != 1 {
+		t.Error("earliest tick first")
+	}
+	if cs[1].Node != "a" || cs[2].Node != "a" || cs[3].Node != "b" {
+		t.Errorf("node order broken: %v", cs)
+	}
+	if cs[1].Tuple.Key() > cs[2].Tuple.Key() {
+		t.Error("tuple key order broken")
+	}
+}
+
+func TestFailureKindStrings(t *testing.T) {
+	for k, want := range map[FailureKind]string{
+		SeedTypeMismatch: "seed type mismatch",
+		ImmutableChange:  "change to immutable tuple required",
+		NonInvertible:    "non-invertible computation",
+		NoProgress:       "no progress",
+		FailureKind(99):  "failure(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestMergeChangesKeepsEarliest(t *testing.T) {
+	tu := ndlog.NewTuple("t", ndlog.Int(1))
+	cs := mergeChanges([]replay.Change{
+		{Insert: true, Node: "n", Tuple: tu, Tick: 50},
+		{Insert: true, Node: "n", Tuple: tu, Tick: 10},
+		{Insert: false, Node: "n", Tuple: tu, Tick: 30},
+	})
+	if len(cs) != 2 {
+		t.Fatalf("merged = %v, want insert+delete", cs)
+	}
+	for _, c := range cs {
+		if c.Insert && c.Tick != 10 {
+			t.Errorf("insert kept tick %d, want earliest 10", c.Tick)
+		}
+	}
+}

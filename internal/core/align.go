@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+)
+
+// endOfExecution is the deadline for aggregate contributions: far past
+// any logical tick a workload uses.
+const endOfExecution = int64(1) << 40
+
+// divergence describes the first point at which the bad execution departs
+// from the good one (§4.4): the good-tree derivation that has no
+// equivalent in the bad world.
+type divergence struct {
+	level    gLevel      // the good derivation with no bad equivalent
+	expected ndlog.At    // the tuple that ought to exist in the bad world
+	trigger  ndlog.At    // the aligned bad-world trigger at this level
+	asOf     ndlog.Stamp // the bad-world time at which it is needed
+}
+
+// endOfTick is a stamp covering everything that happened within a tick.
+func endOfTick(t int64) ndlog.Stamp {
+	return ndlog.Stamp{T: t, Seq: ^uint64(0)}
+}
+
+// firstDivergence walks the good chain from the seed upward, predicting
+// the equivalent bad-world tuple at each level and checking it against
+// the bad execution's actual derivations. It returns nil when the chains
+// align all the way to the root (the trees are equivalent).
+func (d *diag) firstDivergence(chainG []gLevel, w World, seedB ndlog.At) (*divergence, error) {
+	g := w.Graph()
+
+	// Locate the bad seed's APPEAR in the (possibly updated) bad graph:
+	// prefer the appearance at the original tick, but fall back to the
+	// latest one (counterfactual re-runs of instrumented systems may
+	// shift event times).
+	curID := -1
+	appears := g.AppearVertexes(seedB.Node, seedB.Tuple)
+	for _, id := range appears {
+		if g.Vertex(id).At.T == seedB.Stamp.T {
+			curID = id
+			break
+		}
+	}
+	if curID < 0 && len(appears) > 0 {
+		curID = appears[len(appears)-1]
+	}
+	if curID < 0 {
+		return nil, failf(NoProgress, "bad seed %s vanished from the bad execution", seedB.Tuple)
+	}
+	cur := ndlog.At{Node: seedB.Node, Tuple: seedB.Tuple, Stamp: g.Vertex(curID).At}
+
+	for _, lvl := range chainG {
+		rule := d.prog.Rule(lvl.derive.Vertex.Rule)
+		if rule == nil {
+			return nil, failf(NoProgress, "rule %s of the good tree is not in the program", lvl.derive.Vertex.Rule)
+		}
+		children, err := gChildrenOf(lvl.derive)
+		if err != nil {
+			return nil, err
+		}
+		s, err := newSolver(d.prog, rule, childAts(children))
+		if err != nil {
+			return nil, failf(NoProgress, "%v", err)
+		}
+		trigIdx := triggerAtomIndex(rule, lvl.derive)
+		if err := s.bindTrigger(trigIdx, cur); err != nil {
+			return nil, failf(NoProgress, "%v", err)
+		}
+		if rule.CountVar != "" {
+			// Aggregate level: the expected count is the good count.
+			if cv, ok := headCountValue(rule, lvl.headAt.Tuple); ok {
+				s.bind(rule.CountVar, cv, fromDefault)
+			}
+		}
+		s.propagate(nil) // forward mode: defaults side variables to good values
+		if d.opts.FollowKeyedRows {
+			s.followKeyedRows(w, d.prog, trigIdx, true, cur.Stamp.T)
+		}
+		expected, err := s.expectedHead(cur.Node)
+		if err != nil {
+			return nil, err
+		}
+
+		// Does the bad execution actually derive the expected tuple from
+		// the current trigger via the same rule?
+		match := -1
+		if rule.CountVar != "" {
+			// Aggregate level: the cursor is one contribution of the
+			// group (the group fields were bound from it); the tree is
+			// aligned here iff the group's FINAL count matches the
+			// expectation, regardless of which contribution happened to
+			// trigger the final derivation.
+			if final, ok := finalAggTuple(w, rule, expected); ok && final.Equal(expected.Tuple) {
+				if fa := g.LastAppear(expected.Node, final); fa != nil {
+					match = fa.ID
+				}
+			}
+		} else {
+			cands := g.TriggerParents(curID)
+			if ex := g.ExistOf(curID); ex >= 0 {
+				cands = append(cands, g.TriggerParents(ex)...)
+			}
+			for _, pid := range cands {
+				pv := g.Vertex(pid)
+				if pv.Rule != rule.Name || !pv.Tuple.Equal(expected.Tuple) {
+					continue
+				}
+				ha := g.HeadAppear(pid)
+				if ha < 0 || g.Vertex(ha).Node != expected.Node {
+					continue
+				}
+				match = ha
+				break
+			}
+		}
+		if match < 0 {
+			return &divergence{level: lvl, expected: expected, trigger: cur, asOf: endOfTick(cur.Stamp.T)}, nil
+		}
+		hv := g.Vertex(match)
+		curID = match
+		cur = ndlog.At{Node: hv.Node, Tuple: hv.Tuple, Stamp: hv.At}
+	}
+	return nil, nil
+}
+
+// triggerAtomIndex maps a DERIVE vertex's trigger back to the rule's body
+// atom index. For aggregates the single body atom is always the trigger.
+func triggerAtomIndex(rule *ndlog.Rule, dn *provenance.Tree) int {
+	if rule.CountVar != "" {
+		return 0
+	}
+	if t := dn.Vertex.Trigger; t >= 0 && t < len(rule.Body) {
+		return t
+	}
+	return 0
+}
+
+// groupFieldsEqual compares two aggregate head tuples ignoring the count
+// argument positions.
+func groupFieldsEqual(rule *ndlog.Rule, a, b ndlog.Tuple) bool {
+	if a.Table != b.Table || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for j := range a.Args {
+		if j < len(rule.Head.Args) && isVar(rule.Head.Args[j], rule.CountVar) {
+			continue
+		}
+		if a.Args[j] != b.Args[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// finalAggTuple finds the group's current (final) count tuple in the bad
+// world's live state.
+func finalAggTuple(w World, rule *ndlog.Rule, expected ndlog.At) (ndlog.Tuple, bool) {
+	for _, t := range w.TuplesAt(expected.Node, expected.Tuple.Table, endOfTick(endOfExecution)) {
+		if groupFieldsEqual(rule, t, expected.Tuple) {
+			return t, true
+		}
+	}
+	return ndlog.Tuple{}, false
+}
+
+// headCountValue extracts the aggregate count from a good head tuple.
+func headCountValue(rule *ndlog.Rule, head ndlog.Tuple) (ndlog.Value, bool) {
+	for j, e := range rule.Head.Args {
+		if isVar(e, rule.CountVar) && j < len(head.Args) {
+			return head.Args[j], true
+		}
+	}
+	return nil, false
+}
+
+// makeAppear implements §4.5: make the expected tuple appear in the bad
+// world, using the good derivation as a guide. trigB, when non-nil, is
+// the already-aligned bad-world trigger at this level. needBy is the
+// bad-world tick by which the expected tuple must exist; it is refined
+// down the recursion so that counterfactual changes are injected
+// "shortly before they are needed for the first time" (§4.8). Changes
+// accumulate in d.pending.
+func (d *diag) makeAppear(w World, gDerive *provenance.Tree, expected ndlog.At, trigB *ndlog.At, needBy int64, depth int) error {
+	if depth > d.opts.MaxDepth {
+		return failf(NoProgress, "MAKEAPPEAR recursion exceeds %d levels", d.opts.MaxDepth)
+	}
+	rule := d.prog.Rule(gDerive.Vertex.Rule)
+	if rule == nil {
+		return failf(NoProgress, "rule %s is not in the program", gDerive.Vertex.Rule)
+	}
+	children, err := gChildrenOf(gDerive)
+	if err != nil {
+		return err
+	}
+	s, err := newSolver(d.prog, rule, childAts(children))
+	if err != nil {
+		return failf(NoProgress, "%v", err)
+	}
+	if rule.CountVar != "" {
+		// Aggregates bind only the group variables (from the expected
+		// head); contributor-specific fields vary per contributor and
+		// must not leak in from the trigger. Contributions may arrive
+		// any time before the count is observed, so the deadline is the
+		// end of the execution, not the trigger's occurrence; the
+		// per-contributor recursion re-pins times from event triggers.
+		if cv, ok := headCountValue(rule, expected.Tuple); ok {
+			s.bind(rule.CountVar, cv, fromHead)
+		}
+		return d.makeAggregateAppear(w, rule, children, s, expected, endOfExecution, depth)
+	}
+	trigIdx := triggerAtomIndex(rule, gDerive)
+	if trigB != nil {
+		if err := s.bindTrigger(trigIdx, *trigB); err != nil {
+			return failf(NoProgress, "%v", err)
+		}
+		if trigB.Stamp.T < needBy {
+			needBy = trigB.Stamp.T
+		}
+	}
+	if err := s.bindHead(expected); err != nil {
+		return err
+	}
+	s.propagate(&expected)
+
+	// Refine the needed time: when the expected derivation is triggered
+	// by an event, it can only fire at that event's occurrence, so the
+	// other preconditions must be in place by then. (State triggers do
+	// not pin a time: the derivation may fire whenever its inputs are
+	// all present, up to the parent's deadline.)
+	if trigB == nil {
+		if decl := d.prog.Decl(rule.Body[trigIdx].Table); decl != nil && decl.Event {
+			if ts, terr := s.sideTuple(trigIdx); terr == nil {
+				if occ, ok := w.FirstOccurrence(ts.Node, ts.Tuple, needBy); ok && occ < needBy {
+					needBy = occ
+				}
+			}
+		}
+	}
+
+	// §4.5: "the tuple may exist even if it is not currently part of
+	// T_B" — for side atoms whose variables were merely defaulted from
+	// the good execution, prefer an existing bad-world tuple that
+	// satisfies the rule over inventing a change.
+	d.adoptExistingSides(w, rule, s, trigB, trigIdx, expected, needBy)
+
+	if _, err := s.verify(expected); err != nil {
+		if de, ok := err.(*DiagnosisError); ok {
+			de.Tuple = expected.Tuple
+			de.Node = expected.Node
+		}
+		return err
+	}
+
+	// Ensure every precondition of the expected derivation holds in the
+	// bad world, recursing through the good tree for missing ones.
+	pendingBefore := len(d.pending)
+	for k := range rule.Body {
+		if trigB != nil && k == trigIdx {
+			continue
+		}
+		side, err := s.sideTuple(k)
+		if err != nil {
+			return err
+		}
+		if d.existsInB(w, side, needBy) {
+			continue
+		}
+		if err := d.provide(w, children[k], side, needBy, depth); err != nil {
+			return err
+		}
+	}
+
+	// For priority rules, verify that the expected binding would actually
+	// win the argmax in the bad world; suppress competitors otherwise.
+	// When preconditions were just provided (often via derivations whose
+	// consequences only materialize after replay), the check is deferred
+	// to the next round, where the updated bad world is visible.
+	if rule.ArgMax != "" && trigB != nil && len(d.pending) == pendingBefore {
+		if err := d.resolveArgMax(w, rule, trigIdx, *trigB, s, children, expected, needBy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptExistingSides rebinds the defaulted variables of each side atom to
+// match an existing bad-world tuple when the current (good-defaulted)
+// values violate a constraint but some other tuple satisfies the rule and
+// still derives the expected head.
+func (d *diag) adoptExistingSides(w World, rule *ndlog.Rule, s *solver, trigB *ndlog.At, trigIdx int, expected ndlog.At, needBy int64) {
+	if constraintsHold(rule, s.envB) {
+		return
+	}
+	for k, atom := range rule.Body {
+		if trigB != nil && k == trigIdx {
+			continue
+		}
+		free := s.defaultedVarsOf(atom)
+		if len(free) == 0 {
+			continue
+		}
+		// Current assignment already fine? Keep it.
+		if constraintsHold(rule, s.envB) {
+			return
+		}
+		base := s.envB.Clone()
+		for _, v := range free {
+			delete(base, v)
+		}
+		node, known, err := ndlog.ResolveLocation(atom.Loc, "", base)
+		var nodes []string
+		if err == nil && known && node != "" {
+			nodes = []string{node}
+		} else {
+			nodes = w.Nodes()
+		}
+		for _, nn := range nodes {
+			for _, t := range w.TuplesAt(nn, atom.Table, endOfTick(needBy)) {
+				trial := base.Clone()
+				if !ndlog.UnifyAtom(atom, nn, t, trial) {
+					continue
+				}
+				if !constraintsHold(rule, trial) || !headConsistent(rule, trial, expected) {
+					continue
+				}
+				for v, val := range trial {
+					s.bind(v, val, fromRepair)
+				}
+				break
+			}
+		}
+	}
+}
+
+// provide makes one missing precondition appear: a base change if the
+// good execution obtained it as a base tuple, a recursive MAKEAPPEAR if
+// it was derived.
+func (d *diag) provide(w World, gc childAt, side ndlog.At, needBy int64, depth int) error {
+	if gc.cause == nil {
+		return failf(NoProgress, "good tree does not explain %s", gc.at.Tuple)
+	}
+	if gc.base {
+		tick := d.changeTick(w, side, needBy)
+		if !w.IsMutable(side.Node, side.Tuple) {
+			return &DiagnosisError{
+				Kind: ImmutableChange,
+				Detail: fmt.Sprintf("aligning the trees requires inserting %s on %s, but that tuple is immutable; pick a different reference event",
+					side.Tuple, side.Node),
+				Tuple:     side.Tuple,
+				Node:      side.Node,
+				Attempted: []replay.Change{{Insert: true, Node: side.Node, Tuple: side.Tuple, Tick: tick}},
+			}
+		}
+		d.addChange(replay.Change{Insert: true, Node: side.Node, Tuple: side.Tuple, Tick: tick})
+		return nil
+	}
+	return d.makeAppear(w, gc.cause, side, nil, needBy, depth+1)
+}
+
+// changeTick picks when to inject a counterfactual insertion: shortly
+// before it is needed, but after any bad-world base insertion it must
+// override (keyed tables replace on insert, so injecting before the bad
+// execution's own write would be undone by it).
+func (d *diag) changeTick(w World, side ndlog.At, needBy int64) int64 {
+	tick := needBy - d.opts.InjectSlack
+	decl := d.prog.Decl(side.Tuple.Table)
+	if decl == nil || len(decl.Key) == 0 {
+		return tick
+	}
+	pk := primaryKeyOf(decl, side.Tuple)
+	for _, t := range w.TuplesAt(side.Node, side.Tuple.Table, endOfTick(needBy)) {
+		if t.Key() == side.Tuple.Key() || primaryKeyOf(decl, t) != pk {
+			continue
+		}
+		if occ, ok := w.FirstOccurrence(side.Node, t, needBy); ok && occ+1 > tick {
+			tick = occ + 1
+		}
+	}
+	return tick
+}
+
+// primaryKeyOf projects a tuple onto its table's key columns.
+func primaryKeyOf(decl *ndlog.TableDecl, t ndlog.Tuple) string {
+	b := make([]byte, 0, 32)
+	for _, i := range decl.Key {
+		if i < len(t.Args) {
+			b = append(b, '|')
+			b = append(b, t.Args[i].String()...)
+		}
+	}
+	return string(b)
+}
+
+// makeAggregateAppear aligns an aggregate (count) derivation: every
+// contributing event of the good execution must have an equivalent in the
+// bad world. Each good contributor is mapped into the bad world through
+// the group variables bound from the expected head (the taint), with its
+// remaining fields defaulted to the good values.
+func (d *diag) makeAggregateAppear(w World, rule *ndlog.Rule, children []childAt, s *solver, expected ndlog.At, needBy int64, depth int) error {
+	if err := s.bindHead(expected); err != nil {
+		return err
+	}
+	atom := rule.Body[0]
+	for _, gc := range children {
+		// Bind the contributor's own fields from the good occurrence,
+		// keeping the head-derived (tainted) bindings.
+		envC := s.envB.Clone()
+		envG := ndlog.Env{}
+		if !ndlog.UnifyAtom(atom, gc.at.Node, gc.at.Tuple, envG) {
+			return failf(NoProgress, "contributor %s does not unify with %s", gc.at.Tuple, atom)
+		}
+		for v, val := range envG {
+			if _, bound := envC[v]; !bound {
+				envC[v] = val
+			}
+		}
+		args := make([]ndlog.Value, len(atom.Args))
+		ok := true
+		for i, e := range atom.Args {
+			v, err := e.Eval(envC)
+			if err != nil {
+				ok = false
+				break
+			}
+			args[i] = v
+		}
+		if !ok {
+			continue
+		}
+		node, known, err := ndlog.ResolveLocation(atom.Loc, gc.at.Node, envC)
+		if err != nil || !known {
+			node = gc.at.Node
+		}
+		side := ndlog.At{Node: node, Tuple: ndlog.Tuple{Table: atom.Table, Args: args}}
+		if d.existsInB(w, side, needBy) {
+			continue
+		}
+		if err := d.provide(w, gc, side, needBy, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addChange appends a change, deduplicating. A change identical to an
+// existing one but needed earlier is kept: a later round may discover
+// that the same tuple was needed before the point it was first injected.
+func (d *diag) addChange(c replay.Change) {
+	for _, p := range d.pending {
+		if p.Insert == c.Insert && p.Node == c.Node && p.Tuple.Key() == c.Tuple.Key() && p.Tick <= c.Tick {
+			return
+		}
+	}
+	for _, p := range d.applied {
+		if p.Insert == c.Insert && p.Node == c.Node && p.Tuple.Key() == c.Tuple.Key() && p.Tick <= c.Tick {
+			return
+		}
+	}
+	d.pending = append(d.pending, c)
+}
+
+// existsInB reports whether the tuple is available in the bad world at
+// the given tick, taking pending (not yet applied) changes into account.
+func (d *diag) existsInB(w World, at ndlog.At, needBy int64) bool {
+	for _, p := range d.pending {
+		if p.Node == at.Node && p.Tuple.Key() == at.Tuple.Key() && p.Tick <= needBy {
+			return p.Insert
+		}
+	}
+	decl := d.prog.Decl(at.Tuple.Table)
+	if decl != nil && decl.Event {
+		return w.OccurredBefore(at.Node, at.Tuple, needBy)
+	}
+	return w.Exists(at.Node, at.Tuple, endOfTick(needBy))
+}

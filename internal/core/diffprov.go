@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+)
+
+// Options configure the DiffProv algorithm.
+type Options struct {
+	// MaxRounds bounds the FIRSTDIV / MAKEAPPEAR / UPDATETREE iterations
+	// (one per independent fault; the paper's SDN4 needs two).
+	MaxRounds int
+	// InjectSlack is how many ticks before the bad seed counterfactual
+	// changes are injected ("shortly before they are needed", §4.8).
+	InjectSlack int64
+	// MaxDepth bounds the MAKEAPPEAR recursion.
+	MaxDepth int
+	// Minimize enables the post-pass of §4.9 ("the set of changes
+	// returned by DiffProv is not necessarily the smallest"): after
+	// alignment, each change is tentatively dropped and the alignment
+	// re-verified; redundant changes are removed.
+	Minimize bool
+	// FollowKeyedRows changes how load-balancer-style indirection is
+	// resolved (§4.9's ECMP discussion): when a side atom over a keyed
+	// table has its key columns bound to values that differ from the
+	// good execution's (a recomputed hash bucket, an anycast slot), the
+	// bad world's own row for that key is followed instead of expecting
+	// the good row's values. With it, "the bad query hashed to replica 0,
+	// so replica 0's record is what matters" — the diagnosis lands on
+	// the selected row's content rather than on re-aiming the selector.
+	FollowKeyedRows bool
+}
+
+func (o *Options) defaults() {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 8
+	}
+	if o.InjectSlack == 0 {
+		o.InjectSlack = 2
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 64
+	}
+}
+
+// Timings decomposes DiffProv's reasoning time, reproducing the paper's
+// Figure 8 breakdown. Replay time is accounted separately (Figure 7) by
+// the replay session.
+type Timings struct {
+	FindSeed   time.Duration // locating and checking the seeds (§4.2-4.3)
+	Divergence time.Duration // detecting the first divergence (§4.4)
+	MakeAppear time.Duration // making missing tuples appear (§4.5)
+	UpdateTree time.Duration // updating T_B after tuple changes (§4.6), incl. replay
+}
+
+// Total returns the total reasoning time.
+func (t Timings) Total() time.Duration {
+	return t.FindSeed + t.Divergence + t.MakeAppear + t.UpdateTree
+}
+
+// Round records the changes discovered in one iteration of the main loop.
+type Round struct {
+	Changes []replay.Change
+}
+
+// Result is the output of a successful diagnosis.
+type Result struct {
+	// Changes is the differential provenance Δ(B→G): the estimated root
+	// cause. For the paper's scenarios this has exactly one element per
+	// fault.
+	Changes []replay.Change
+	// Rounds groups the changes by iteration.
+	Rounds []Round
+	// Iterations is the number of main-loop iterations executed.
+	Iterations int
+	// Timings decomposes the reasoning time.
+	Timings Timings
+	// FinalWorld is the counterfactual bad world with all changes
+	// applied, in which the bad execution behaves like the good one.
+	FinalWorld World
+	// GoodSeed and BadSeed are the seeds of the two trees.
+	GoodSeed, BadSeed ndlog.At
+}
+
+// diag carries the state of one diagnosis.
+type diag struct {
+	prog    *ndlog.Program
+	opts    Options
+	timings Timings
+	// pending are the changes of the current round, not yet applied.
+	pending []replay.Change
+	// applied are the changes of earlier rounds, already in the world.
+	applied []replay.Change
+}
+
+// gLevel is one step of the good tree's trigger chain, seed to root.
+type gLevel struct {
+	derive *provenance.Tree
+	headAt ndlog.At
+}
+
+// Diagnose runs the DiffProv algorithm of Figure 3: given the good tree,
+// the bad tree, and the bad execution's world, it computes the set of
+// changes to mutable base tuples that makes the bad tree equivalent to
+// the good tree while preserving the bad seed.
+func Diagnose(goodTree, badTree *provenance.Tree, world World, opts Options) (*Result, error) {
+	opts.defaults()
+	d := &diag{prog: world.Program(), opts: opts}
+	baseWorld := world
+
+	// Step 1: find the seeds and check comparability (§4.2-4.3).
+	t0 := time.Now()
+	seedGT, err := goodTree.FindSeed()
+	if err != nil {
+		return nil, failf(SeedTypeMismatch, "cannot find seed of good tree: %v", err)
+	}
+	seedBT, err := badTree.FindSeed()
+	if err != nil {
+		return nil, failf(SeedTypeMismatch, "cannot find seed of bad tree: %v", err)
+	}
+	seedG := ndlog.At{Node: seedGT.Vertex.Node, Tuple: seedGT.Vertex.Tuple, Stamp: seedGT.Vertex.At}
+	seedB := ndlog.At{Node: seedBT.Vertex.Node, Tuple: seedBT.Vertex.Tuple, Stamp: seedBT.Vertex.At}
+	d.timings.FindSeed += time.Since(t0)
+	if seedG.Tuple.Table != seedB.Tuple.Table {
+		return nil, &DiagnosisError{
+			Kind: SeedTypeMismatch,
+			Detail: fmt.Sprintf("good seed is a %s tuple but bad seed is a %s tuple; the events are not comparable",
+				seedG.Tuple.Table, seedB.Tuple.Table),
+			Tuple: seedB.Tuple,
+			Node:  seedB.Node,
+		}
+	}
+	// Extract the good chain (trigger path, seed to root).
+	chainG, err := goodChain(goodTree)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{GoodSeed: seedG, BadSeed: seedB}
+	for iter := 0; iter < opts.MaxRounds; iter++ {
+		res.Iterations = iter + 1
+		// Step 2: find the first divergence (§4.4).
+		t1 := time.Now()
+		div, err := d.firstDivergence(chainG, world, seedB)
+		d.timings.Divergence += time.Since(t1)
+		if err != nil {
+			return nil, err
+		}
+		if div == nil {
+			// Trees are equivalent: done.
+			res.Changes = mergeChanges(d.applied)
+			res.Timings = d.timings
+			res.FinalWorld = world
+			if opts.Minimize && len(res.Changes) > 1 {
+				if err := d.minimize(res, baseWorld, chainG, seedB); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}
+
+		// Step 3: make the expected tuple appear (§4.5).
+		t2 := time.Now()
+		d.pending = nil
+		err = d.makeAppear(world, div.level.derive, div.expected, &div.trigger, div.asOf.T, 0)
+		d.timings.MakeAppear += time.Since(t2)
+		if err != nil {
+			if de, ok := err.(*DiagnosisError); ok {
+				de.Attempted = append(de.Attempted, d.pending...)
+			}
+			return nil, err
+		}
+		if len(d.pending) == 0 {
+			return nil, &DiagnosisError{
+				Kind:   NoProgress,
+				Detail: fmt.Sprintf("divergence at %s on %s but no applicable change found (possible race condition, §4.9)", div.expected.Tuple, div.expected.Node),
+				Tuple:  div.expected.Tuple,
+				Node:   div.expected.Node,
+			}
+		}
+
+		// Step 4: update T_B (§4.6) by rolling the clone forward.
+		t3 := time.Now()
+		newWorld, err := world.Apply(d.pending)
+		d.timings.UpdateTree += time.Since(t3)
+		if err != nil {
+			return nil, fmt.Errorf("diffprov: updating the bad tree: %v", err)
+		}
+		world = newWorld
+		res.Rounds = append(res.Rounds, Round{Changes: d.pending})
+		d.applied = append(d.applied, d.pending...)
+		d.pending = nil
+	}
+	return nil, &DiagnosisError{
+		Kind:      NoProgress,
+		Detail:    fmt.Sprintf("trees still differ after %d rounds", opts.MaxRounds),
+		Attempted: d.applied,
+	}
+}
+
+// minimize greedily drops changes whose removal keeps the trees aligned,
+// re-verifying each candidate subset against a fresh clone of the
+// original bad execution.
+func (d *diag) minimize(res *Result, baseWorld World, chainG []gLevel, seedB ndlog.At) error {
+	changes := append([]replay.Change(nil), res.Changes...)
+	for i := 0; i < len(changes); {
+		candidate := append(append([]replay.Change(nil), changes[:i]...), changes[i+1:]...)
+		t0 := time.Now()
+		w, err := baseWorld.Apply(candidate)
+		d.timings.UpdateTree += time.Since(t0)
+		if err != nil {
+			i++
+			continue
+		}
+		t1 := time.Now()
+		div, err := d.firstDivergence(chainG, w, seedB)
+		d.timings.Divergence += time.Since(t1)
+		if err == nil && div == nil {
+			changes = candidate // the dropped change was redundant
+			res.FinalWorld = w
+			continue
+		}
+		i++
+	}
+	res.Changes = changes
+	res.Timings = d.timings
+	return nil
+}
+
+// goodChain extracts the derivation levels along the good tree's trigger
+// chain, ordered from the seed to the root.
+func goodChain(t *provenance.Tree) ([]gLevel, error) {
+	chain, err := t.TriggerChain()
+	if err != nil {
+		return nil, err
+	}
+	var levels []gLevel
+	for i := len(chain) - 1; i >= 0; i-- {
+		n := chain[i]
+		if n.Vertex.Type != provenance.Derive {
+			continue
+		}
+		head := headOf(n)
+		levels = append(levels, gLevel{derive: n, headAt: head})
+	}
+	return levels, nil
+}
+
+// headOf returns the head occurrence of a DERIVE tree node: its parent
+// APPEAR (or the vertex's own tuple when the derive is the tree root).
+func headOf(dn *provenance.Tree) ndlog.At {
+	if dn.Parent != nil && dn.Parent.Vertex.Type == provenance.Appear {
+		v := dn.Parent.Vertex
+		return ndlog.At{Node: v.Node, Tuple: v.Tuple, Stamp: v.At}
+	}
+	v := dn.Vertex
+	return ndlog.At{Node: v.Node, Tuple: v.Tuple, Stamp: v.At}
+}
+
+// childAt describes one body occurrence of a derivation in the good tree.
+type childAt struct {
+	at    ndlog.At
+	cause *provenance.Tree // the INSERT or DERIVE beneath it (nil if absent)
+	base  bool             // cause is an INSERT
+}
+
+// gChildrenOf extracts the body occurrences of a DERIVE tree node in body
+// order, along with the cause subtree under each.
+func gChildrenOf(dn *provenance.Tree) ([]childAt, error) {
+	out := make([]childAt, 0, len(dn.Children))
+	for _, c := range dn.Children {
+		v := c.Vertex
+		var at ndlog.At
+		causeHolder := c
+		switch v.Type {
+		case provenance.Appear:
+			at = ndlog.At{Node: v.Node, Tuple: v.Tuple, Stamp: v.At}
+		case provenance.Exist:
+			at = ndlog.At{Node: v.Node, Tuple: v.Tuple, Stamp: v.Span.From}
+			if len(c.Children) != 1 {
+				return nil, fmt.Errorf("diffprov: EXIST %s has %d children", v.Tuple, len(c.Children))
+			}
+			causeHolder = c.Children[0] // the APPEAR
+		default:
+			return nil, fmt.Errorf("diffprov: DERIVE child is %s", v.Type)
+		}
+		ca := childAt{at: at}
+		if len(causeHolder.Children) == 1 {
+			cause := causeHolder.Children[0]
+			ca.cause = cause
+			ca.base = cause.Vertex.Type == provenance.Insert
+		}
+		out = append(out, ca)
+	}
+	return out, nil
+}
+
+func childAts(cs []childAt) []ndlog.At {
+	out := make([]ndlog.At, len(cs))
+	for i, c := range cs {
+		out[i] = c.at
+	}
+	return out
+}
+
+// mergeChanges deduplicates changes that differ only in injection time
+// (a later round may re-inject a tuple earlier), keeping the earliest.
+func mergeChanges(cs []replay.Change) []replay.Change {
+	type key struct {
+		insert bool
+		node   string
+		tkey   string
+	}
+	best := map[key]int{}
+	var out []replay.Change
+	for _, c := range cs {
+		k := key{c.Insert, c.Node, c.Tuple.Key()}
+		if i, ok := best[k]; ok {
+			if c.Tick < out[i].Tick {
+				out[i] = c
+			}
+			continue
+		}
+		best[k] = len(out)
+		out = append(out, c)
+	}
+	sortChanges(out)
+	return out
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+)
+
+// sdn1Program is the Figure 1 network: six switches, two web servers, a
+// DPI box. S2 has the overly specific rule (4.3.2.0/24 instead of /23).
+const sdn1Program = `
+table flowEntry/3 base mutable;   // (prio, match, nextNode)
+table packet/1 event base;        // (dstIP); destination selects the path
+
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst),
+    flowEntry(@Sw, Prio, M, Nxt),
+    matches(Dst, M),
+    argmax Prio.
+`
+
+func fe(prio int64, match, nxt string) ndlog.Tuple {
+	return ndlog.NewTuple("flowEntry", ndlog.Int(prio), ndlog.MustParsePrefix(match), ndlog.Str(nxt))
+}
+
+func pkt(ip string) ndlog.Tuple {
+	return ndlog.NewTuple("packet", ndlog.MustParseIP(ip))
+}
+
+// buildSDN1 drives the scenario: the good packet (4.3.2.1) reaches web1
+// via s1-s2-s6; the bad packet (4.3.3.1) should too, but the overly
+// specific /24 sends it to web2 via s1-s2-s3 instead.
+func buildSDN1(t *testing.T) *replay.Session {
+	t.Helper()
+	s := replay.NewSession(ndlog.MustParse(sdn1Program))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("s1", fe(1, "0.0.0.0/0", "s2"), 0))
+	must(s.Insert("s2", fe(10, "4.3.2.0/24", "s6"), 0)) // the fault: should be /23
+	must(s.Insert("s2", fe(1, "0.0.0.0/0", "s3"), 0))
+	must(s.Insert("s6", fe(1, "0.0.0.0/0", "web1"), 0))
+	must(s.Insert("s3", fe(1, "0.0.0.0/0", "web2"), 0))
+	must(s.Insert("s1", pkt("4.3.2.1"), 10)) // good: reaches web1
+	must(s.Insert("s1", pkt("4.3.3.1"), 20)) // bad: reaches web2
+	must(s.Run())
+	return s
+}
+
+// treeFor extracts the provenance tree for a packet arrival.
+func treeFor(t *testing.T, g *provenance.Graph, node string, tuple ndlog.Tuple) *provenance.Tree {
+	t.Helper()
+	ap := g.LastAppear(node, tuple)
+	if ap == nil {
+		t.Fatalf("no arrival of %s at %s", tuple, node)
+	}
+	return g.Tree(ap.ID)
+}
+
+func TestDiffProvSDN1(t *testing.T) {
+	s := buildSDN1(t)
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, g, "web1", pkt("4.3.2.1"))
+	bad := treeFor(t, g, "web2", pkt("4.3.3.1"))
+
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want exactly 1 change (the paper's headline result)", res.Changes)
+	}
+	c := res.Changes[0]
+	if !c.Insert || c.Node != "s2" {
+		t.Fatalf("change = %v, want an insert on s2", c)
+	}
+	want := fe(10, "4.3.2.0/23", "s6")
+	if !c.Tuple.Equal(want) {
+		t.Fatalf("change = %s, want %s (the generalized /23 entry)", c.Tuple, want)
+	}
+	// Postcondition: in the final world the bad packet reaches web1.
+	fw := res.FinalWorld.(*ndlogWorld)
+	if !fw.engine.ExistsEver("web1", pkt("4.3.3.1")) {
+		t.Error("after applying Δ, the bad packet must reach web1")
+	}
+	// The live system was never touched.
+	if s.Live().ExistsEver("web1", pkt("4.3.3.1")) {
+		t.Error("diagnosis must not modify the live execution")
+	}
+	if res.Iterations < 2 {
+		t.Errorf("iterations = %d, want at least 2 (one fix round + one verification round)", res.Iterations)
+	}
+	if len(res.Rounds) != 1 {
+		t.Errorf("rounds with changes = %d, want 1", len(res.Rounds))
+	}
+	// Seeds: the packets themselves.
+	if res.GoodSeed.Tuple.Table != "packet" || res.BadSeed.Tuple.Table != "packet" {
+		t.Errorf("seeds = %s / %s, want packets", res.GoodSeed.Tuple, res.BadSeed.Tuple)
+	}
+	if res.Timings.Total() <= 0 {
+		t.Error("timings must be recorded")
+	}
+}
+
+func TestDiffProvSDN2MultiControllerConflict(t *testing.T) {
+	// Two conflicting rules from different controller apps: the
+	// higher-priority scrubber rule overlaps legitimate traffic.
+	s := replay.NewSession(ndlog.MustParse(sdn1Program))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("s1", fe(1, "0.0.0.0/0", "s2"), 0))
+	must(s.Insert("s2", fe(1, "0.0.0.0/0", "web"), 0))        // app 1: default to web
+	must(s.Insert("s2", fe(20, "9.9.0.0/16", "scrubber"), 0)) // app 2: suspect range, too broad
+	must(s.Insert("s1", pkt("8.8.1.1"), 10))                  // good: reaches web
+	must(s.Insert("s1", pkt("9.9.1.1"), 20))                  // bad: legitimate but scrubbed
+	must(s.Run())
+
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, g, "web", pkt("8.8.1.1"))
+	bad := treeFor(t, g, "scrubber", pkt("9.9.1.1"))
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want exactly 1", res.Changes)
+	}
+	c := res.Changes[0]
+	if c.Insert {
+		t.Fatalf("change = %v, want a deletion of the conflicting rule", c)
+	}
+	if !c.Tuple.Equal(fe(20, "9.9.0.0/16", "scrubber")) || c.Node != "s2" {
+		t.Fatalf("change = %v, want the scrubber rule on s2", c)
+	}
+	fw := res.FinalWorld.(*ndlogWorld)
+	if !fw.engine.ExistsEver("web", pkt("9.9.1.1")) {
+		t.Error("after applying Δ, the legitimate packet must reach the web server")
+	}
+}
+
+func TestDiffProvSDN3ExpiredRule(t *testing.T) {
+	// A high-priority rule expires; traffic falls back to a lower-priority
+	// rule and reaches the wrong host. The good example is in the past.
+	s := replay.NewSession(ndlog.MustParse(sdn1Program))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	video := fe(10, "7.7.7.0/24", "hostA")
+	must(s.Insert("s1", video, 0))
+	must(s.Insert("s1", fe(1, "0.0.0.0/0", "hostB"), 0))
+	must(s.Insert("s1", pkt("7.7.7.1"), 10)) // good (past): reaches hostA
+	must(s.Delete("s1", video, 50))          // the rule expires
+	must(s.Insert("s1", pkt("7.7.7.2"), 60)) // bad: reaches hostB
+	must(s.Run())
+
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, g, "hostA", pkt("7.7.7.1"))
+	bad := treeFor(t, g, "hostB", pkt("7.7.7.2"))
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want exactly 1 (the expired entry)", res.Changes)
+	}
+	c := res.Changes[0]
+	if !c.Insert || !c.Tuple.Equal(video) {
+		t.Fatalf("change = %v, want reinstating %s", c, video)
+	}
+	if c.Tick >= 60 {
+		t.Errorf("the entry must be reinstated before the bad packet (tick %d)", c.Tick)
+	}
+}
+
+func TestDiffProvSDN4TwoFaultsTwoRounds(t *testing.T) {
+	// Two faulty entries on consecutive hops: DiffProv needs two rounds.
+	s := replay.NewSession(ndlog.MustParse(sdn1Program))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("s1", fe(10, "4.3.2.0/24", "s2"), 0)) // fault 1: should be /23
+	must(s.Insert("s1", fe(1, "0.0.0.0/0", "x1"), 0))
+	must(s.Insert("x1", fe(1, "0.0.0.0/0", "webWrong"), 0))
+	must(s.Insert("s2", fe(10, "4.3.2.0/24", "s6"), 0)) // fault 2: should be /23
+	must(s.Insert("s2", fe(1, "0.0.0.0/0", "x2"), 0))
+	must(s.Insert("x2", fe(1, "0.0.0.0/0", "webWrong"), 0))
+	must(s.Insert("s6", fe(1, "0.0.0.0/0", "web1"), 0))
+	must(s.Insert("s1", pkt("4.3.2.1"), 10)) // good
+	must(s.Insert("s1", pkt("4.3.3.1"), 20)) // bad: misrouted at s1 already
+	must(s.Run())
+
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, g, "web1", pkt("4.3.2.1"))
+	bad := treeFor(t, g, "webWrong", pkt("4.3.3.1"))
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2 (the paper reports 1/1 for SDN4)", len(res.Rounds))
+	}
+	for i, r := range res.Rounds {
+		if len(r.Changes) != 1 {
+			t.Errorf("round %d Δ = %v, want exactly 1", i, r.Changes)
+		}
+	}
+	if len(res.Changes) != 2 {
+		t.Fatalf("total Δ = %v, want 2", res.Changes)
+	}
+	fw := res.FinalWorld.(*ndlogWorld)
+	if !fw.engine.ExistsEver("web1", pkt("4.3.3.1")) {
+		t.Error("after both rounds the bad packet must reach web1")
+	}
+}
+
+func TestDiffProvSeedTypeMismatch(t *testing.T) {
+	s := buildSDN1(t)
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Good" reference: a flow entry's own provenance (a config tuple,
+	// not a packet).
+	feAppear := g.LastAppear("s6", fe(1, "0.0.0.0/0", "web1"))
+	good := g.Tree(feAppear.ID)
+	bad := treeFor(t, g, "web2", pkt("4.3.3.1"))
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Diagnose(good, bad, world, Options{})
+	de, ok := err.(*DiagnosisError)
+	if !ok {
+		t.Fatalf("err = %v, want DiagnosisError", err)
+	}
+	if de.Kind != SeedTypeMismatch {
+		t.Fatalf("kind = %s, want seed type mismatch", de.Kind)
+	}
+	if de.Error() == "" {
+		t.Error("error message empty")
+	}
+}
+
+func TestDiffProvImmutableChange(t *testing.T) {
+	// The only fix would be to change the packet's ingress, which is
+	// immutable: the packets enter at different switches.
+	prog := ndlog.MustParse(`
+table flowEntry/3 base;           // immutable flow entries this time
+table packet/1 event base;
+
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst),
+    flowEntry(@Sw, Prio, M, Nxt),
+    matches(Dst, M),
+    argmax Prio.
+`)
+	s := replay.NewSession(prog)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("s1", fe(10, "4.3.2.0/24", "good"), 0))
+	must(s.Insert("s1", fe(1, "0.0.0.0/0", "bad"), 0))
+	must(s.Insert("s1", pkt("4.3.2.1"), 10))
+	must(s.Insert("s1", pkt("4.3.3.1"), 20))
+	must(s.Run())
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, g, "good", pkt("4.3.2.1"))
+	bad := treeFor(t, g, "bad", pkt("4.3.3.1"))
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Diagnose(good, bad, world, Options{})
+	de, ok := err.(*DiagnosisError)
+	if !ok {
+		t.Fatalf("err = %v, want DiagnosisError", err)
+	}
+	if de.Kind != ImmutableChange {
+		t.Fatalf("kind = %s, want immutable change", de.Kind)
+	}
+	if len(de.Attempted) == 0 {
+		t.Error("the attempted change must be reported as a diagnostic clue (§4.7)")
+	}
+}
+
+func TestDiffProvInversionThroughAssignment(t *testing.T) {
+	// The paper's §4.5 example shape: abc(p, q) :- foo(p), bar(x), q = x+2.
+	prog := ndlog.MustParse(`
+table foo/1 event base;
+table bar/1 base mutable;
+table abc/2 event;
+
+rule mk abc(P, Q) :- foo(P), bar(X), Q := X + 2.
+`)
+	s := replay.NewSession(prog)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("n", ndlog.NewTuple("bar", ndlog.Int(4)), 0))
+	must(s.Insert("n", ndlog.NewTuple("foo", ndlog.Int(1)), 10)) // good: abc(1, 6)
+	must(s.Run())
+	// Bad world: a separate session where bar is 9 instead of 4.
+	sB := replay.NewSession(prog)
+	must(sB.Insert("n", ndlog.NewTuple("bar", ndlog.Int(9)), 0))
+	must(sB.Insert("n", ndlog.NewTuple("foo", ndlog.Int(2)), 10)) // bad: abc(2, 11)
+	must(sB.Run())
+
+	_, gg, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gb, err := sB.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, gg, "n", ndlog.NewTuple("abc", ndlog.Int(1), ndlog.Int(6)))
+	bad := treeFor(t, gb, "n", ndlog.NewTuple("abc", ndlog.Int(2), ndlog.Int(11)))
+	world, err := NewWorld(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want 1", res.Changes)
+	}
+	// x = q - 2 = 4: the inverted computation recovers bar(4).
+	if !res.Changes[0].Tuple.Equal(ndlog.NewTuple("bar", ndlog.Int(4))) {
+		t.Fatalf("change = %v, want bar(4) via inversion of q = x+2", res.Changes[0])
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+)
+
+// FailureKind classifies the three failure modes of §4.7 ("False
+// negatives: DiffProv can fail for three reasons").
+type FailureKind uint8
+
+// The failure modes.
+const (
+	// SeedTypeMismatch: the seeds of the two trees have different types;
+	// the events are not comparable and the operator must pick another
+	// reference.
+	SeedTypeMismatch FailureKind = iota
+	// ImmutableChange: aligning the trees would require changing an
+	// immutable tuple (an incoming packet, a pinned flow entry).
+	ImmutableChange
+	// NonInvertible: a computation on the derivation path cannot be
+	// inverted (e.g. a hash) and no hand-written inverse is available.
+	NonInvertible
+	// NoProgress: an iteration produced no new changes yet the trees
+	// remained different (e.g. a race or an unmodeled dependency).
+	NoProgress
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case SeedTypeMismatch:
+		return "seed type mismatch"
+	case ImmutableChange:
+		return "change to immutable tuple required"
+	case NonInvertible:
+		return "non-invertible computation"
+	case NoProgress:
+		return "no progress"
+	default:
+		return fmt.Sprintf("failure(%d)", uint8(k))
+	}
+}
+
+// DiagnosisError is returned when DiffProv cannot align the trees. Per
+// §4.7, it carries enough context for the operator to pick a better
+// reference: what would have needed to change, and why it could not.
+type DiagnosisError struct {
+	Kind   FailureKind
+	Detail string
+	// Attempted lists the changes DiffProv would have liked to make
+	// ("DiffProv can output the attempted change it would like to try,
+	// which may still be a useful diagnostic clue").
+	Attempted []replay.Change
+	// Tuple is the tuple at which the failure occurred, if any.
+	Tuple ndlog.Tuple
+	// Node is the node of that tuple.
+	Node string
+}
+
+func (e *DiagnosisError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "diffprov: %s", e.Kind)
+	if e.Detail != "" {
+		fmt.Fprintf(&sb, ": %s", e.Detail)
+	}
+	if e.Tuple.Table != "" {
+		fmt.Fprintf(&sb, " (at %s on %s)", e.Tuple, e.Node)
+	}
+	for _, c := range e.Attempted {
+		fmt.Fprintf(&sb, "; attempted change: %s", c)
+	}
+	return sb.String()
+}
+
+// failf builds a DiagnosisError.
+func failf(kind FailureKind, format string, args ...interface{}) *DiagnosisError {
+	return &DiagnosisError{Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}

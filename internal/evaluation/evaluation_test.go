@@ -1,0 +1,133 @@
+package evaluation
+
+import (
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+func TestFigure5Linear(t *testing.T) {
+	rows, err := Figure5(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		ratio := rows[i].LogBytesSec / rows[i-1].LogBytesSec
+		rateRatio := rows[i].RateBps / rows[i-1].RateBps
+		if ratio < rateRatio*0.9 || ratio > rateRatio*1.1 {
+			t.Errorf("logging rate not linear: %.2fx for %.0fx traffic", ratio, rateRatio)
+		}
+	}
+	// The 10 Gbps point stays under the paper's 400 MB/s SSD budget.
+	if last := rows[len(rows)-1]; last.LogBytesSec > 400e6 {
+		t.Errorf("10 Gbps logging rate = %s, exceeds the SSD budget", FormatBytesPerSec(last.LogBytesSec))
+	}
+}
+
+func TestFigure6Decreasing(t *testing.T) {
+	rows, err := Figure6(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LogBytesSec >= rows[i-1].LogBytesSec {
+			t.Errorf("logging rate must decrease with packet size: %d B -> %s, %d B -> %s",
+				rows[i-1].PacketSize, FormatBytesPerSec(rows[i-1].LogBytesSec),
+				rows[i].PacketSize, FormatBytesPerSec(rows[i].LogBytesSec))
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	rows, err := Figure7(scenarios.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-6s Y!=%v diffprov=%v (replay %v, reasoning %v)",
+			r.Scenario, r.YBang, r.DiffProv, r.DiffProvReplay, r.DiffProvReason)
+		if r.DiffProv <= 0 || r.YBang <= 0 {
+			t.Errorf("%s: non-positive measurement", r.Scenario)
+		}
+		// DiffProv does strictly more work than a single-tree query.
+		if r.DiffProv < r.YBang/4 {
+			t.Errorf("%s: DiffProv (%v) implausibly cheaper than Y! (%v)", r.Scenario, r.DiffProv, r.YBang)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	rows, err := Figure8(scenarios.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-6s findseed=%v divergence=%v makeappear=%v updatetree=%v",
+			r.Scenario, r.Timings.FindSeed, r.Timings.Divergence, r.Timings.MakeAppear, r.Timings.UpdateTree)
+		reasoning := r.Timings.FindSeed + r.Timings.Divergence + r.Timings.MakeAppear
+		if reasoning <= 0 {
+			t.Errorf("%s: no reasoning time recorded", r.Scenario)
+		}
+		// Replay (tree updating) dominates pure reasoning, as in the
+		// paper (reasoning was at most 3.8 ms vs. seconds of replay).
+		if reasoning > r.Timings.UpdateTree*100 && r.Timings.UpdateTree > 0 {
+			t.Errorf("%s: reasoning (%v) unexpectedly dominates replay (%v)", r.Scenario, reasoning, r.Timings.UpdateTree)
+		}
+	}
+}
+
+func TestMeasureLatencySmall(t *testing.T) {
+	res, err := MeasureLatency(2000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SDN logging overhead: %.1f%%", res.SDNOverhead*100)
+	t.Logf("MR provenance overhead: %.1f%% (cached checksums: %.1f%%)",
+		res.MROverhead*100, res.MROverheadCachedChecksums*100)
+	// Shapes: overheads are bounded, and the checksum cache helps.
+	if res.SDNOverhead > 2.0 {
+		t.Errorf("SDN logging overhead = %.0f%%, want modest", res.SDNOverhead*100)
+	}
+	if res.MROverheadCachedChecksums > res.MROverhead {
+		t.Errorf("checksum caching must not increase overhead: %.2f vs %.2f",
+			res.MROverheadCachedChecksums, res.MROverhead)
+	}
+}
+
+func TestStanfordExperiment(t *testing.T) {
+	res, err := Stanford(StanfordConfig{Seed: 4, ForwardingEntries: 400, ACLRules: 40, BackgroundPackets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trees %d/%d, plain diff %d, Δ=%d, turnaround %v",
+		res.GoodTree, res.BadTree, res.PlainDiff, res.Changes, res.Turnaround)
+	if !res.FoundFault {
+		t.Error("the misconfigured entry must be identified")
+	}
+	if res.Changes != 1 {
+		t.Errorf("Δ = %d, want 1", res.Changes)
+	}
+	if res.PlainDiff == 0 {
+		t.Error("plain diff must be non-empty")
+	}
+}
+
+func TestFormatBytesPerSec(t *testing.T) {
+	cases := map[float64]string{
+		12:     "12 B/s",
+		4500:   "4.50 kB/s",
+		2.5e6:  "2.50 MB/s",
+		1.25e9: "1.25 GB/s",
+	}
+	for in, want := range cases {
+		if got := FormatBytesPerSec(in); got != want {
+			t.Errorf("FormatBytesPerSec(%f) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package failures encodes the paper's failure taxonomy (§2.3-2.4):
+// from the Outages-list survey, reference events typically come from
+// *partial* failures (some instances of a service work, others do not),
+// *sudden* failures (the service worked until some transition), and
+// *intermittent* failures (the service flaps). Each class is generated
+// here on the SDN substrate together with the natural reference event the
+// paper prescribes for it, and diagnosed with DiffProv.
+package failures
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/sdn"
+)
+
+// Class enumerates the survey's failure classes.
+type Class int
+
+// The classes, with the §2.4 survey shares.
+const (
+	// Partial: the problem appears in some instances of a service but
+	// not in others (the survey's most prevalent class). Reference: a
+	// working instance observed at the same time.
+	Partial Class = iota
+	// Sudden: a component stops working after a transition. Reference:
+	// the same system observed before the transition.
+	Sudden
+	// Intermittent: the service flaps. Reference: an occurrence from a
+	// working interval.
+	Intermittent
+)
+
+func (c Class) String() string {
+	switch c {
+	case Partial:
+		return "partial"
+	case Sudden:
+		return "sudden"
+	case Intermittent:
+		return "intermittent"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Case is one generated failure with its reference and diagnostic events.
+type Case struct {
+	Class       Class
+	Description string
+	Net         *sdn.Network
+	Good, Bad   *provenance.Tree
+	// WantTable is the table of the expected root-cause change.
+	WantTable string
+	// Check validates the diagnosis.
+	Check func(*core.Result) error
+}
+
+// Diagnose runs DiffProv on the case.
+func (c *Case) Diagnose() (*core.Result, error) {
+	world, err := core.NewWorld(c.Net.Session())
+	if err != nil {
+		return nil, err
+	}
+	return core.Diagnose(c.Good, c.Bad, world, core.Options{})
+}
+
+var (
+	svcIP  = ndlog.MustParseIP("10.0.0.53")
+	client = func(i byte) sdn.Header {
+		return sdn.Header{Src: ndlog.IP(0x08080000) | ndlog.IP(i), Dst: svcIP, Proto: 17}
+	}
+)
+
+// Generate builds a failure case of the given class.
+func Generate(class Class) (*Case, error) {
+	switch class {
+	case Partial:
+		return partialFailure()
+	case Sudden:
+		return suddenFailure()
+	case Intermittent:
+		return intermittentFailure()
+	default:
+		return nil, fmt.Errorf("failures: unknown class %v", class)
+	}
+}
+
+// All generates one case per class.
+func All() ([]*Case, error) {
+	var out []*Case
+	for _, c := range []Class{Partial, Sudden, Intermittent} {
+		cs, err := Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// partialFailure: two anycast service replicas; the intent steering one
+// client subnet was fat-fingered, so those clients reach a stale replica
+// while everyone else reaches the healthy one (the survey's "a batch of
+// DNS servers contained expired entries, while records on other servers
+// were up to date" — modeled at the routing layer).
+func partialFailure() (*Case, error) {
+	n := sdn.NewNetwork()
+	steps := []error{
+		n.SwitchUp("edge"),
+		n.AddPath("replicaGood", "edge", "replicaGood"),
+		n.AddPath("replicaStale", "edge", "replicaStale"),
+		// The typo: 8.8.8.0/26 was meant to be the whole /24.
+		n.AddIntent(10, ndlog.MustParsePrefix("8.8.8.0/26"), sdn.Any, "replicaGood"),
+		n.AddIntent(1, sdn.Any, sdn.Any, "replicaStale"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	goodHdr := sdn.Header{Src: ndlog.MustParseIP("8.8.8.10"), Dst: svcIP, Proto: 17} // in /26: healthy
+	badHdr := sdn.Header{Src: ndlog.MustParseIP("8.8.8.200"), Dst: svcIP, Proto: 17} // outside /26: stale
+	if _, err := n.InjectPacket("edge", goodHdr); err != nil {
+		return nil, err
+	}
+	if _, err := n.InjectPacket("edge", badHdr); err != nil {
+		return nil, err
+	}
+	if err := n.Run(); err != nil {
+		return nil, err
+	}
+	gt, err := n.ArrivalTree("replicaGood", goodHdr)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := n.ArrivalTree("replicaStale", badHdr)
+	if err != nil {
+		return nil, err
+	}
+	return &Case{
+		Class:       Partial,
+		Description: "partial failure: part of a client subnet is steered to a stale replica",
+		Net:         n, Good: gt, Bad: bt,
+		WantTable: "intent",
+		Check: func(r *core.Result) error {
+			if len(r.Changes) != 1 {
+				return fmt.Errorf("Δ = %v, want 1", r.Changes)
+			}
+			c := r.Changes[0]
+			if c.Tuple.Table != "intent" || !c.Insert {
+				return fmt.Errorf("change = %v, want the generalized intent", c)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// suddenFailure: a link goes down after a network transition (the §1
+// example); the entries over it are underived, and traffic falls back to
+// a path serving the wrong host. The reference is a packet from before
+// the transition (the same system, looking back in time).
+func suddenFailure() (*Case, error) {
+	n := sdn.NewNetwork()
+	steps := []error{
+		n.SwitchUp("s1"),
+		n.SwitchUp("s2"),
+		n.AddPath("service", "s1", "s2", "service"),
+		n.AddPath("backup", "s1", "backup"),
+		n.AddIntent(10, sdn.Any, sdn.Any, "service"),
+		n.AddIntent(1, sdn.Any, sdn.Any, "backup"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	goodHdr := client(1)
+	badHdr := client(2)
+	if _, err := n.InjectPacket("s1", goodHdr); err != nil {
+		return nil, err
+	}
+	if err := n.Run(); err != nil {
+		return nil, err
+	}
+	// The transition: the s1-s2 link goes down; the service entry over
+	// it is underived.
+	n.AdvanceTo(n.Tick() + 20)
+	if err := n.Session().Delete(n.Controller(),
+		ndlog.NewTuple("link", ndlog.Str("s1"), ndlog.Str("s2")), n.Tick()); err != nil {
+		return nil, err
+	}
+	n.AdvanceTo(n.Tick() + 20)
+	if _, err := n.InjectPacket("s1", badHdr); err != nil {
+		return nil, err
+	}
+	if err := n.Run(); err != nil {
+		return nil, err
+	}
+	gt, err := n.ArrivalTree("service", goodHdr)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := n.ArrivalTree("backup", badHdr)
+	if err != nil {
+		return nil, err
+	}
+	return &Case{
+		Class:       Sudden,
+		Description: "sudden failure: the s1-s2 link went down and traffic fell back to the wrong host",
+		Net:         n, Good: gt, Bad: bt,
+		WantTable: "link",
+		Check: func(r *core.Result) error {
+			if len(r.Changes) != 1 {
+				return fmt.Errorf("Δ = %v, want 1", r.Changes)
+			}
+			c := r.Changes[0]
+			if c.Tuple.Table != "link" || !c.Insert ||
+				c.Tuple.Args[0] != ndlog.Str("s1") || c.Tuple.Args[1] != ndlog.Str("s2") {
+				return fmt.Errorf("change = %v, want restoring link(s1, s2)", c)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// intermittentFailure: a flapping intent — the service route is
+// repeatedly withdrawn and restored (the survey's "sometimes succeeded,
+// sometimes failed"). The bad event falls in a down interval; the
+// reference comes from an up interval.
+func intermittentFailure() (*Case, error) {
+	n := sdn.NewNetwork()
+	steps := []error{
+		n.SwitchUp("s1"),
+		n.AddPath("service", "s1", "service"),
+		n.AddPath("fallback", "s1", "fallback"),
+		n.AddIntent(1, sdn.Any, sdn.Any, "fallback"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	flap := func(up bool) error {
+		n.AdvanceTo(n.Tick() + 20)
+		if up {
+			return n.AddIntent(10, sdn.Any, sdn.Any, "service")
+		}
+		return n.RemoveIntent(10, sdn.Any, sdn.Any, "service")
+	}
+	var goodHdr, badHdr sdn.Header
+	for cycle := 0; cycle < 3; cycle++ {
+		if err := flap(true); err != nil {
+			return nil, err
+		}
+		h := client(byte(10 + cycle))
+		n.AdvanceTo(n.Tick() + 5)
+		if _, err := n.InjectPacket("s1", h); err != nil {
+			return nil, err
+		}
+		if cycle == 1 {
+			goodHdr = h // a success from an up interval
+		}
+		if err := n.Run(); err != nil {
+			return nil, err
+		}
+		if err := flap(false); err != nil {
+			return nil, err
+		}
+		h = client(byte(20 + cycle))
+		n.AdvanceTo(n.Tick() + 5)
+		if _, err := n.InjectPacket("s1", h); err != nil {
+			return nil, err
+		}
+		if cycle == 2 {
+			badHdr = h // a failure from the last down interval
+		}
+		if err := n.Run(); err != nil {
+			return nil, err
+		}
+	}
+	gt, err := n.ArrivalTree("service", goodHdr)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := n.ArrivalTree("fallback", badHdr)
+	if err != nil {
+		return nil, err
+	}
+	return &Case{
+		Class:       Intermittent,
+		Description: "intermittent failure: a flapping route; the bad request fell in a down interval",
+		Net:         n, Good: gt, Bad: bt,
+		WantTable: "intent",
+		Check: func(r *core.Result) error {
+			if len(r.Changes) != 1 {
+				return fmt.Errorf("Δ = %v, want 1", r.Changes)
+			}
+			c := r.Changes[0]
+			if c.Tuple.Table != "intent" || !c.Insert || c.Tuple.Args[3] != ndlog.Str("service") {
+				return fmt.Errorf("change = %v, want restoring the service intent", c)
+			}
+			return nil
+		},
+	}, nil
+}

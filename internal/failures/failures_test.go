@@ -1,0 +1,98 @@
+package failures
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllClassesDiagnose(t *testing.T) {
+	cases, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 3 {
+		t.Fatalf("cases = %d, want the three survey classes", len(cases))
+	}
+	for _, c := range cases {
+		t.Run(c.Class.String(), func(t *testing.T) {
+			res, err := c.Diagnose()
+			if err != nil {
+				t.Fatalf("%s: %v", c.Class, err)
+			}
+			if err := c.Check(res); err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Changes) != 1 {
+				t.Fatalf("Δ = %v", res.Changes)
+			}
+			if res.Changes[0].Tuple.Table != c.WantTable {
+				t.Errorf("root cause in table %s, want %s", res.Changes[0].Tuple.Table, c.WantTable)
+			}
+			t.Logf("%s: %s -> %s", c.Class, c.Description, res.Changes[0])
+		})
+	}
+}
+
+func TestSuddenFailureCascade(t *testing.T) {
+	// The sudden case's root cause sits above the packet's missing flow
+	// entry: the dead link, reached through the underived entry. Verify
+	// the cascade is real.
+	c, err := Generate(Sudden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the link death, s1 keeps only the fallback entry.
+	ft := c.Net.FlowTable("s1")
+	if len(ft) != 1 {
+		t.Errorf("s1 flow table after the transition = %v, want only the fallback", ft)
+	}
+}
+
+func TestIntermittentReferenceIsHistoric(t *testing.T) {
+	c, err := Generate(Intermittent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gseed, err := c.Good.FindSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bseed, err := c.Bad.FindSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gseed.Vertex.At.T >= bseed.Vertex.At.T {
+		t.Error("the reference must predate the bad event (a past up-interval)")
+	}
+}
+
+func TestGenerateUnknownClass(t *testing.T) {
+	if _, err := Generate(Class(42)); err == nil {
+		t.Error("unknown class must fail")
+	}
+	if Class(42).String() == "" {
+		t.Error("class rendering")
+	}
+}
+
+func TestAutoReferenceOnPartialFailure(t *testing.T) {
+	// §2.4: "by looking for a different system or service that coexists
+	// with the malfunctioning system" — the auto-miner should find the
+	// healthy replica's traffic on its own.
+	c, err := Generate(Partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := core.NewWorld(c.Net.Session())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ref, err := core.AutoDiagnose(c.Bad, world, core.Options{})
+	if err != nil {
+		t.Fatalf("AutoDiagnose: %v", err)
+	}
+	if ref == nil || len(res.Changes) != 1 || res.Changes[0].Tuple.Table != "intent" {
+		t.Fatalf("mined diagnosis = %v (ref %v)", res.Changes, ref)
+	}
+}

@@ -1,0 +1,228 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+)
+
+// Job describes one imperative WordCount run: the paper's instrumented
+// Hadoop. The pipeline is plain Go code; its only connection to the
+// provenance system is the stream of reported dependencies.
+type Job struct {
+	ID         string
+	Input      *InputFile
+	NumMappers int
+	Config     map[string]ndlog.Value
+	Mapper     ndlog.ID
+	// RecomputeChecksums disables the checksum cache: the input file's
+	// checksum is recomputed for every record, as in the paper's
+	// unoptimized prototype ("the dominating cost was getting the
+	// checksums of the data files in HDFS", §6.4). Used by the latency
+	// experiment.
+	RecomputeChecksums bool
+	// DisableProvenance turns off all dependency reporting: the job
+	// computes its outputs but records nothing. The latency experiment
+	// uses this as the "logging disabled" baseline.
+	DisableProvenance bool
+}
+
+// NewJob creates a job with the default configuration.
+func NewJob(id string, input *InputFile, numMappers int, reduces int64, mapper ndlog.ID) *Job {
+	return &Job{
+		ID:         id,
+		Input:      input,
+		NumMappers: numMappers,
+		Config:     DefaultConfig(reduces),
+		Mapper:     mapper,
+	}
+}
+
+func (j *Job) clone() *Job {
+	cfg := make(map[string]ndlog.Value, len(j.Config))
+	for k, v := range j.Config {
+		cfg[k] = v
+	}
+	return &Job{ID: j.ID, Input: j.Input, NumMappers: j.NumMappers, Config: cfg, Mapper: j.Mapper, RecomputeChecksums: j.RecomputeChecksums}
+}
+
+// Execution is a completed imperative run: its outputs, its reported
+// provenance graph, and the temporal store backing World queries.
+type Execution struct {
+	job     *Job
+	builder *provenance.Builder
+	store   *store
+	tick    int64
+	// Counts maps reducer -> word -> count.
+	Counts map[string]map[string]int64
+	// countAt locates the final wordcount tuple per word.
+	countAt map[string]ndlog.At
+}
+
+// Run executes the job, reporting provenance as it goes.
+func (j *Job) Run() (*Execution, error) {
+	ex := &Execution{
+		job:     j,
+		builder: provenance.NewBuilder(Program()),
+		store:   newStore(Program()),
+		Counts:  map[string]map[string]int64{},
+		countAt: map[string]ndlog.At{},
+	}
+	if j.NumMappers < 1 {
+		return nil, fmt.Errorf("mapreduce: job %s has no mappers", j.ID)
+	}
+
+	// Phase 0: configuration and code are loaded; every entry is
+	// reported (the paper: "235 configuration entries").
+	cfgAts := map[string]ndlog.At{}
+	keys := make([]string, 0, len(j.Config))
+	for k := range j.Config {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		at, err := ex.insertBase("master", ndlog.NewTuple("jobConfig", ndlog.Str(k), j.Config[k]))
+		if err != nil {
+			return nil, err
+		}
+		cfgAts[k] = at
+	}
+	codeAt, err := ex.insertBase("master", ndlog.NewTuple("mapperCode", ndlog.Str(MapperSlot), j.Mapper))
+	if err != nil {
+		return nil, err
+	}
+	reducesVal, ok := j.Config[ConfigReduces].(ndlog.Int)
+	if !ok || reducesVal <= 0 {
+		return nil, fmt.Errorf("mapreduce: job %s: bad %s", j.ID, ConfigReduces)
+	}
+	reducesAt := cfgAts[ConfigReduces]
+
+	// Phases 1-2: map and shuffle, record by record.
+	type group struct {
+		contribs []ndlog.At
+	}
+	groups := map[string]*group{} // reducer|word
+	var groupOrder []string
+	fileID := j.Input.Checksum()
+	for lineNo, words := range j.Input.Lines {
+		mapperIdx := lineNo % j.NumMappers
+		mapper := MapperName(mapperIdx)
+		for pos, w := range words {
+			if j.RecomputeChecksums {
+				fileID = j.Input.Checksum()
+			}
+			rec := ndlog.NewTuple("inputRecord",
+				ndlog.Str(j.ID), fileID, ndlog.Int(int64(lineNo)), ndlog.Int(int64(pos)), ndlog.Str(w))
+			recAt, err := ex.insertBase(mapper, rec)
+			if err != nil {
+				return nil, err
+			}
+			// The mapper runs. Its internals are opaque; only the
+			// emitted pairs and their dependencies are reported.
+			if !MapperEmits(j.Mapper, int64(pos)) {
+				continue
+			}
+			kvT := ndlog.NewTuple("kv", ndlog.Str(j.ID), ndlog.Str(w), ndlog.Int(int64(lineNo)), ndlog.Int(int64(pos)))
+			kvAtRec, err := ex.derive("m1", mapper, kvT, []ndlog.At{recAt, codeAt}, 0)
+			if err != nil {
+				return nil, err
+			}
+			// Shuffle: the hash partitioner.
+			r := ReducerName(int64(ndlog.Hash64(ndlog.Str(w)) % uint64(reducesVal)))
+			kvAtT := ndlog.NewTuple("kvAt", ndlog.Str(j.ID), ndlog.Str(w), ndlog.Int(int64(lineNo)), ndlog.Int(int64(pos)))
+			shAt, err := ex.derive("s1", r, kvAtT, []ndlog.At{kvAtRec, reducesAt}, 0)
+			if err != nil {
+				return nil, err
+			}
+			gk := r + "|" + w
+			g := groups[gk]
+			if g == nil {
+				g = &group{}
+				groups[gk] = g
+				groupOrder = append(groupOrder, gk)
+			}
+			g.contribs = append(g.contribs, shAt)
+		}
+	}
+
+	// Phase 3: reduce. The final count of each group is derived from all
+	// of its contributing pairs.
+	sort.Strings(groupOrder)
+	for _, gk := range groupOrder {
+		g := groups[gk]
+		sep := 0
+		for i := range gk {
+			if gk[i] == '|' {
+				sep = i
+				break
+			}
+		}
+		reducer, word := gk[:sep], gk[sep+1:]
+		count := int64(len(g.contribs))
+		wc := ndlog.NewTuple("wordcount", ndlog.Str(j.ID), ndlog.Str(word), ndlog.Int(count))
+		at, err := ex.derive("r1", reducer, wc, g.contribs, len(g.contribs)-1)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Counts[reducer] == nil {
+			ex.Counts[reducer] = map[string]int64{}
+		}
+		ex.Counts[reducer][word] = count
+		ex.countAt[word] = at
+	}
+	return ex, nil
+}
+
+func (ex *Execution) insertBase(node string, t ndlog.Tuple) (ndlog.At, error) {
+	ex.tick++
+	if ex.job.DisableProvenance {
+		return ndlog.At{Node: node, Tuple: t, Stamp: ndlog.Stamp{T: ex.tick}}, nil
+	}
+	at, err := ex.builder.Insert(node, t, ex.tick)
+	if err != nil {
+		return ndlog.At{}, err
+	}
+	ex.store.insert(node, t, ex.tick)
+	return at, nil
+}
+
+func (ex *Execution) derive(rule, node string, t ndlog.Tuple, body []ndlog.At, trigger int) (ndlog.At, error) {
+	ex.tick++
+	if ex.job.DisableProvenance {
+		return ndlog.At{Node: node, Tuple: t, Stamp: ndlog.Stamp{T: ex.tick}}, nil
+	}
+	at, err := ex.builder.Derive(rule, node, t, ex.tick, body, trigger)
+	if err != nil {
+		return ndlog.At{}, err
+	}
+	ex.store.insert(node, t, ex.tick)
+	return at, nil
+}
+
+// CountTree returns the provenance tree of the final count for a word.
+func (ex *Execution) CountTree(word string) (*provenance.Tree, error) {
+	at, ok := ex.countAt[word]
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: job %s produced no count for %q", ex.job.ID, word)
+	}
+	g := ex.builder.Graph()
+	ap := g.LastAppear(at.Node, at.Tuple)
+	if ap == nil {
+		return nil, fmt.Errorf("mapreduce: no provenance for %s", at.Tuple)
+	}
+	return g.Tree(ap.ID), nil
+}
+
+// CountAt returns where the final count of a word lives.
+func (ex *Execution) CountAt(word string) (ndlog.At, bool) {
+	at, ok := ex.countAt[word]
+	return at, ok
+}
+
+// World wraps the execution for DiffProv: replaying with changes means
+// re-running the instrumented job with the configuration, code, or input
+// overrides implied by the changes.
+func (ex *Execution) World() core.World { return &mrWorld{ex: ex} }

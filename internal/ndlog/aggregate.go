@@ -1,0 +1,206 @@
+package ndlog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregation support: a rule may bind a variable with `N := count()`,
+// turning it into an incremental counting rule. Each triggering event
+// increments the group's count, underives the previous head tuple, and
+// derives a new head whose provenance lists every contributing event
+// (so the provenance of an aggregate is the full set of its inputs).
+//
+// Aggregate rules are restricted to a single event-table body atom with a
+// local head: this covers the MapReduce reduce phase (WordCount) while
+// keeping evaluation deterministic.
+
+type aggGroup struct {
+	count    int64
+	contribs []At
+	prev     Tuple // previous head tuple (to be underived)
+	prevID   int64 // derivation id of the previous head
+	prevSet  bool
+}
+
+// validateAggregate checks the restrictions on counting rules.
+func validateAggregate(r *Rule, p *Program) error {
+	if r.CountVar == "" {
+		return nil
+	}
+	if r.ArgMax != "" {
+		return fmt.Errorf("ndlog: rule %s: count() and argmax cannot be combined", r.Name)
+	}
+	if len(r.Body) != 1 {
+		return fmt.Errorf("ndlog: rule %s: counting rules must have exactly one body atom", r.Name)
+	}
+	d := p.Decl(r.Body[0].Table)
+	if d == nil || !d.Event {
+		return fmt.Errorf("ndlog: rule %s: counting rules must be triggered by an event table", r.Name)
+	}
+	hd := p.Decl(r.Head.Table)
+	if hd != nil && hd.Event {
+		return fmt.Errorf("ndlog: rule %s: counting rules must derive state, not events", r.Name)
+	}
+	if r.Head.Loc != nil {
+		// The head location must coincide with the body atom's location
+		// (local derivation): either the same variable or the same
+		// constant node name.
+		local := false
+		if r.Body[0].Loc != nil {
+			switch hl := r.Head.Loc.(type) {
+			case Var:
+				bl, ok := r.Body[0].Loc.(Var)
+				local = ok && bl == hl
+			case Const:
+				bl, ok := r.Body[0].Loc.(Const)
+				local = ok && bl.V == hl.V
+			}
+		}
+		if !local {
+			return fmt.Errorf("ndlog: rule %s: counting rules must derive locally", r.Name)
+		}
+	}
+	uses := false
+	for _, a := range r.Head.Args {
+		for _, v := range FreeVars(a) {
+			if v == r.CountVar {
+				uses = true
+			}
+		}
+	}
+	if !uses {
+		return fmt.Errorf("ndlog: rule %s: head does not use count variable %s", r.Name, r.CountVar)
+	}
+	return nil
+}
+
+// groupKey computes the aggregation group for a binding: the values of
+// every head-referenced variable except the count variable.
+func (e *Engine) groupKey(r *Rule, nodeName string, env Env) string {
+	vars := map[string]bool{}
+	for _, a := range r.Head.Args {
+		for _, v := range FreeVars(a) {
+			if v != r.CountVar {
+				vars[v] = true
+			}
+		}
+	}
+	if r.Head.Loc != nil {
+		for _, v := range FreeVars(r.Head.Loc) {
+			vars[v] = true
+		}
+	}
+	names := make([]string, 0, len(vars))
+	for v := range vars {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	key := make([]byte, 0, 64)
+	key = append(key, r.Name...)
+	key = append(key, '@')
+	key = append(key, nodeName...)
+	for _, v := range names {
+		key = append(key, '|')
+		key = append(key, v...)
+		key = append(key, '=')
+		if val, ok := env[v]; ok {
+			key = val.appendKey(key)
+		}
+	}
+	return string(key)
+}
+
+// fireAggregate handles one triggering event for a counting rule.
+func (e *Engine) fireAggregate(r *Rule, nodeName string, b binding, st Stamp) error {
+	gk := e.groupKey(r, nodeName, b.env)
+	g := e.aggGroups[gk]
+	if g == nil {
+		g = &aggGroup{}
+		e.aggGroups[gk] = g
+	}
+	g.count++
+	g.contribs = append(g.contribs, b.body[0])
+
+	destNode, known, err := resolveLoc(r.Head.Loc, nodeName, b.env)
+	if err != nil || !known {
+		return fmt.Errorf("ndlog: rule %s: unresolved aggregate head location: %v", r.Name, err)
+	}
+
+	// Retract the previous count tuple for this group.
+	if g.prevSet {
+		e.retractDerived(destNode, g.prev, g.prevID, b.body[0], st)
+	}
+
+	// Derive the new head with the count bound.
+	env := b.env.Clone()
+	env[r.CountVar] = Int(g.count)
+	args := make([]Value, len(r.Head.Args))
+	for i, expr := range r.Head.Args {
+		v, err := expr.Eval(env)
+		if err != nil {
+			return fmt.Errorf("ndlog: rule %s head: %v", r.Name, err)
+		}
+		args[i] = v
+	}
+	head := Tuple{Table: r.Head.Table, Args: args}
+	e.stats.Derivations++
+	e.deriveID++
+	body := append([]At(nil), g.contribs...)
+	d := &Derivation{
+		ID:      e.deriveID,
+		Rule:    r.Name,
+		Node:    nodeName,
+		Body:    body,
+		Trigger: len(body) - 1,
+	}
+	hst := e.nextStamp(st.T)
+	d.Head = At{Node: destNode, Tuple: head, Stamp: hst}
+	g.prev, g.prevID, g.prevSet = head.Clone(), d.ID, true
+	e.obs.OnDerive(*d)
+	sup := support{deriveID: d.ID, rule: d.Rule, body: bodyRefsOf(d)}
+	return e.appear(destNode, head, hst, d.ID, sup)
+}
+
+// retractDerived removes a specific derivation's support from a stored
+// tuple, underiving it (and cascading) if that was the last support.
+func (e *Engine) retractDerived(nodeName string, t Tuple, deriveID int64, cause At, st Stamp) {
+	n := e.nodes[nodeName]
+	if n == nil {
+		return
+	}
+	tb := n.tables[t.Table]
+	if tb == nil {
+		return
+	}
+	r, ok := tb.live[t.Key()]
+	if !ok {
+		return
+	}
+	idx := -1
+	for i, s := range r.supports {
+		if s.deriveID == deriveID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	s := r.supports[idx]
+	r.supports = append(r.supports[:idx], r.supports[idx+1:]...)
+	e.deriveID++
+	uid := e.deriveID
+	ust := e.nextStamp(st.T)
+	e.obs.OnUnderive(Underivation{
+		ID:       uid,
+		DeriveID: s.deriveID,
+		Rule:     s.rule,
+		Node:     nodeName,
+		Head:     At{Node: nodeName, Tuple: r.tuple, Stamp: ust},
+		Cause:    cause,
+	})
+	if len(r.supports) == 0 {
+		e.retractRow(nodeName, tb, r, ust, uid)
+	}
+}

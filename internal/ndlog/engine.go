@@ -1,0 +1,1025 @@
+package ndlog
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Observer receives primitive provenance events from the engine. The
+// provenance package implements it to build the temporal provenance graph.
+// All callbacks happen synchronously in deterministic order.
+type Observer interface {
+	// OnBaseInsert fires when a base tuple is inserted by the outside world.
+	OnBaseInsert(at At)
+	// OnBaseDelete fires when a base tuple is deleted by the outside world.
+	OnBaseDelete(at At)
+	// OnAppear fires when a tuple appears on a node (count 0 -> 1, or an
+	// event tuple occurs). deriveID is the derivation that produced it,
+	// or 0 for base insertions.
+	OnAppear(at At, deriveID int64)
+	// OnDisappear fires when a state tuple disappears (count 1 -> 0).
+	// underiveID is the underivation that removed the last support, or 0
+	// when the cause was a base deletion.
+	OnDisappear(at At, underiveID int64)
+	// OnDerive fires when a rule derives a tuple.
+	OnDerive(d Derivation)
+	// OnUnderive fires when a derivation's support is retracted.
+	OnUnderive(u Underivation)
+}
+
+// Derivation describes one rule firing.
+type Derivation struct {
+	ID      int64
+	Rule    string
+	Node    string // node that evaluated the rule
+	Head    At     // head tuple at its destination (stamp = appearance there)
+	Body    []At   // body tuples with the stamps at which they appeared
+	Trigger int    // index into Body of the tuple that appeared last
+}
+
+// Underivation describes the retraction of a prior derivation.
+type Underivation struct {
+	ID       int64 // fresh id of the underivation
+	DeriveID int64 // the derivation being retracted
+	Rule     string
+	Node     string
+	Head     At // head tuple, stamp = retraction time
+	Cause    At // the body tuple whose disappearance triggered this
+}
+
+// NopObserver discards all events.
+type NopObserver struct{}
+
+// OnBaseInsert implements Observer.
+func (NopObserver) OnBaseInsert(At) {}
+
+// OnBaseDelete implements Observer.
+func (NopObserver) OnBaseDelete(At) {}
+
+// OnAppear implements Observer.
+func (NopObserver) OnAppear(At, int64) {}
+
+// OnDisappear implements Observer.
+func (NopObserver) OnDisappear(At, int64) {}
+
+// OnDerive implements Observer.
+func (NopObserver) OnDerive(Derivation) {}
+
+// OnUnderive implements Observer.
+func (NopObserver) OnUnderive(Underivation) {}
+
+// Interval is a half-open span of logical time during which a tuple
+// existed on a node. Open intervals (tuple still live) have Open == true.
+type Interval struct {
+	From Stamp
+	To   Stamp
+	Open bool
+}
+
+// Contains reports whether the interval covers the stamp. A closed
+// zero-length interval (an event occurrence) contains exactly its point.
+func (iv Interval) Contains(s Stamp) bool {
+	if s.Before(iv.From) {
+		return false
+	}
+	if iv.Open {
+		return true
+	}
+	if iv.From == iv.To {
+		return s == iv.From
+	}
+	return s.Before(iv.To)
+}
+
+// Engine evaluates an NDlog program over a simulated distributed system in
+// deterministic logical time.
+type Engine struct {
+	prog      *Program
+	obs       Observer
+	nodes     map[string]*node
+	nodeOrder []string
+	queue     workHeap
+	seq       uint64
+	now       Stamp
+	deriveID  int64
+	delay     int64 // cross-node transit delay in ticks
+	// dependents maps a row reference (node|key|appearSeq) to the
+	// derived rows it supports, for deletion cascade.
+	dependents map[string][]dependentRef
+	// immutable records tuples individually pinned immutable (beyond
+	// table-level mutability), e.g. "static flow entries declared off
+	// limits" (§4.7).
+	immutable map[string]bool
+	// aggGroups holds the incremental state of counting rules.
+	aggGroups map[string]*aggGroup
+	// deriveLimit bounds lifetime derivations as a guard against
+	// non-terminating models (e.g. forwarding loops).
+	deriveLimit int
+	stats       Stats
+}
+
+// Stats counts engine activity, used by the evaluation harness.
+type Stats struct {
+	BaseInserts int
+	BaseDeletes int
+	Derivations int
+	Appears     int
+	Disappears  int
+	Messages    int
+}
+
+type dependentRef struct {
+	node     string
+	key      string
+	deriveID int64
+}
+
+type node struct {
+	name   string
+	tables map[string]*table
+}
+
+type table struct {
+	decl   *TableDecl
+	live   map[string]*row
+	order  []*row // insertion-ordered; dead rows skipped
+	hist   map[string][]Interval
+	keyIdx map[string]*row // primary-key index, for tables with key columns
+}
+
+type row struct {
+	tuple      Tuple
+	key        string
+	appearedAt Stamp
+	diedAt     Stamp
+	supports   []support
+	dead       bool
+}
+
+type support struct {
+	deriveID int64 // 0 for base insertion
+	rule     string
+	body     []bodyRef
+}
+
+type bodyRef struct {
+	node string
+	key  string
+	seq  uint64 // appearance seq of the supporting row
+}
+
+type workKind uint8
+
+const (
+	wkInsertBase workKind = iota
+	wkDeleteBase
+	wkArriveDerived
+)
+
+type workItem struct {
+	stamp Stamp
+	kind  workKind
+	node  string
+	tuple Tuple
+	deriv *Derivation // for wkArriveDerived
+}
+
+type workHeap []*workItem
+
+func (h workHeap) Len() int { return len(h) }
+func (h workHeap) Less(i, j int) bool {
+	return h[i].stamp.Before(h[j].stamp)
+}
+func (h workHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *workHeap) Push(x interface{}) { *h = append(*h, x.(*workItem)) }
+func (h *workHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithDelay sets the cross-node message delay in ticks (default 1).
+func WithDelay(ticks int64) Option {
+	return func(e *Engine) { e.delay = ticks }
+}
+
+// WithDerivationLimit bounds the total number of derivations the engine
+// will perform over its lifetime (default 10 million). Exceeding it makes
+// Run fail instead of looping forever on a cyclic model (e.g. a
+// forwarding loop).
+func WithDerivationLimit(n int) Option {
+	return func(e *Engine) { e.deriveLimit = n }
+}
+
+// New creates an engine for the program. A nil observer is allowed.
+func New(prog *Program, obs Observer, opts ...Option) *Engine {
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	e := &Engine{
+		prog:        prog,
+		obs:         obs,
+		nodes:       map[string]*node{},
+		delay:       1,
+		dependents:  map[string][]dependentRef{},
+		immutable:   map[string]bool{},
+		aggGroups:   map[string]*aggGroup{},
+		deriveLimit: 10_000_000,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Program returns the program the engine evaluates.
+func (e *Engine) Program() *Program { return e.prog }
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Now returns the latest processed stamp.
+func (e *Engine) Now() Stamp { return e.now }
+
+func (e *Engine) nodeFor(name string) *node {
+	n, ok := e.nodes[name]
+	if !ok {
+		n = &node{name: name, tables: map[string]*table{}}
+		e.nodes[name] = n
+		e.nodeOrder = append(e.nodeOrder, name)
+	}
+	return n
+}
+
+func (n *node) tableFor(decl *TableDecl) *table {
+	t, ok := n.tables[decl.Name]
+	if !ok {
+		t = &table{decl: decl, live: map[string]*row{}, hist: map[string][]Interval{}}
+		if len(decl.Key) > 0 {
+			t.keyIdx = map[string]*row{}
+		}
+		n.tables[decl.Name] = t
+	}
+	return t
+}
+
+func (e *Engine) nextStamp(tick int64) Stamp {
+	e.seq++
+	st := Stamp{T: tick, Seq: e.seq}
+	if e.now.Before(st) {
+		e.now = st
+	}
+	return st
+}
+
+// ScheduleInsert schedules a base-tuple insertion at the given tick.
+func (e *Engine) ScheduleInsert(nodeName string, t Tuple, tick int64) error {
+	d := e.prog.Decl(t.Table)
+	if d == nil {
+		return fmt.Errorf("ndlog: insert into undeclared table %s", t.Table)
+	}
+	if !d.Base {
+		return fmt.Errorf("ndlog: table %s is not a base table", t.Table)
+	}
+	if len(t.Args) != d.Arity {
+		return fmt.Errorf("ndlog: %s has arity %d, got %d args", t.Table, d.Arity, len(t.Args))
+	}
+	heap.Push(&e.queue, &workItem{stamp: e.nextStamp(tick), kind: wkInsertBase, node: nodeName, tuple: t})
+	return nil
+}
+
+// ScheduleDelete schedules a base-tuple deletion at the given tick.
+func (e *Engine) ScheduleDelete(nodeName string, t Tuple, tick int64) error {
+	d := e.prog.Decl(t.Table)
+	if d == nil {
+		return fmt.Errorf("ndlog: delete from undeclared table %s", t.Table)
+	}
+	if !d.Base {
+		return fmt.Errorf("ndlog: table %s is not a base table", t.Table)
+	}
+	heap.Push(&e.queue, &workItem{stamp: e.nextStamp(tick), kind: wkDeleteBase, node: nodeName, tuple: t})
+	return nil
+}
+
+// PinImmutable marks one specific tuple occurrence immutable regardless of
+// its table's mutability (e.g. a static flow entry declared off limits).
+func (e *Engine) PinImmutable(nodeName string, t Tuple) {
+	e.immutable[nodeName+"|"+t.Key()] = true
+}
+
+// IsMutable reports whether DiffProv may change the given base tuple.
+func (e *Engine) IsMutable(nodeName string, t Tuple) bool {
+	d := e.prog.Decl(t.Table)
+	if d == nil || !d.Base || !d.Mutable {
+		return false
+	}
+	return !e.immutable[nodeName+"|"+t.Key()]
+}
+
+// Run drains the work queue, evaluating all scheduled events and their
+// consequences in deterministic order.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		it := heap.Pop(&e.queue).(*workItem)
+		if e.now.Before(it.stamp) {
+			e.now = it.stamp
+		}
+		if err := e.process(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) process(it *workItem) error {
+	switch it.kind {
+	case wkInsertBase:
+		e.stats.BaseInserts++
+		at := At{Node: it.node, Tuple: it.tuple, Stamp: it.stamp}
+		e.obs.OnBaseInsert(at)
+		return e.appear(it.node, it.tuple, it.stamp, 0, support{deriveID: 0})
+	case wkDeleteBase:
+		e.stats.BaseDeletes++
+		return e.deleteBase(it.node, it.tuple, it.stamp)
+	case wkArriveDerived:
+		d := it.deriv
+		d.Head.Stamp = it.stamp
+		e.obs.OnDerive(*d)
+		sup := support{deriveID: d.ID, rule: d.Rule, body: bodyRefsOf(d)}
+		return e.appear(it.node, it.tuple, it.stamp, d.ID, sup)
+	default:
+		return fmt.Errorf("ndlog: unknown work kind %d", it.kind)
+	}
+}
+
+func bodyRefsOf(d *Derivation) []bodyRef {
+	refs := make([]bodyRef, len(d.Body))
+	for i, b := range d.Body {
+		refs[i] = bodyRef{node: b.Node, key: b.Tuple.Key(), seq: b.Stamp.Seq}
+	}
+	return refs
+}
+
+// appear handles a tuple occurrence on a node: event tuples trigger rules
+// and vanish; state tuples are stored (possibly as an additional support)
+// and trigger rules on first appearance.
+func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup support) error {
+	decl := e.prog.Decl(t.Table)
+	if decl == nil {
+		return fmt.Errorf("ndlog: tuple for undeclared table %s", t.Table)
+	}
+	n := e.nodeFor(nodeName)
+	if decl.Event {
+		e.stats.Appears++
+		at := At{Node: nodeName, Tuple: t, Stamp: st}
+		e.obs.OnAppear(at, deriveID)
+		// Record the instantaneous occurrence in history for temporal
+		// queries (zero-length closed interval).
+		tb := n.tableFor(decl)
+		tb.hist[t.Key()] = append(tb.hist[t.Key()], Interval{From: st, To: st})
+		return e.trigger(nodeName, t, st)
+	}
+	tb := n.tableFor(decl)
+	key := t.Key()
+	if r, ok := tb.live[key]; ok {
+		// Additional support for an existing tuple.
+		r.supports = append(r.supports, sup)
+		e.indexSupport(nodeName, key, sup)
+		return nil
+	}
+	// Primary-key replacement: a base insertion whose key collides with a
+	// live row of a keyed table deletes the old row first.
+	if tb.keyIdx != nil && sup.deriveID == 0 {
+		pk := primaryKey(decl, t)
+		if old, ok := tb.keyIdx[pk]; ok && !old.dead && old.key != key {
+			at := At{Node: nodeName, Tuple: old.tuple, Stamp: st}
+			for i, s := range old.supports {
+				if s.deriveID == 0 {
+					old.supports = append(old.supports[:i], old.supports[i+1:]...)
+					e.obs.OnBaseDelete(at)
+					break
+				}
+			}
+			if len(old.supports) == 0 {
+				e.retractRow(nodeName, tb, old, st, 0)
+			}
+		}
+	}
+	r := &row{tuple: t.Clone(), key: key, appearedAt: st, supports: []support{sup}}
+	tb.live[key] = r
+	tb.order = append(tb.order, r)
+	if tb.keyIdx != nil {
+		tb.keyIdx[primaryKey(decl, t)] = r
+	}
+	tb.hist[key] = append(tb.hist[key], Interval{From: st, Open: true})
+	e.indexSupport(nodeName, key, sup)
+	e.stats.Appears++
+	at := At{Node: nodeName, Tuple: t, Stamp: st}
+	e.obs.OnAppear(at, deriveID)
+	return e.trigger(nodeName, t, st)
+}
+
+func (e *Engine) indexSupport(nodeName, key string, sup support) {
+	for _, b := range sup.body {
+		ref := b.node + "|" + b.key
+		e.dependents[ref] = append(e.dependents[ref], dependentRef{node: nodeName, key: key, deriveID: sup.deriveID})
+	}
+}
+
+// deleteBase removes one base support from a stored tuple and cascades.
+func (e *Engine) deleteBase(nodeName string, t Tuple, st Stamp) error {
+	decl := e.prog.Decl(t.Table)
+	if decl == nil {
+		return fmt.Errorf("ndlog: delete from undeclared table %s", t.Table)
+	}
+	if decl.Event {
+		return fmt.Errorf("ndlog: cannot delete event tuple %s", t)
+	}
+	n := e.nodeFor(nodeName)
+	tb := n.tableFor(decl)
+	key := t.Key()
+	r, ok := tb.live[key]
+	if !ok {
+		return nil // deleting a non-existent tuple is a no-op
+	}
+	// Remove one base support.
+	removed := false
+	for i, s := range r.supports {
+		if s.deriveID == 0 {
+			r.supports = append(r.supports[:i], r.supports[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return fmt.Errorf("ndlog: %s on %s has no base support to delete", t, nodeName)
+	}
+	at := At{Node: nodeName, Tuple: t, Stamp: st}
+	e.obs.OnBaseDelete(at)
+	if len(r.supports) == 0 {
+		e.retractRow(nodeName, tb, r, st, 0)
+	}
+	return nil
+}
+
+// primaryKey computes the primary-key projection of a tuple.
+func primaryKey(decl *TableDecl, t Tuple) string {
+	b := make([]byte, 0, 32)
+	for _, i := range decl.Key {
+		if i >= 0 && i < len(t.Args) {
+			b = append(b, '|')
+			b = t.Args[i].appendKey(b)
+		}
+	}
+	return string(b)
+}
+
+// retractRow removes a row whose support count dropped to zero, emits
+// DISAPPEAR, and cascades underivations to dependents.
+func (e *Engine) retractRow(nodeName string, tb *table, r *row, st Stamp, underiveID int64) {
+	r.dead = true
+	r.diedAt = st
+	delete(tb.live, r.key)
+	if tb.keyIdx != nil {
+		pk := primaryKey(tb.decl, r.tuple)
+		if tb.keyIdx[pk] == r {
+			delete(tb.keyIdx, pk)
+		}
+	}
+	hist := tb.hist[r.key]
+	if len(hist) > 0 && hist[len(hist)-1].Open {
+		hist[len(hist)-1].To = st
+		hist[len(hist)-1].Open = false
+	}
+	e.stats.Disappears++
+	e.obs.OnDisappear(At{Node: nodeName, Tuple: r.tuple, Stamp: st}, underiveID)
+
+	ref := nodeName + "|" + r.key
+	deps := e.dependents[ref]
+	delete(e.dependents, ref)
+	cause := At{Node: nodeName, Tuple: r.tuple, Stamp: st}
+	for _, dep := range deps {
+		e.retractSupport(dep, cause, st)
+	}
+}
+
+func (e *Engine) retractSupport(dep dependentRef, cause At, st Stamp) {
+	n := e.nodes[dep.node]
+	if n == nil {
+		return
+	}
+	var tb *table
+	for _, t := range n.tables {
+		if _, ok := t.live[dep.key]; ok {
+			tb = t
+			break
+		}
+	}
+	if tb == nil {
+		return
+	}
+	r := tb.live[dep.key]
+	idx := -1
+	for i, s := range r.supports {
+		if s.deriveID == dep.deriveID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // support already retracted
+	}
+	s := r.supports[idx]
+	r.supports = append(r.supports[:idx], r.supports[idx+1:]...)
+	e.deriveID++
+	uid := e.deriveID
+	ust := e.nextStamp(st.T)
+	e.obs.OnUnderive(Underivation{
+		ID:       uid,
+		DeriveID: s.deriveID,
+		Rule:     s.rule,
+		Node:     dep.node,
+		Head:     At{Node: dep.node, Tuple: r.tuple, Stamp: ust},
+		Cause:    cause,
+	})
+	if len(r.supports) == 0 {
+		e.retractRow(dep.node, tb, r, ust, uid)
+	}
+}
+
+// trigger fires every rule that has a body atom over the delta tuple's
+// table, with the delta bound at that atom.
+func (e *Engine) trigger(nodeName string, delta Tuple, st Stamp) error {
+	for _, ref := range e.prog.triggers(delta.Table) {
+		if err := e.fireRule(ref.rule, ref.atom, nodeName, delta, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binding is one satisfying assignment of a rule body.
+type binding struct {
+	env  Env
+	body []At // per body atom: the matched tuple and its appearance stamp
+}
+
+// fireRule evaluates one rule with the delta tuple bound at body atom
+// deltaAtom, deriving head tuples for every satisfying binding (or only
+// the argmax-winning binding).
+func (e *Engine) fireRule(r *Rule, deltaAtom int, nodeName string, delta Tuple, st Stamp) error {
+	atom := r.Body[deltaAtom]
+	env := Env{}
+	if !unifyAtom(atom, nodeName, delta, env) {
+		return nil
+	}
+	seed := binding{env: env, body: make([]At, len(r.Body))}
+	seed.body[deltaAtom] = At{Node: nodeName, Tuple: delta, Stamp: st}
+
+	bindings, err := e.joinRest(r, deltaAtom, nodeName, seed, 0, st)
+	if err != nil {
+		return err
+	}
+	// Apply assignments and constraints.
+	var sat []binding
+	for _, b := range bindings {
+		ok, err := e.finishBinding(r, &b)
+		if err != nil {
+			return fmt.Errorf("ndlog: rule %s: %v", r.Name, err)
+		}
+		if ok {
+			sat = append(sat, b)
+		}
+	}
+	if len(sat) == 0 {
+		return nil
+	}
+	if r.CountVar != "" {
+		for _, b := range sat {
+			if err := e.fireAggregate(r, nodeName, b, st); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if r.ArgMax != "" {
+		best := 0
+		for i := 1; i < len(sat); i++ {
+			bi := sat[i].env[r.ArgMax]
+			bb := sat[best].env[r.ArgMax]
+			if Less(bb, bi) || (!Less(bi, bb) && bindingKey(sat[i], r) < bindingKey(sat[best], r)) {
+				best = i
+			}
+		}
+		sat = sat[best : best+1]
+	}
+	for _, b := range sat {
+		if err := e.derive(r, nodeName, b, deltaAtom, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bindingKey(b binding, r *Rule) string {
+	_ = r
+	return BindingKey(b.env)
+}
+
+// BindingKey canonically encodes a variable binding; the engine breaks
+// argmax ties by comparing these keys, and the DiffProv reasoning engine
+// uses the same encoding to predict argmax outcomes.
+func BindingKey(env Env) string {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]byte, 0, 64)
+	for _, k := range keys {
+		out = append(out, k...)
+		out = append(out, '=')
+		out = env[k].appendKey(out)
+		out = append(out, ';')
+	}
+	return string(out)
+}
+
+// joinRest extends the binding over the remaining body atoms (nested-loop
+// join in atom order, skipping the delta atom).
+func (e *Engine) joinRest(r *Rule, deltaAtom int, evalNode string, b binding, next int, st Stamp) ([]binding, error) {
+	if next == len(r.Body) {
+		return []binding{b}, nil
+	}
+	if next == deltaAtom {
+		return e.joinRest(r, deltaAtom, evalNode, b, next+1, st)
+	}
+	atom := r.Body[next]
+	decl := e.prog.Decl(atom.Table)
+	if decl == nil {
+		return nil, fmt.Errorf("ndlog: rule %s: unknown table %s", r.Name, atom.Table)
+	}
+	if decl.Event {
+		// Event tuples are not stored; only the delta position can be
+		// an event atom, so a non-delta event atom never joins.
+		return nil, nil
+	}
+	// Resolve the atom's location.
+	locNode, locKnown, err := resolveLoc(atom.Loc, evalNode, b.env)
+	if err != nil {
+		return nil, fmt.Errorf("ndlog: rule %s: %v", r.Name, err)
+	}
+	var out []binding
+	scan := func(nodeName string) {
+		n := e.nodes[nodeName]
+		if n == nil {
+			return
+		}
+		tb := n.tables[atom.Table]
+		if tb == nil {
+			return
+		}
+		for _, rw := range tb.order {
+			if rw.dead || st.Before(rw.appearedAt) {
+				continue
+			}
+			if !quickMatch(atom, b.env, rw.tuple) {
+				continue
+			}
+			env2 := b.env.Clone()
+			if !unifyAtom(atom, nodeName, rw.tuple, env2) {
+				continue
+			}
+			b2 := binding{env: env2, body: make([]At, len(b.body))}
+			copy(b2.body, b.body)
+			b2.body[next] = At{Node: nodeName, Tuple: rw.tuple, Stamp: rw.appearedAt}
+			rest, err2 := e.joinRest(r, deltaAtom, evalNode, b2, next+1, st)
+			if err2 != nil {
+				err = err2
+				return
+			}
+			out = append(out, rest...)
+		}
+	}
+	if locKnown {
+		scan(locNode)
+	} else {
+		// Unbound location variable: scan every node deterministically,
+		// binding the variable per node.
+		v := atom.Loc.(Var)
+		for _, nn := range e.nodeOrder {
+			b.env[string(v)] = Str(nn)
+			scan(nn)
+			delete(b.env, string(v))
+			if err != nil {
+				break
+			}
+		}
+	}
+	return out, err
+}
+
+// resolveLoc resolves a body atom's location term. Returns the node name
+// and whether it is determined by the current environment.
+func resolveLoc(loc Expr, evalNode string, env Env) (string, bool, error) {
+	if loc == nil {
+		return evalNode, true, nil
+	}
+	switch l := loc.(type) {
+	case Const:
+		s, ok := l.V.(Str)
+		if !ok {
+			return "", false, fmt.Errorf("location constant %s is not a node name", l.V)
+		}
+		return string(s), true, nil
+	case Var:
+		if v, ok := env[string(l)]; ok {
+			s, ok := v.(Str)
+			if !ok {
+				return "", false, fmt.Errorf("location variable %s bound to non-node %s", string(l), v)
+			}
+			return string(s), true, nil
+		}
+		return "", false, nil
+	default:
+		v, err := loc.Eval(env)
+		if err != nil {
+			return "", false, err
+		}
+		s, ok := v.(Str)
+		if !ok {
+			return "", false, fmt.Errorf("location expression %s is not a node name", loc)
+		}
+		return string(s), true, nil
+	}
+}
+
+// quickMatch cheaply rejects rows that cannot unify: constant arguments
+// and already-bound variables must equal the tuple's fields. It never
+// mutates the environment, so callers can filter before cloning.
+func quickMatch(atom Atom, env Env, t Tuple) bool {
+	if len(atom.Args) != len(t.Args) {
+		return false
+	}
+	for i, arg := range atom.Args {
+		switch a := arg.(type) {
+		case Const:
+			if a.V != t.Args[i] {
+				return false
+			}
+		case Var:
+			if v, ok := env[string(a)]; ok && v != t.Args[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unifyAtom unifies a body atom against a concrete tuple at a node,
+// extending env in place. Returns false (env possibly partially extended;
+// callers clone) on mismatch.
+func unifyAtom(atom Atom, nodeName string, t Tuple, env Env) bool {
+	if atom.Table != t.Table || len(atom.Args) != len(t.Args) {
+		return false
+	}
+	if atom.Loc != nil {
+		switch l := atom.Loc.(type) {
+		case Var:
+			if v, ok := env[string(l)]; ok {
+				if v != Str(nodeName) {
+					return false
+				}
+			} else {
+				env[string(l)] = Str(nodeName)
+			}
+		case Const:
+			if l.V != Str(nodeName) {
+				return false
+			}
+		default:
+			v, err := atom.Loc.Eval(env)
+			if err != nil || v != Str(nodeName) {
+				return false
+			}
+		}
+	}
+	for i, arg := range atom.Args {
+		switch a := arg.(type) {
+		case Var:
+			if v, ok := env[string(a)]; ok {
+				if v != t.Args[i] {
+					return false
+				}
+			} else {
+				env[string(a)] = t.Args[i]
+			}
+		case Const:
+			if a.V != t.Args[i] {
+				return false
+			}
+		default:
+			v, err := arg.Eval(env)
+			if err != nil || v != t.Args[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishBinding applies the rule's assignments and checks constraints.
+// An assignment whose variable is already bound by the body acts as a
+// unification constraint: the binding survives only if the computed value
+// matches (datalog semantics of "=").
+func (e *Engine) finishBinding(r *Rule, b *binding) (bool, error) {
+	for _, a := range r.Assigns {
+		v, err := a.Expr.Eval(b.env)
+		if err != nil {
+			return false, err
+		}
+		if old, bound := b.env[a.Var]; bound {
+			if old != v {
+				return false, nil
+			}
+			continue
+		}
+		b.env[a.Var] = v
+	}
+	for _, w := range r.Where {
+		ok, err := EvalBool(w, b.env)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// derive produces the rule head for a satisfying binding.
+func (e *Engine) derive(r *Rule, evalNode string, b binding, deltaAtom int, st Stamp) error {
+	args := make([]Value, len(r.Head.Args))
+	for i, expr := range r.Head.Args {
+		v, err := expr.Eval(b.env)
+		if err != nil {
+			return fmt.Errorf("ndlog: rule %s head: %v", r.Name, err)
+		}
+		args[i] = v
+	}
+	head := Tuple{Table: r.Head.Table, Args: args}
+	destNode, known, err := resolveLoc(r.Head.Loc, evalNode, b.env)
+	if err != nil || !known {
+		return fmt.Errorf("ndlog: rule %s: unresolved head location: %v", r.Name, err)
+	}
+	e.stats.Derivations++
+	if e.deriveLimit > 0 && e.stats.Derivations > e.deriveLimit {
+		return fmt.Errorf("ndlog: derivation limit %d exceeded (non-terminating model? e.g. a forwarding loop)", e.deriveLimit)
+	}
+	e.deriveID++
+	d := &Derivation{
+		ID:      e.deriveID,
+		Rule:    r.Name,
+		Node:    evalNode,
+		Body:    b.body,
+		Trigger: deltaAtom,
+	}
+	// Heads are always delivered through the work queue — local heads in
+	// the same tick, remote heads after the transit delay — so that long
+	// derivation chains iterate instead of recursing (a cyclic model
+	// must hit the derivation limit, not the Go stack).
+	tick := st.T
+	if destNode != evalNode {
+		e.stats.Messages++
+		tick += e.delay
+	}
+	d.Head = At{Node: destNode, Tuple: head} // stamp filled on delivery
+	heap.Push(&e.queue, &workItem{
+		stamp: e.nextStamp(tick),
+		kind:  wkArriveDerived,
+		node:  destNode,
+		tuple: head,
+		deriv: d,
+	})
+	return nil
+}
+
+// Exists reports whether the tuple existed on the node at the given stamp
+// (for event tuples: whether it occurred exactly then or earlier in the
+// same tick).
+func (e *Engine) Exists(nodeName string, t Tuple, at Stamp) bool {
+	n := e.nodes[nodeName]
+	if n == nil {
+		return false
+	}
+	tb := n.tables[t.Table]
+	if tb == nil {
+		return false
+	}
+	for _, iv := range tb.hist[t.Key()] {
+		if iv.Contains(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExistsEver reports whether the tuple ever existed on the node up to now.
+func (e *Engine) ExistsEver(nodeName string, t Tuple) bool {
+	n := e.nodes[nodeName]
+	if n == nil {
+		return false
+	}
+	tb := n.tables[t.Table]
+	if tb == nil {
+		return false
+	}
+	return len(tb.hist[t.Key()]) > 0
+}
+
+// History returns the existence intervals of a tuple on a node.
+func (e *Engine) History(nodeName string, t Tuple) []Interval {
+	n := e.nodes[nodeName]
+	if n == nil {
+		return nil
+	}
+	tb := n.tables[t.Table]
+	if tb == nil {
+		return nil
+	}
+	return append([]Interval(nil), tb.hist[t.Key()]...)
+}
+
+// TuplesAt returns the tuples of a table that existed on the node at the
+// given stamp, in appearance order. Used for temporal joins ("the state
+// of the system as of the time at which the missing tuple would have had
+// to exist", §4.8).
+func (e *Engine) TuplesAt(nodeName, tableName string, at Stamp) []Tuple {
+	n := e.nodes[nodeName]
+	if n == nil {
+		return nil
+	}
+	tb := n.tables[tableName]
+	if tb == nil {
+		return nil
+	}
+	var out []Tuple
+	for _, r := range tb.order {
+		if at.Before(r.appearedAt) {
+			continue
+		}
+		if r.dead && !at.Before(r.diedAt) {
+			continue
+		}
+		out = append(out, r.tuple)
+	}
+	return out
+}
+
+// UnifyAtom unifies a body atom against a concrete tuple located on a
+// node, extending env in place; it returns false on mismatch (env may be
+// partially extended — clone before calling if that matters). Exported
+// for the DiffProv reasoning engine, which re-binds rules against
+// provenance vertexes.
+func UnifyAtom(atom Atom, nodeName string, t Tuple, env Env) bool {
+	return unifyAtom(atom, nodeName, t, env)
+}
+
+// ResolveLocation resolves a location term under an environment,
+// reporting the node name and whether it is determined.
+func ResolveLocation(loc Expr, evalNode string, env Env) (string, bool, error) {
+	return resolveLoc(loc, evalNode, env)
+}
+
+// LiveTuples returns the live tuples of a table on a node in appearance
+// order.
+func (e *Engine) LiveTuples(nodeName, tableName string) []Tuple {
+	n := e.nodes[nodeName]
+	if n == nil {
+		return nil
+	}
+	tb := n.tables[tableName]
+	if tb == nil {
+		return nil
+	}
+	var out []Tuple
+	for _, r := range tb.order {
+		if !r.dead {
+			out = append(out, r.tuple)
+		}
+	}
+	return out
+}
+
+// Nodes returns the node names in first-reference order.
+func (e *Engine) Nodes() []string {
+	return append([]string(nil), e.nodeOrder...)
+}

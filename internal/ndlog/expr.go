@@ -1,0 +1,320 @@
+package ndlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Env binds variable names to values during rule evaluation and taint
+// formula evaluation.
+type Env map[string]Value
+
+// Clone returns a copy of the environment.
+func (e Env) Clone() Env {
+	c := make(Env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// Expr is an expression over tuple fields: a variable, a constant, a binary
+// operation, or a call to a registered builtin function. Expressions appear
+// in rule heads, constraints, assignments — and double as the taint
+// formulas of the DiffProv algorithm (formulas over seed fields).
+type Expr interface {
+	// Eval evaluates the expression under the environment.
+	Eval(env Env) (Value, error)
+	// Vars appends the free variables of the expression to dst.
+	Vars(dst []string) []string
+	// String renders NDlog source syntax.
+	String() string
+	// Subst substitutes variables with the given expressions, leaving
+	// unmapped variables in place; used for taint formula composition.
+	Subst(m map[string]Expr) Expr
+}
+
+// Var is a variable reference.
+type Var string
+
+// Eval implements Expr.
+func (v Var) Eval(env Env) (Value, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return nil, fmt.Errorf("ndlog: unbound variable %s", string(v))
+	}
+	return val, nil
+}
+
+// Vars implements Expr.
+func (v Var) Vars(dst []string) []string { return append(dst, string(v)) }
+
+func (v Var) String() string { return string(v) }
+
+// Subst implements Expr.
+func (v Var) Subst(m map[string]Expr) Expr {
+	if e, ok := m[string(v)]; ok {
+		return e
+	}
+	return v
+}
+
+// Const is a literal constant.
+type Const struct{ V Value }
+
+// C wraps a Value as a constant expression.
+func C(v Value) Const { return Const{V: v} }
+
+// Eval implements Expr.
+func (c Const) Eval(Env) (Value, error) { return c.V, nil }
+
+// Vars implements Expr.
+func (c Const) Vars(dst []string) []string { return dst }
+
+func (c Const) String() string {
+	if s, ok := c.V.(Str); ok {
+		return fmt.Sprintf("%q", string(s))
+	}
+	return c.V.String()
+}
+
+// Subst implements Expr.
+func (c Const) Subst(map[string]Expr) Expr { return c }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators. Arithmetic operators apply to Int (and, where sensible,
+// IP); Concat applies to Str; comparison operators yield Bool.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd // bitwise and
+	OpOr  // bitwise or
+	OpXor
+	OpShl
+	OpShr
+	OpConcat
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpConcat: "++", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=",
+}
+
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// B builds a binary expression.
+func B(op BinOp, l, r Expr) Bin { return Bin{Op: op, L: l, R: r} }
+
+// Eval implements Expr.
+func (b Bin) Eval(env Env) (Value, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	return applyBin(b.Op, l, r)
+}
+
+func applyBin(op BinOp, l, r Value) (Value, error) {
+	switch op {
+	case OpEq:
+		return Bool(l == r), nil
+	case OpNe:
+		return Bool(l != r), nil
+	case OpLt:
+		return Bool(Less(l, r)), nil
+	case OpLe:
+		return Bool(!Less(r, l)), nil
+	case OpGt:
+		return Bool(Less(r, l)), nil
+	case OpGe:
+		return Bool(!Less(l, r)), nil
+	case OpConcat:
+		ls, lok := l.(Str)
+		rs, rok := r.(Str)
+		if !lok || !rok {
+			return nil, fmt.Errorf("ndlog: ++ requires strings, got %s, %s", l.Kind(), r.Kind())
+		}
+		return ls + rs, nil
+	}
+	li, lok := asInt(l)
+	ri, rok := asInt(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("ndlog: %s requires numeric operands, got %s, %s", op, l.Kind(), r.Kind())
+	}
+	var out int64
+	switch op {
+	case OpAdd:
+		out = li + ri
+	case OpSub:
+		out = li - ri
+	case OpMul:
+		out = li * ri
+	case OpDiv:
+		if ri == 0 {
+			return nil, fmt.Errorf("ndlog: division by zero")
+		}
+		out = li / ri
+	case OpMod:
+		if ri == 0 {
+			return nil, fmt.Errorf("ndlog: modulo by zero")
+		}
+		out = li % ri
+		if out < 0 {
+			out += ri
+		}
+	case OpAnd:
+		out = li & ri
+	case OpOr:
+		out = li | ri
+	case OpXor:
+		out = li ^ ri
+	case OpShl:
+		out = li << uint(ri&63)
+	case OpShr:
+		out = int64(uint64(li) >> uint(ri&63))
+	default:
+		return nil, fmt.Errorf("ndlog: unknown operator %s", op)
+	}
+	// Preserve IP-ness through masking-style arithmetic when the left
+	// operand is an address.
+	if l.Kind() == KindIP && (op == OpAnd || op == OpOr || op == OpXor) {
+		return IP(uint32(out)), nil
+	}
+	return Int(out), nil
+}
+
+func asInt(v Value) (int64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return int64(x), true
+	case IP:
+		return int64(x), true
+	case ID:
+		return int64(x), true
+	case Bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// Vars implements Expr.
+func (b Bin) Vars(dst []string) []string { return b.R.Vars(b.L.Vars(dst)) }
+
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Subst implements Expr.
+func (b Bin) Subst(m map[string]Expr) Expr {
+	return Bin{Op: b.Op, L: b.L.Subst(m), R: b.R.Subst(m)}
+}
+
+// Call invokes a registered builtin function.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (c Call) Eval(env Env) (Value, error) {
+	fn, ok := builtins[c.Fn]
+	if !ok {
+		return nil, fmt.Errorf("ndlog: unknown function %s", c.Fn)
+	}
+	if fn.arity >= 0 && len(c.Args) != fn.arity {
+		return nil, fmt.Errorf("ndlog: %s expects %d args, got %d", c.Fn, fn.arity, len(c.Args))
+	}
+	args := make([]Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn.eval(args)
+}
+
+// Vars implements Expr.
+func (c Call) Vars(dst []string) []string {
+	for _, a := range c.Args {
+		dst = a.Vars(dst)
+	}
+	return dst
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+
+// Subst implements Expr.
+func (c Call) Subst(m map[string]Expr) Expr {
+	args := make([]Expr, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.Subst(m)
+	}
+	return Call{Fn: c.Fn, Args: args}
+}
+
+// FreeVars returns the sorted, deduplicated free variables of an expression.
+func FreeVars(e Expr) []string {
+	vs := e.Vars(nil)
+	sort.Strings(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EvalBool evaluates a constraint expression, requiring a boolean result.
+func EvalBool(e Expr, env Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(Bool)
+	if !ok {
+		return false, fmt.Errorf("ndlog: constraint %s is not boolean (got %s)", e, v.Kind())
+	}
+	return bool(b), nil
+}

@@ -1,0 +1,54 @@
+package ndlog
+
+import "testing"
+
+// FuzzParseValue: the literal parser must never panic and successful
+// parses of non-string values must render back parseably.
+func FuzzParseValue(f *testing.F) {
+	for _, seed := range []string{
+		"42", "-7", "true", "false", `"hi"`, "1.2.3.4", "10.0.0.0/8",
+		"#ff", "", "1.2.3", "300.0.0.1", "1.2.3.4/", "#zz", `"unterminated`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseValue(s)
+		if err != nil {
+			return
+		}
+		if _, isStr := v.(Str); isStr {
+			return // bare strings are not self-delimiting
+		}
+		if p, isPfx := v.(Prefix); isPfx && p.Addr != p.Addr.Mask(p.Bits) {
+			t.Fatalf("parsed prefix not canonical: %v", p)
+		}
+		back, err := ParseValue(v.String())
+		if err != nil {
+			t.Fatalf("rendering %q of %#v does not re-parse: %v", v.String(), v, err)
+		}
+		if back != v {
+			t.Fatalf("round trip changed value: %#v -> %#v", v, back)
+		}
+	})
+}
+
+// FuzzParse: the NDlog program parser must never panic, and accepted
+// programs must render to re-parseable text.
+func FuzzParse(f *testing.F) {
+	f.Add("table t/1 base;\nrule r t2(X) :- t(X).")
+	f.Add("table flowEntry/3 base mutable;\ntable packet/1 event base;\nrule fw packet(@N, D) :- packet(@S, D), flowEntry(@S, P, M, N), matches(D, M), argmax P.")
+	f.Add("table kv/2 event base; table wc/2; rule w wc(K, N) :- kv(K, V), N := count().")
+	f.Add("table a/2 base key(0); rule r a(X, Y) :- a(Y, X), X := Y + 1, inverse Y := X - 1.")
+	f.Add("// comment\ntable x/0;")
+	f.Add("rule broken")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("accepted program does not re-parse: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+	})
+}

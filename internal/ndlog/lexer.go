@@ -1,0 +1,174 @@
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind distinguishes token classes produced by the NDlog lexer.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar
+	tokNumber // integer, IP, or prefix literal text
+	tokString // quoted, still includes quotes
+	tokHashID // #hex
+	tokSym    // punctuation / operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes NDlog source. Line comments start with //.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+var twoCharSyms = []string{":-", ":=", "==", "!=", "<=", ">=", "<<", ">>", "++"}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto body
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+body:
+	start := l.pos
+	c := l.src[l.pos]
+
+	// Two-character operators.
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, s := range twoCharSyms {
+			if two == s {
+				l.pos += 2
+				return token{kind: tokSym, text: two, line: l.line}, nil
+			}
+		}
+	}
+
+	switch {
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\\' {
+				l.pos += 2
+				continue
+			}
+			if l.src[l.pos] == '"' {
+				l.pos++
+				return token{kind: tokString, text: l.src[start:l.pos], line: l.line}, nil
+			}
+			if l.src[l.pos] == '\n' {
+				break
+			}
+			l.pos++
+		}
+		return token{}, fmt.Errorf("ndlog: line %d: unterminated string", l.line)
+
+	case c == '#':
+		l.pos++
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, fmt.Errorf("ndlog: line %d: expected hex digits after #", l.line)
+		}
+		return token{kind: tokHashID, text: l.src[start:l.pos], line: l.line}, nil
+
+	case isDigit(c):
+		dots := 0
+		l.pos++
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			// A dot continues the number only when followed by a digit
+			// (so a rule-terminating "." is not swallowed).
+			if ch == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+				dots++
+				l.pos += 2
+				continue
+			}
+			// A slash continues an IP into a prefix only after 3 dots.
+			if ch == '/' && dots == 3 && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+				l.pos += 2
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if unicode.IsUpper(rune(text[0])) || text[0] == '_' {
+			return token{kind: tokVar, text: text, line: l.line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: l.line}, nil
+
+	case strings.ContainsRune("()@,.;+-*/%&|^<>!=", rune(c)):
+		l.pos++
+		return token{kind: tokSym, text: string(c), line: l.line}, nil
+
+	default:
+		return token{}, fmt.Errorf("ndlog: line %d: unexpected character %q", l.line, string(c))
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,434 @@
+package ndlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an NDlog program from source text. The syntax:
+//
+//	// declarations come first
+//	table flowEntry/4 base mutable;
+//	table packet/3 event base;
+//	table packetOut/3 event;
+//
+//	// rules; uppercase identifiers are variables
+//	rule r1 packetOut(@Sw, Hdr, Prt) :-
+//	    packet(@Sw, Hdr, InPrt),
+//	    flowEntry(@Sw, Prio, Match, Prt),
+//	    matches(Hdr, Match),
+//	    argmax Prio.
+//
+// Body items are atoms, assignments (X := expr), boolean constraint
+// expressions, "argmax Var" clauses, and "inverse X := expr" clauses
+// (hand-written inverse rules per §4.5 of the paper).
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: NewProgram()}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse that panics on error; for embedded scenario sources.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	prog *Program
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.advance()
+	if t.kind != tokSym || t.text != s {
+		return fmt.Errorf("ndlog: line %d: expected %q, got %s", t.line, s, t)
+	}
+	return nil
+}
+
+func (p *parser) atSym(s string) bool {
+	t := p.peek()
+	return t.kind == tokSym && t.text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) parseProgram() error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case t.kind == tokIdent && t.text == "table":
+			if err := p.parseDecl(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "rule":
+			if err := p.parseRule(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ndlog: line %d: expected 'table' or 'rule', got %s", t.line, t)
+		}
+	}
+}
+
+func (p *parser) parseDecl() error {
+	p.advance() // "table"
+	name := p.advance()
+	if name.kind != tokIdent {
+		return fmt.Errorf("ndlog: line %d: expected table name, got %s", name.line, name)
+	}
+	if err := p.expectSym("/"); err != nil {
+		return err
+	}
+	ar := p.advance()
+	if ar.kind != tokNumber {
+		return fmt.Errorf("ndlog: line %d: expected arity, got %s", ar.line, ar)
+	}
+	arity, err := strconv.Atoi(ar.text)
+	if err != nil || arity < 0 {
+		return fmt.Errorf("ndlog: line %d: bad arity %q", ar.line, ar.text)
+	}
+	d := TableDecl{Name: name.text, Arity: arity}
+	for {
+		t := p.peek()
+		if t.kind == tokIdent {
+			switch t.text {
+			case "event":
+				d.Event = true
+				p.advance()
+				continue
+			case "base":
+				d.Base = true
+				p.advance()
+				continue
+			case "mutable":
+				d.Mutable = true
+				p.advance()
+				continue
+			case "key":
+				p.advance()
+				if err := p.expectSym("("); err != nil {
+					return err
+				}
+				for !p.atSym(")") {
+					it := p.advance()
+					if it.kind != tokNumber {
+						return fmt.Errorf("ndlog: line %d: key() expects column indices", it.line)
+					}
+					idx, err := strconv.Atoi(it.text)
+					if err != nil || idx < 0 || idx >= arity {
+						return fmt.Errorf("ndlog: line %d: key index %q out of range", it.line, it.text)
+					}
+					d.Key = append(d.Key, idx)
+					if p.atSym(",") {
+						p.advance()
+					}
+				}
+				if err := p.expectSym(")"); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		break
+	}
+	if err := p.expectSym(";"); err != nil {
+		return err
+	}
+	return p.prog.Declare(d)
+}
+
+func (p *parser) parseRule() error {
+	p.advance() // "rule"
+	name := p.advance()
+	if name.kind != tokIdent {
+		return fmt.Errorf("ndlog: line %d: expected rule name, got %s", name.line, name)
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym(":-"); err != nil {
+		return err
+	}
+	r := Rule{Name: name.text, Head: head}
+	for {
+		if err := p.parseBodyItem(&r); err != nil {
+			return err
+		}
+		if p.atSym(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym("."); err != nil {
+		return err
+	}
+	return p.prog.AddRule(r)
+}
+
+func (p *parser) parseBodyItem(r *Rule) error {
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && t.text == "argmax":
+		p.advance()
+		v := p.advance()
+		if v.kind != tokVar {
+			return fmt.Errorf("ndlog: line %d: argmax expects a variable, got %s", v.line, v)
+		}
+		if r.ArgMax != "" {
+			return fmt.Errorf("ndlog: line %d: duplicate argmax clause", v.line)
+		}
+		r.ArgMax = string(v.text)
+		return nil
+
+	case t.kind == tokIdent && t.text == "inverse":
+		p.advance()
+		v := p.advance()
+		if v.kind != tokVar {
+			return fmt.Errorf("ndlog: line %d: inverse expects a variable, got %s", v.line, v)
+		}
+		if err := p.expectSym(":="); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		r.Inverses = append(r.Inverses, Assign{Var: v.text, Expr: e})
+		return nil
+
+	case t.kind == tokVar && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == ":=":
+		p.advance()
+		p.advance()
+		if p.atIdent("count") {
+			p.advance()
+			if err := p.expectSym("("); err != nil {
+				return err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return err
+			}
+			if r.CountVar != "" {
+				return fmt.Errorf("ndlog: line %d: duplicate count() clause", t.line)
+			}
+			r.CountVar = t.text
+			return nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		r.Assigns = append(r.Assigns, Assign{Var: t.text, Expr: e})
+		return nil
+
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "(" && p.prog.Decl(t.text) != nil:
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		r.Body = append(r.Body, a)
+		return nil
+
+	default:
+		// A constraint expression (comparison or boolean builtin call).
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		r.Where = append(r.Where, e)
+		return nil
+	}
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name := p.advance()
+	if name.kind != tokIdent {
+		return Atom{}, fmt.Errorf("ndlog: line %d: expected predicate name, got %s", name.line, name)
+	}
+	if err := p.expectSym("("); err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Table: name.text}
+	if p.atSym("@") {
+		p.advance()
+		loc, err := p.parsePrimary()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Loc = loc
+		if p.atSym(",") {
+			p.advance()
+		}
+	}
+	for !p.atSym(")") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, e)
+		if p.atSym(",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+// Operator precedence levels, loosest first.
+var precLevels = [][]string{
+	{"==", "!=", "<", "<=", ">", ">="},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-", "++"},
+	{"*", "/", "%"},
+}
+
+var symToOp = map[string]BinOp{
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	"|": OpOr, "^": OpXor, "&": OpAnd, "<<": OpShl, ">>": OpShr,
+	"+": OpAdd, "-": OpSub, "++": OpConcat, "*": OpMul, "/": OpDiv, "%": OpMod,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseLevel(0) }
+
+func (p *parser) parseLevel(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.parsePrimary()
+	}
+	left, err := p.parseLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSym || !contains(precLevels[level], t.text) {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseLevel(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Bin{Op: symToOp[t.text], L: left, R: right}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokVar:
+		return Var(t.text), nil
+	case tokNumber, tokString, tokHashID:
+		v, err := ParseValue(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("ndlog: line %d: %v", t.line, err)
+		}
+		return Const{V: v}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return Const{V: Bool(true)}, nil
+		case "false":
+			return Const{V: Bool(false)}, nil
+		}
+		if p.atSym("(") {
+			p.advance()
+			c := Call{Fn: t.text}
+			for !p.atSym(")") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, e)
+				if p.atSym(",") {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			if !HasBuiltin(t.text) {
+				return nil, fmt.Errorf("ndlog: line %d: unknown function %s", t.line, t.text)
+			}
+			return c, nil
+		}
+		// Bare lowercase identifier: treat as a string constant (node
+		// names like s1, h2 appear as location constants).
+		return Const{V: Str(t.text)}, nil
+	case tokSym:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return Bin{Op: OpSub, L: Const{V: Int(0)}, R: e}, nil
+		}
+	}
+	return nil, fmt.Errorf("ndlog: line %d: unexpected token %s in expression", t.line, t)
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatTuples renders tuples one per line, for debugging and golden tests.
+func FormatTuples(ts []Tuple) string {
+	var sb strings.Builder
+	for _, t := range ts {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

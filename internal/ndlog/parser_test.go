@@ -1,0 +1,360 @@
+package ndlog
+
+import (
+	"strings"
+	"testing"
+)
+
+const miniProgram = `
+// A two-hop forwarding model.
+table flowEntry/2 base mutable;
+table packet/2 event base;
+table delivered/2 event;
+
+rule fwd delivered(@Dst, Hdr, Prt) :-
+    packet(@Sw, Hdr, Prt),
+    flowEntry(@Sw, Match, Dst),
+    matches(Hdr, Match).
+`
+
+func TestParseDeclarations(t *testing.T) {
+	p, err := Parse(`
+table a/2 base mutable;
+table b/0 event;
+table c/1;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Decl("a")
+	if a == nil || a.Arity != 2 || !a.Base || !a.Mutable || a.Event {
+		t.Errorf("decl a = %+v", a)
+	}
+	b := p.Decl("b")
+	if b == nil || b.Arity != 0 || !b.Event {
+		t.Errorf("decl b = %+v", b)
+	}
+	c := p.Decl("c")
+	if c == nil || c.Arity != 1 || c.Base || c.Event || c.Mutable {
+		t.Errorf("decl c = %+v", c)
+	}
+	if got := p.Tables(); len(got) != 3 || got[0] != "a" {
+		t.Errorf("Tables() = %v", got)
+	}
+}
+
+func TestParseRuleShape(t *testing.T) {
+	// The arities in the source below are deliberately consistent.
+	src := `
+table packet/2 event base;
+table flowEntry/2 base mutable;
+table out/1 event;
+rule r1 out(@Sw, Hdr) :- packet(@Sw, Hdr, P), flowEntry(@Sw, Prio, M), matches(Hdr, M), argmax Prio.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rule("r1")
+	if r == nil {
+		t.Fatal("rule r1 missing")
+	}
+	if r.Head.Table != "out" || len(r.Head.Args) != 1 {
+		t.Errorf("head = %v", r.Head)
+	}
+	if len(r.Body) != 2 {
+		t.Errorf("body atoms = %d, want 2", len(r.Body))
+	}
+	if len(r.Where) != 1 {
+		t.Errorf("constraints = %d, want 1", len(r.Where))
+	}
+	if r.ArgMax != "Prio" {
+		t.Errorf("argmax = %q", r.ArgMax)
+	}
+	if loc, ok := r.Body[0].Loc.(Var); !ok || loc != "Sw" {
+		t.Errorf("body[0] loc = %v", r.Body[0].Loc)
+	}
+}
+
+func TestParseAssignAndInverse(t *testing.T) {
+	src := `
+table foo/2 base;
+table bar/2;
+rule r bar(A, D) :- foo(A, C), D := 2*C+1, inverse C := (D-1)/2.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rule("r")
+	if len(r.Assigns) != 1 || r.Assigns[0].Var != "D" {
+		t.Fatalf("assigns = %v", r.Assigns)
+	}
+	v, err := r.Assigns[0].Expr.Eval(Env{"C": Int(3)})
+	if err != nil || v != Int(7) {
+		t.Errorf("2*3+1 = %v, %v", v, err)
+	}
+	if len(r.Inverses) != 1 || r.Inverses[0].Var != "C" {
+		t.Fatalf("inverses = %v", r.Inverses)
+	}
+	iv, err := r.Inverses[0].Expr.Eval(Env{"D": Int(7)})
+	if err != nil || iv != Int(3) {
+		t.Errorf("(7-1)/2 = %v, %v", iv, err)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `
+table t/5 base;
+table h/0 event;
+rule r h() :- t(A, B, C, D, E), A == 1.2.3.4, B == 10.0.0.0/8, C == 42, D == "text", E == #ff.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rule("r")
+	if len(r.Where) != 5 {
+		t.Fatalf("constraints = %d", len(r.Where))
+	}
+	wants := []Value{MustParseIP("1.2.3.4"), MustParsePrefix("10.0.0.0/8"), Int(42), Str("text"), ID(255)}
+	for i, w := range r.Where {
+		b, ok := w.(Bin)
+		if !ok || b.Op != OpEq {
+			t.Fatalf("constraint %d is %v", i, w)
+		}
+		c, ok := b.R.(Const)
+		if !ok || c.V != wants[i] {
+			t.Errorf("literal %d = %v, want %v", i, b.R, wants[i])
+		}
+	}
+}
+
+func TestParseNodeConstants(t *testing.T) {
+	src := `
+table cfg/1 base;
+table out/1 event;
+rule r out(@s2, X) :- cfg(@s1, X).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rule("r")
+	hl, ok := r.Head.Loc.(Const)
+	if !ok || hl.V != Str("s2") {
+		t.Errorf("head loc = %v", r.Head.Loc)
+	}
+	bl, ok := r.Body[0].Loc.(Const)
+	if !ok || bl.V != Str("s1") {
+		t.Errorf("body loc = %v", r.Body[0].Loc)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	src := `
+table t/1 base;
+table h/0 event;
+rule r h() :- t(A), A + 2 * 3 == 7.
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Rule("r").Where[0]
+	ok, err := EvalBool(w, Env{"A": Int(1)})
+	if err != nil || !ok {
+		t.Errorf("1 + 2*3 == 7 should hold: %v %v", ok, err)
+	}
+}
+
+func TestParseParenAndUnaryMinus(t *testing.T) {
+	src := `
+table t/1 base;
+table h/1 event;
+rule r h((A + 1) * -2) :- t(A).
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := p.Rule("r").Head.Args[0].Eval(Env{"A": Int(2)})
+	if err != nil || v != Int(-6) {
+		t.Errorf("(2+1)*-2 = %v, %v", v, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"table;",                              // missing name
+		"table t/x;",                          // bad arity
+		"table t/1",                           // missing semicolon
+		"rule r h() :- .",                     // empty body item
+		"table t/1 base; rule r x() :- t(A).", // unknown head table
+		"table t/1 base; table h/0 event; rule r h() :- u(A).",                     // unknown body table
+		"table t/1 base; table h/0 event; rule r h() :- t(A, B).",                  // body arity
+		"table t/1 base; table h/1 event; rule r h(B) :- t(A).",                    // unbound head var
+		"table t/1 base; table h/0 event; rule r h() :- t(A), B < 1.",              // unbound constraint var
+		"table t/1 base; table h/0 event; rule r h() :- t(A), argmax B.",           // unbound argmax
+		"table t/1 base; table h/0 event; rule r h() :- t(A), nosuchfn(A).",        // unknown fn
+		"table t/1 base; table t/1;",                                               // duplicate decl
+		"frobnicate t/1;",                                                          // unknown keyword
+		"table t/1 base; table h/0 event; rule r h() :- t(A). rule r h() :- t(A).", // dup rule
+		`table t/1 base; table h/0 event; rule r h() :- t(A), A == "unterminated.`, // bad string
+		"table t/1 base; table h/0 event; rule r h() :- t(A), A == #zz.",           // bad id
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// leading comment
+table t/1 base; // trailing comment
+// comment between items
+table h/0 event;
+rule r h() :- t(A). // done
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	p, err := Parse(miniProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := p.String()
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parsing rendered program: %v\n%s", err, rendered)
+	}
+	if p2.String() != rendered {
+		t.Errorf("program rendering is not a fixed point:\n%s\nvs\n%s", rendered, p2.String())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	p := MustParse(miniProgram)
+	s := p.Rule("fwd").String()
+	for _, frag := range []string{"rule fwd", "delivered(@Dst", "matches(Hdr, Match)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rule rendering %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("nonsense !!!")
+}
+
+func TestLexerNumberBoundaries(t *testing.T) {
+	toks, err := lex("packet(4.3.2.1).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ident ( number ) . EOF
+	var kinds []tokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	if texts[2] != "4.3.2.1" {
+		t.Errorf("IP literal lexed as %q", texts[2])
+	}
+	if texts[4] != "." {
+		t.Errorf("rule terminator lexed as %q (kinds %v)", texts[4], kinds)
+	}
+}
+
+func TestLexerPrefixVsDivision(t *testing.T) {
+	toks, err := lex("10.0.0.0/8 6/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "10.0.0.0/8" {
+		t.Errorf("prefix lexed as %q", toks[0].text)
+	}
+	if toks[1].text != "6" || toks[2].text != "/" || toks[3].text != "2" {
+		t.Errorf("division lexed as %q %q %q", toks[1].text, toks[2].text, toks[3].text)
+	}
+}
+
+// TestParserRenderRoundTripProperty: rendering any generated program and
+// re-parsing it yields an identical rendering (Parse∘String is a fixed
+// point over the constructs the generator covers).
+func TestParserRenderRoundTripProperty(t *testing.T) {
+	gen := func(seed int64) string {
+		r := newTestRand(seed)
+		src := "table t0/2 base mutable;\ntable t1/3 base key(0);\ntable ev/2 event base;\ntable h/2;\n"
+		ruleCount := 1 + int(r()%4)
+		for i := 0; i < ruleCount; i++ {
+			switch r() % 4 {
+			case 0:
+				src += "rule r" + itoa(i) + " h(A, B) :- t0(A, B), A > " + itoa(int(r()%9)) + ".\n"
+			case 1:
+				src += "rule r" + itoa(i) + " h(A, C) :- ev(A, B), C := B * " + itoa(1+int(r()%5)) + " + A.\n"
+			case 2:
+				src += "rule r" + itoa(i) + " h(A, N) :- ev(A, B), N := count().\n"
+			default:
+				src += "rule r" + itoa(i) + " h(@X, A, B) :- t1(@X, A, B, P), t0(@y, A, B), argmax P.\n"
+			}
+		}
+		return src
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		src := gen(seed)
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		rendered := p1.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v\n%s", seed, err, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("seed %d: not a fixed point:\n%s\nvs\n%s", seed, rendered, p2.String())
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		b = append([]byte{'-'}, b...)
+	}
+	return string(b)
+}
+
+func newTestRand(seed int64) func() uint64 {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

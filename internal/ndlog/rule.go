@@ -1,0 +1,322 @@
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is a predicate occurrence in a rule head or body: a table name, an
+// optional location term (the @ specifier of distributed NDlog), and one
+// expression per column. Body atom arguments are typically variables or
+// constants; head arguments may be arbitrary expressions.
+type Atom struct {
+	Table string
+	Loc   Expr // nil means "local" (the node evaluating the rule)
+	Args  []Expr
+}
+
+func (a Atom) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Table)
+	sb.WriteByte('(')
+	if a.Loc != nil {
+		sb.WriteByte('@')
+		sb.WriteString(a.Loc.String())
+		if len(a.Args) > 0 {
+			sb.WriteString(", ")
+		}
+	}
+	for i, arg := range a.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(arg.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Assign is a let-binding in a rule body: Var := Expr.
+type Assign struct {
+	Var  string
+	Expr Expr
+}
+
+func (a Assign) String() string { return fmt.Sprintf("%s := %s", a.Var, a.Expr) }
+
+// Rule is an NDlog derivation rule: Head :- Body, Constraints, Assigns.
+// A tuple matching the head is derived whenever all body atoms are
+// satisfiable under a consistent binding that passes every constraint.
+type Rule struct {
+	Name    string
+	Head    Atom
+	Body    []Atom
+	Where   []Expr   // boolean constraint expressions
+	Assigns []Assign // evaluated in order after body binding
+	// ArgMax, when non-empty, names a variable: among all satisfying
+	// bindings produced by a single trigger event, only the one
+	// maximizing that variable derives the head (deterministic
+	// tie-break on the full binding). This models OpenFlow's
+	// highest-priority-match semantics declaratively.
+	ArgMax string
+	// Inverses optionally provides hand-written inverse assignments for
+	// rules whose computations cannot be inverted automatically
+	// (paper §4.5: "we depend on the model to provide inverse rules").
+	Inverses []Assign
+	// CountVar, when non-empty, names a variable bound by `N := count()`
+	// in the body, turning the rule into an incremental counting rule
+	// (see aggregate.go).
+	CountVar string
+}
+
+func (r Rule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rule %s %s :- ", r.Name, r.Head)
+	first := true
+	sep := func() {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+	}
+	for _, b := range r.Body {
+		sep()
+		sb.WriteString(b.String())
+	}
+	for _, a := range r.Assigns {
+		sep()
+		sb.WriteString(a.String())
+	}
+	for _, w := range r.Where {
+		sep()
+		sb.WriteString(w.String())
+	}
+	if r.CountVar != "" {
+		sep()
+		sb.WriteString(r.CountVar + " := count()")
+	}
+	if r.ArgMax != "" {
+		sep()
+		sb.WriteString("argmax " + r.ArgMax)
+	}
+	sb.WriteByte('.')
+	return sb.String()
+}
+
+// Validate checks rule well-formedness: every head variable must be bound
+// by the body or an assignment, and the location terms must be variables
+// or constants.
+func (r Rule) Validate(p *Program) error {
+	if len(r.Body) == 0 {
+		return fmt.Errorf("ndlog: rule %s has an empty body", r.Name)
+	}
+	bound := map[string]bool{}
+	for _, b := range r.Body {
+		if b.Loc != nil {
+			if v, ok := b.Loc.(Var); ok {
+				bound[string(v)] = true
+			}
+		}
+		for _, arg := range b.Args {
+			if v, ok := arg.(Var); ok {
+				bound[string(v)] = true
+			}
+		}
+		if d := p.Decl(b.Table); d == nil {
+			return fmt.Errorf("ndlog: rule %s: unknown table %s", r.Name, b.Table)
+		} else if len(b.Args) != d.Arity {
+			return fmt.Errorf("ndlog: rule %s: %s has arity %d, used with %d args", r.Name, b.Table, d.Arity, len(b.Args))
+		}
+	}
+	if r.CountVar != "" {
+		bound[r.CountVar] = true
+	}
+	for _, a := range r.Assigns {
+		for _, v := range FreeVars(a.Expr) {
+			if !bound[v] {
+				return fmt.Errorf("ndlog: rule %s: assignment %s uses unbound variable %s", r.Name, a, v)
+			}
+		}
+		bound[a.Var] = true
+	}
+	for _, w := range r.Where {
+		for _, v := range FreeVars(w) {
+			if !bound[v] {
+				return fmt.Errorf("ndlog: rule %s: constraint %s uses unbound variable %s", r.Name, w, v)
+			}
+		}
+	}
+	if d := p.Decl(r.Head.Table); d == nil {
+		return fmt.Errorf("ndlog: rule %s: unknown head table %s", r.Name, r.Head.Table)
+	} else if len(r.Head.Args) != d.Arity {
+		return fmt.Errorf("ndlog: rule %s: head %s has arity %d, used with %d args", r.Name, r.Head.Table, d.Arity, len(r.Head.Args))
+	}
+	for _, arg := range r.Head.Args {
+		for _, v := range FreeVars(arg) {
+			if !bound[v] {
+				return fmt.Errorf("ndlog: rule %s: head uses unbound variable %s", r.Name, v)
+			}
+		}
+	}
+	if r.Head.Loc != nil {
+		for _, v := range FreeVars(r.Head.Loc) {
+			if !bound[v] {
+				return fmt.Errorf("ndlog: rule %s: head location uses unbound variable %s", r.Name, v)
+			}
+		}
+	}
+	if r.ArgMax != "" && !bound[r.ArgMax] {
+		return fmt.Errorf("ndlog: rule %s: argmax variable %s is unbound", r.Name, r.ArgMax)
+	}
+	return validateAggregate(&r, p)
+}
+
+// TableDecl declares a table: its arity and its role in the system model.
+type TableDecl struct {
+	Name  string
+	Arity int
+	// Event marks event tables: tuples that trigger derivations but are
+	// not stored as state (packets, job records). Event tuples exist
+	// only at their appearance instant.
+	Event bool
+	// Base marks tables populated by external inputs rather than rules.
+	Base bool
+	// Mutable marks base tables whose tuples DiffProv may change when
+	// computing differential provenance (§3.3 refinement #1). Incoming
+	// packets are immutable; configuration state is mutable.
+	Mutable bool
+	// Key lists the argument indices forming the table's primary key.
+	// Inserting a base tuple whose key matches a live row replaces that
+	// row (configuration-store semantics). Empty = whole tuple is the key.
+	Key []int
+}
+
+func (d TableDecl) String() string {
+	attrs := []string{fmt.Sprintf("/%d", d.Arity)}
+	if d.Event {
+		attrs = append(attrs, "event")
+	}
+	if d.Base {
+		attrs = append(attrs, "base")
+	}
+	if d.Mutable {
+		attrs = append(attrs, "mutable")
+	}
+	return d.Name + strings.Join(attrs, " ")
+}
+
+// Program is a set of table declarations and rules: the declarative model
+// of the system being diagnosed.
+type Program struct {
+	decls       map[string]*TableDecl
+	declOrder   []string
+	rules       []*Rule
+	rulesByName map[string]*Rule
+	// byBodyTable indexes rules by the tables appearing in their bodies
+	// for trigger dispatch.
+	byBodyTable map[string][]ruleAtomRef
+}
+
+type ruleAtomRef struct {
+	rule *Rule
+	atom int // index into rule.Body
+}
+
+// NewProgram creates an empty program.
+func NewProgram() *Program {
+	return &Program{
+		decls:       map[string]*TableDecl{},
+		rulesByName: map[string]*Rule{},
+		byBodyTable: map[string][]ruleAtomRef{},
+	}
+}
+
+// Declare adds a table declaration.
+func (p *Program) Declare(d TableDecl) error {
+	if _, dup := p.decls[d.Name]; dup {
+		return fmt.Errorf("ndlog: duplicate table declaration %s", d.Name)
+	}
+	dd := d
+	p.decls[d.Name] = &dd
+	p.declOrder = append(p.declOrder, d.Name)
+	return nil
+}
+
+// Decl returns the declaration for a table, or nil.
+func (p *Program) Decl(table string) *TableDecl {
+	return p.decls[table]
+}
+
+// Tables returns the declared table names in declaration order.
+func (p *Program) Tables() []string {
+	return append([]string(nil), p.declOrder...)
+}
+
+// AddRule validates and adds a rule.
+func (p *Program) AddRule(r Rule) error {
+	if err := r.Validate(p); err != nil {
+		return err
+	}
+	if _, dup := p.rulesByName[r.Name]; dup {
+		return fmt.Errorf("ndlog: duplicate rule name %s", r.Name)
+	}
+	rr := r
+	p.rules = append(p.rules, &rr)
+	p.rulesByName[r.Name] = &rr
+	for i, b := range rr.Body {
+		p.byBodyTable[b.Table] = append(p.byBodyTable[b.Table], ruleAtomRef{rule: &rr, atom: i})
+	}
+	return nil
+}
+
+// Rule returns the rule with the given name, or nil.
+func (p *Program) Rule(name string) *Rule {
+	return p.rulesByName[name]
+}
+
+// Rules returns the rules in definition order.
+func (p *Program) Rules() []*Rule {
+	return append([]*Rule(nil), p.rules...)
+}
+
+// triggers returns the (rule, body-atom) pairs that a tuple of the given
+// table may trigger.
+func (p *Program) triggers(table string) []ruleAtomRef {
+	return p.byBodyTable[table]
+}
+
+// String renders the program in NDlog source syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, name := range p.declOrder {
+		d := p.decls[name]
+		sb.WriteString("table ")
+		sb.WriteString(d.Name)
+		fmt.Fprintf(&sb, "/%d", d.Arity)
+		if d.Event {
+			sb.WriteString(" event")
+		}
+		if d.Base {
+			sb.WriteString(" base")
+		}
+		if d.Mutable {
+			sb.WriteString(" mutable")
+		}
+		if len(d.Key) > 0 {
+			sb.WriteString(" key(")
+			for i, k := range d.Key {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%d", k)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString(";\n")
+	}
+	for _, r := range p.rules {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

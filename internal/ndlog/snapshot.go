@@ -1,0 +1,69 @@
+package ndlog
+
+import "sort"
+
+// Snapshot is a point-in-time capture of all live state tuples, keyed by
+// node and table. Event tuples are never part of a snapshot.
+type Snapshot struct {
+	Tick  int64
+	State map[string]map[string][]Tuple // node -> table -> tuples
+}
+
+// CaptureState snapshots the engine's current live state deterministically
+// (tuples sorted by canonical key). Used by the checkpointing logging
+// engine.
+func (e *Engine) CaptureState() Snapshot {
+	s := Snapshot{Tick: e.now.T, State: map[string]map[string][]Tuple{}}
+	for _, name := range e.nodeOrder {
+		n := e.nodes[name]
+		tbls := map[string][]Tuple{}
+		names := make([]string, 0, len(n.tables))
+		for tn := range n.tables {
+			names = append(names, tn)
+		}
+		sort.Strings(names)
+		for _, tn := range names {
+			tb := n.tables[tn]
+			var rows []Tuple
+			for _, r := range tb.order {
+				if !r.dead {
+					rows = append(rows, r.tuple.Clone())
+				}
+			}
+			if len(rows) > 0 {
+				sort.Slice(rows, func(i, j int) bool { return rows[i].Key() < rows[j].Key() })
+				tbls[tn] = rows
+			}
+		}
+		if len(tbls) > 0 {
+			s.State[name] = tbls
+		}
+	}
+	return s
+}
+
+// Lookup reports whether the snapshot contains the tuple on the node.
+func (s Snapshot) Lookup(node string, t Tuple) bool {
+	tbls, ok := s.State[node]
+	if !ok {
+		return false
+	}
+	key := t.Key()
+	for _, row := range tbls[t.Table] {
+		if row.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// NumTuples returns the total number of tuples in the snapshot.
+func (s Snapshot) NumTuples() int {
+	n := 0
+	for _, tbls := range s.State {
+		for _, rows := range tbls {
+			n += len(rows)
+		}
+	}
+	return n
+}

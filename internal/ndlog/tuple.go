@@ -1,0 +1,95 @@
+package ndlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a row of a table: the unit of system state and events.
+type Tuple struct {
+	Table string
+	Args  []Value
+}
+
+// NewTuple constructs a tuple.
+func NewTuple(table string, args ...Value) Tuple {
+	return Tuple{Table: table, Args: args}
+}
+
+// Key returns a canonical string encoding of the tuple, suitable as a map
+// key. Two tuples have equal keys iff they are equal.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16+8*len(t.Args))
+	b = append(b, t.Table...)
+	for _, a := range t.Args {
+		b = append(b, '|')
+		b = a.appendKey(b)
+	}
+	return string(b)
+}
+
+// Equal reports field-by-field equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Table != o.Table || len(t.Args) != len(o.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if t.Args[i] != o.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple in NDlog syntax, e.g. flowEntry(5, 1.2.3.0/24, 8).
+func (t Tuple) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Table)
+	sb.WriteByte('(')
+	for i, a := range t.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if s, ok := a.(Str); ok {
+			fmt.Fprintf(&sb, "%q", string(s))
+		} else {
+			sb.WriteString(a.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	args := make([]Value, len(t.Args))
+	copy(args, t.Args)
+	return Tuple{Table: t.Table, Args: args}
+}
+
+// Stamp is a logical timestamp: a tick of simulated time plus an
+// engine-global sequence number that orders events within a tick.
+type Stamp struct {
+	T   int64
+	Seq uint64
+}
+
+// Before reports whether s orders strictly before o.
+func (s Stamp) Before(o Stamp) bool {
+	if s.T != o.T {
+		return s.T < o.T
+	}
+	return s.Seq < o.Seq
+}
+
+// After reports whether s orders strictly after o.
+func (s Stamp) After(o Stamp) bool { return o.Before(s) }
+
+func (s Stamp) String() string { return fmt.Sprintf("t%d.%d", s.T, s.Seq) }
+
+// At is a located, timestamped tuple occurrence.
+type At struct {
+	Node  string
+	Tuple Tuple
+	Stamp Stamp
+}

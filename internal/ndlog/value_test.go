@@ -1,0 +1,343 @@
+package ndlog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIP(t *testing.T) {
+	tests := []struct {
+		in   string
+		want IP
+		ok   bool
+	}{
+		{"1.2.3.4", IP(0x01020304), true},
+		{"0.0.0.0", IP(0), true},
+		{"255.255.255.255", IP(0xffffffff), true},
+		{"4.3.2.1", IP(0x04030201), true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"1.2.3.256", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range tests {
+		got, err := ParseIP(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseIP(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseIP(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIPStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("4.3.2.0/23")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits != 23 {
+		t.Errorf("Bits = %d, want 23", p.Bits)
+	}
+	if !p.Contains(MustParseIP("4.3.3.1")) {
+		t.Error("4.3.2.0/23 should contain 4.3.3.1")
+	}
+	if !p.Contains(MustParseIP("4.3.2.1")) {
+		t.Error("4.3.2.0/23 should contain 4.3.2.1")
+	}
+	if p.Contains(MustParseIP("4.3.4.1")) {
+		t.Error("4.3.2.0/23 should not contain 4.3.4.1")
+	}
+
+	p24 := MustParsePrefix("4.3.2.0/24")
+	if p24.Contains(MustParseIP("4.3.3.1")) {
+		t.Error("4.3.2.0/24 should not contain 4.3.3.1 (the paper's SDN1 bug)")
+	}
+
+	if _, err := ParsePrefix("4.3.2.0"); err == nil {
+		t.Error("ParsePrefix without / should fail")
+	}
+	if _, err := ParsePrefix("4.3.2.0/33"); err == nil {
+		t.Error("ParsePrefix with /33 should fail")
+	}
+}
+
+func TestPrefixNormalizesHostBits(t *testing.T) {
+	p := MustParsePrefix("4.3.3.7/23")
+	if p.Addr != MustParseIP("4.3.2.0") {
+		t.Errorf("host bits not masked: got %v", p.Addr)
+	}
+}
+
+func TestPrefixContainsPrefix(t *testing.T) {
+	outer := MustParsePrefix("10.0.0.0/8")
+	inner := MustParsePrefix("10.1.0.0/16")
+	if !outer.ContainsPrefix(inner) {
+		t.Error("/8 should contain /16 inside it")
+	}
+	if inner.ContainsPrefix(outer) {
+		t.Error("/16 should not contain its covering /8")
+	}
+	if !outer.ContainsPrefix(outer) {
+		t.Error("prefix should contain itself")
+	}
+}
+
+func TestMask(t *testing.T) {
+	ip := MustParseIP("192.168.37.200")
+	tests := []struct {
+		bits uint8
+		want string
+	}{
+		{32, "192.168.37.200"},
+		{24, "192.168.37.0"},
+		{16, "192.168.0.0"},
+		{8, "192.0.0.0"},
+		{0, "0.0.0.0"},
+		{23, "192.168.36.0"},
+	}
+	for _, tc := range tests {
+		if got := ip.Mask(tc.bits); got.String() != tc.want {
+			t.Errorf("Mask(%d) = %v, want %v", tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestOctet(t *testing.T) {
+	ip := MustParseIP("1.2.3.4")
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got := ip.Octet(i); got != want {
+			t.Errorf("Octet(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{`"hello"`, Str("hello")},
+		{"1.2.3.4", IP(0x01020304)},
+		{"10.0.0.0/8", Prefix{Addr: IP(0x0a000000), Bits: 8}},
+		{"#ff", ID(255)},
+	}
+	for _, tc := range tests {
+		got, err := ParseValue(tc.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q) error: %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseValue(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "1.2.3.4.5/8", "zz", `"unterminated`} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+// randomValue generates arbitrary values for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Int(r.Int63n(1000) - 500)
+	case 1:
+		return Str(string(rune('a' + r.Intn(26))))
+	case 2:
+		return Bool(r.Intn(2) == 0)
+	case 3:
+		return IP(r.Uint32())
+	case 4:
+		return Prefix{Addr: IP(r.Uint32()).Mask(uint8(r.Intn(33))), Bits: uint8(r.Intn(33))}
+	default:
+		return ID(r.Uint64())
+	}
+}
+
+func TestValueParseStringRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		v := randomValue(r)
+		if p, ok := v.(Prefix); ok {
+			p.Addr = p.Addr.Mask(p.Bits) // canonical form only
+			v = p
+		}
+		s := v.String()
+		if _, isStr := v.(Str); isStr {
+			continue // bare strings are not self-delimiting
+		}
+		back, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("ParseValue(%q) from %#v: %v", s, v, err)
+		}
+		if back != v {
+			t.Fatalf("round trip %#v -> %q -> %#v", v, s, back)
+		}
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	vals := make([]Value, 60)
+	for i := range vals {
+		vals[i] = randomValue(r)
+	}
+	for _, a := range vals {
+		if Less(a, a) {
+			t.Fatalf("Less(%v, %v) must be false (irreflexive)", a, a)
+		}
+		for _, b := range vals {
+			if Less(a, b) && Less(b, a) {
+				t.Fatalf("Less not antisymmetric for %v, %v", a, b)
+			}
+			if !Less(a, b) && !Less(b, a) && a != b && a.Kind() == b.Kind() {
+				t.Fatalf("distinct same-kind values %v, %v not ordered", a, b)
+			}
+			for _, c := range vals {
+				if Less(a, b) && Less(b, c) && !Less(a, c) {
+					t.Fatalf("Less not transitive: %v < %v < %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTupleKeyCanonical(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		n := r.Intn(4)
+		args1 := make([]Value, n)
+		args2 := make([]Value, n)
+		for j := 0; j < n; j++ {
+			args1[j] = randomValue(r)
+			if r.Intn(2) == 0 {
+				args2[j] = args1[j]
+			} else {
+				args2[j] = randomValue(r)
+			}
+		}
+		t1 := NewTuple("t", args1...)
+		t2 := NewTuple("t", args2...)
+		if (t1.Key() == t2.Key()) != t1.Equal(t2) {
+			t.Fatalf("key/equality mismatch: %v vs %v", t1, t2)
+		}
+	}
+}
+
+func TestTupleKeyDistinguishesTables(t *testing.T) {
+	a := NewTuple("foo", Int(1))
+	b := NewTuple("bar", Int(1))
+	if a.Key() == b.Key() {
+		t.Error("tuples in different tables must have different keys")
+	}
+}
+
+func TestTupleKeyNoAmbiguity(t *testing.T) {
+	// Str values embed their length, so concatenation tricks cannot
+	// collide.
+	a := NewTuple("t", Str("ab"), Str("c"))
+	b := NewTuple("t", Str("a"), Str("bc"))
+	if a.Key() == b.Key() {
+		t.Error("string boundary ambiguity in Key")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := NewTuple("flowEntry", Int(5), MustParsePrefix("1.2.3.0/24"), Str("s2"))
+	want := `flowEntry(5, 1.2.3.0/24, "s2")`
+	if got := tu.String(); got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := NewTuple("t", Int(1), Int(2))
+	cl := orig.Clone()
+	cl.Args[0] = Int(99)
+	if orig.Args[0] != Int(1) {
+		t.Error("Clone must not share argument storage")
+	}
+}
+
+func TestStampOrder(t *testing.T) {
+	a := Stamp{T: 1, Seq: 5}
+	b := Stamp{T: 1, Seq: 6}
+	c := Stamp{T: 2, Seq: 1}
+	if !a.Before(b) || !b.Before(c) || !a.Before(c) {
+		t.Error("stamp ordering broken")
+	}
+	if a.Before(a) {
+		t.Error("Before must be irreflexive")
+	}
+	if !c.After(a) {
+		t.Error("After inverted")
+	}
+}
+
+func TestEqAcrossKinds(t *testing.T) {
+	if Eq(Int(1), ID(1)) {
+		t.Error("values of different kinds must not be equal")
+	}
+	if !Eq(Int(1), Int(1)) {
+		t.Error("equal ints must be Eq")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindInt: "int", KindStr: "str", KindBool: "bool",
+		KindIP: "ip", KindPrefix: "prefix", KindID: "id",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %s, want %s", k, k.String(), want)
+		}
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ka := string(IP(a).appendKey(nil))
+		kb := string(IP(b).appendKey(nil))
+		return (ka == kb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysDifferAcrossKinds(t *testing.T) {
+	vals := []Value{Int(1), ID(1), IP(1), Str("1"), Bool(true)}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := string(v.appendKey(nil))
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %#v and %#v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+var _ = reflect.DeepEqual // keep reflect imported for quick

@@ -1,0 +1,292 @@
+// Package netcore is the controller-program front-end of the DiffProv
+// prototype (§5): it accepts SDN policies written in a small NetCore /
+// Pyretic-style language and compiles them into the NDlog model's intent
+// and mirror tuples, so imperative controller programs enjoy the same
+// provenance as native NDlog.
+//
+// The language:
+//
+//	// comments
+//	policy untrusted priority 10 {
+//	    match src in 4.3.2.0/23;
+//	    match dst in 0.0.0.0/0;    // optional; defaults to any
+//	    route web1;
+//	}
+//
+//	mirror at s6 {
+//	    match src in 0.0.0.0/0;
+//	    to dpi;
+//	}
+//
+//	// ACL-style drop: matched traffic is sent to the blackhole.
+//	policy blockbad priority 30 {
+//	    match src in 66.66.0.0/16;
+//	    drop;
+//	}
+package netcore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+)
+
+// Blackhole is the destination compiled for "drop" policies.
+const Blackhole = "blackhole"
+
+// Policy is a compiled routing policy.
+type Policy struct {
+	Name     string
+	Priority int64
+	Src, Dst ndlog.Prefix
+	Route    string
+	Drop     bool
+}
+
+// Intent returns the NDlog intent tuple the policy compiles to.
+func (p Policy) Intent() ndlog.Tuple {
+	return ndlog.NewTuple("intent", ndlog.Int(p.Priority), p.Src, p.Dst, ndlog.Str(p.Route))
+}
+
+// Mirror is a compiled mirroring statement.
+type Mirror struct {
+	Switch   string
+	Src, Dst ndlog.Prefix
+	To       string
+}
+
+// Tuple returns the NDlog mirrorIntent tuple.
+func (m Mirror) Tuple() ndlog.Tuple {
+	return ndlog.NewTuple("mirrorIntent", ndlog.Str(m.Switch), m.Src, m.Dst, ndlog.Str(m.To))
+}
+
+// Program is a parsed NetCore program.
+type Program struct {
+	Policies []Policy
+	Mirrors  []Mirror
+}
+
+// Install applies the program to a network (the front-end conversion
+// "from NetCore to NDlog rules and tuples", §5).
+func (p *Program) Install(n *sdn.Network) error {
+	for _, pol := range p.Policies {
+		if err := n.AddIntent(pol.Priority, pol.Src, pol.Dst, pol.Route); err != nil {
+			return err
+		}
+	}
+	for _, m := range p.Mirrors {
+		if err := n.AddMirror(m.Switch, m.Src, m.Dst, m.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+	line []int
+}
+
+// Parse compiles NetCore source.
+func Parse(src string) (*Program, error) {
+	p := &parser{}
+	lineNo := 0
+	for _, line := range strings.Split(src, "\n") {
+		lineNo++
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		// Make punctuation self-delimiting.
+		for _, c := range []string{"{", "}", ";"} {
+			line = strings.ReplaceAll(line, c, " "+c+" ")
+		}
+		for _, f := range strings.Fields(line) {
+			p.toks = append(p.toks, f)
+			p.line = append(p.line, lineNo)
+		}
+	}
+	prog := &Program{}
+	for !p.done() {
+		switch p.peek() {
+		case "policy":
+			pol, err := p.parsePolicy()
+			if err != nil {
+				return nil, err
+			}
+			prog.Policies = append(prog.Policies, pol)
+		case "mirror":
+			m, err := p.parseMirror()
+			if err != nil {
+				return nil, err
+			}
+			prog.Mirrors = append(prog.Mirrors, m)
+		default:
+			return nil, p.errf("expected 'policy' or 'mirror', got %q", p.peek())
+		}
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if !p.done() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	ln := 0
+	if p.pos < len(p.line) {
+		ln = p.line[p.pos]
+	} else if len(p.line) > 0 {
+		ln = p.line[len(p.line)-1]
+	}
+	return fmt.Errorf("netcore: line %d: %s", ln, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		p.pos--
+		return p.errf("expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *parser) parsePolicy() (Policy, error) {
+	p.next() // "policy"
+	pol := Policy{Src: sdn.Any, Dst: sdn.Any}
+	pol.Name = p.next()
+	if pol.Name == "" || pol.Name == "{" {
+		return pol, p.errf("policy needs a name")
+	}
+	if err := p.expect("priority"); err != nil {
+		return pol, err
+	}
+	v, err := ndlog.ParseValue(p.next())
+	if err != nil {
+		return pol, p.errf("bad priority: %v", err)
+	}
+	prio, ok := v.(ndlog.Int)
+	if !ok {
+		return pol, p.errf("priority must be an integer")
+	}
+	pol.Priority = int64(prio)
+	if err := p.expect("{"); err != nil {
+		return pol, err
+	}
+	for p.peek() != "}" && !p.done() {
+		switch p.peek() {
+		case "match":
+			p.next()
+			field := p.next()
+			if err := p.expect("in"); err != nil {
+				return pol, err
+			}
+			pfx, err := ndlog.ParsePrefix(p.next())
+			if err != nil {
+				return pol, p.errf("bad prefix: %v", err)
+			}
+			switch field {
+			case "src":
+				pol.Src = pfx
+			case "dst":
+				pol.Dst = pfx
+			default:
+				return pol, p.errf("match field must be src or dst, got %q", field)
+			}
+		case "route":
+			p.next()
+			pol.Route = p.next()
+			if pol.Route == "" || pol.Route == ";" {
+				return pol, p.errf("route needs a destination host")
+			}
+		case "drop":
+			p.next()
+			pol.Drop = true
+			pol.Route = Blackhole
+		default:
+			return pol, p.errf("expected 'match' or 'route', got %q", p.peek())
+		}
+		if err := p.expect(";"); err != nil {
+			return pol, err
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return pol, err
+	}
+	if pol.Route == "" {
+		return pol, fmt.Errorf("netcore: policy %s has no route or drop clause", pol.Name)
+	}
+	return pol, nil
+}
+
+func (p *parser) parseMirror() (Mirror, error) {
+	p.next() // "mirror"
+	m := Mirror{Src: sdn.Any, Dst: sdn.Any}
+	if err := p.expect("at"); err != nil {
+		return m, err
+	}
+	m.Switch = p.next()
+	if err := p.expect("{"); err != nil {
+		return m, err
+	}
+	for p.peek() != "}" && !p.done() {
+		switch p.peek() {
+		case "match":
+			p.next()
+			field := p.next()
+			if err := p.expect("in"); err != nil {
+				return m, err
+			}
+			pfx, err := ndlog.ParsePrefix(p.next())
+			if err != nil {
+				return m, p.errf("bad prefix: %v", err)
+			}
+			switch field {
+			case "src":
+				m.Src = pfx
+			case "dst":
+				m.Dst = pfx
+			default:
+				return m, p.errf("match field must be src or dst, got %q", field)
+			}
+		case "to":
+			p.next()
+			m.To = p.next()
+		default:
+			return m, p.errf("expected 'match' or 'to', got %q", p.peek())
+		}
+		if err := p.expect(";"); err != nil {
+			return m, err
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return m, err
+	}
+	if m.To == "" {
+		return m, fmt.Errorf("netcore: mirror at %s has no 'to' clause", m.Switch)
+	}
+	return m, nil
+}

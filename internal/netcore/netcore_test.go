@@ -1,0 +1,208 @@
+package netcore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/sdn"
+)
+
+const figure1Policy = `
+// Figure 1: untrusted subnets via the DPI path.
+policy untrusted priority 10 {
+    match src in 4.3.2.0/24;   // the operator's typo: should be /23
+    route web1;
+}
+
+policy default priority 1 {
+    route web2;
+}
+
+mirror at s6 {
+    match src in 0.0.0.0/0;
+    to dpi;
+}
+`
+
+func TestParseFigure1Policy(t *testing.T) {
+	p, err := Parse(figure1Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Policies) != 2 {
+		t.Fatalf("policies = %d, want 2", len(p.Policies))
+	}
+	u := p.Policies[0]
+	if u.Name != "untrusted" || u.Priority != 10 || u.Route != "web1" {
+		t.Errorf("policy = %+v", u)
+	}
+	if u.Src != ndlog.MustParsePrefix("4.3.2.0/24") {
+		t.Errorf("src = %v", u.Src)
+	}
+	if u.Dst != sdn.Any {
+		t.Errorf("dst should default to any, got %v", u.Dst)
+	}
+	if len(p.Mirrors) != 1 || p.Mirrors[0].Switch != "s6" || p.Mirrors[0].To != "dpi" {
+		t.Errorf("mirror = %+v", p.Mirrors)
+	}
+}
+
+func TestCompileToTuples(t *testing.T) {
+	p := MustParse(figure1Policy)
+	it := p.Policies[0].Intent()
+	if it.Table != "intent" || it.Args[0] != ndlog.Int(10) {
+		t.Errorf("intent tuple = %s", it)
+	}
+	mt := p.Mirrors[0].Tuple()
+	if mt.Table != "mirrorIntent" || mt.Args[0] != ndlog.Str("s6") {
+		t.Errorf("mirror tuple = %s", mt)
+	}
+}
+
+func TestInstallDrivesNetwork(t *testing.T) {
+	n := sdn.NewNetwork()
+	for _, sw := range []string{"s1", "s2", "s6", "s3"} {
+		if err := n.SwitchUp(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddPath("web1", "s1", "s2", "s6", "web1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPath("web2", "s1", "s2", "s3", "web2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := MustParse(figure1Policy).Install(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := sdn.Header{Src: ndlog.MustParseIP("4.3.2.1"), Dst: ndlog.MustParseIP("10.0.0.80"), Proto: 6}
+	if _, err := n.InjectPacket("s1", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Arrived("web1", h) {
+		t.Error("policy-routed packet must reach web1")
+	}
+	if !n.Arrived("dpi", h) {
+		t.Error("mirror statement must tap the DPI")
+	}
+}
+
+func TestParseDstMatch(t *testing.T) {
+	p, err := Parse(`policy x priority 5 { match dst in 10.0.0.0/8; route h; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Policies[0].Dst != ndlog.MustParsePrefix("10.0.0.0/8") {
+		t.Errorf("dst = %v", p.Policies[0].Dst)
+	}
+	if p.Policies[0].Src != sdn.Any {
+		t.Errorf("src should default")
+	}
+}
+
+func TestParseMirrorDstMatch(t *testing.T) {
+	p, err := Parse(`mirror at s1 { match dst in 10.0.0.0/8; to ids; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mirrors[0].Dst != ndlog.MustParsePrefix("10.0.0.0/8") {
+		t.Errorf("dst = %v", p.Mirrors[0].Dst)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`frobnicate x {}`,                                            // unknown statement
+		`policy { route h; }`,                                        // no name
+		`policy x priority { route h; }`,                             // missing priority value
+		`policy x priority abc { route h; }`,                         // bad priority
+		`policy x priority 1 { route h; }; extra`,                    // trailing garbage
+		`policy x priority 1 { match src in bad; route h; }`,         // bad prefix
+		`policy x priority 1 { match port in 10.0.0.0/8; route h; }`, // bad field
+		`policy x priority 1 { }`,                                    // no route
+		`policy x priority 1 { route h }`,                            // missing semicolon
+		`policy x priority 1 { jump h; }`,                            // unknown clause
+		`mirror at s1 { match src in 0.0.0.0/0; }`,                   // no to
+		`mirror s1 { to x; }`,                                        // missing at
+		`policy x priority 1 { route ; }`,                            // empty route
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorsMentionLine(t *testing.T) {
+	_, err := Parse("policy ok priority 1 { route h; }\npolicy bad priority zzz { route h; }")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should mention line 2: %v", err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic")
+		}
+	}()
+	MustParse("garbage !")
+}
+
+func TestDropPolicy(t *testing.T) {
+	p, err := Parse(`
+policy block priority 30 {
+    match src in 66.66.0.0/16;
+    drop;
+}
+policy default priority 1 {
+    route h;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Policies[0].Drop || p.Policies[0].Route != Blackhole {
+		t.Errorf("drop policy = %+v", p.Policies[0])
+	}
+	n := sdn.NewNetwork()
+	if err := n.SwitchUp("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPath("h", "s1", "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPath(Blackhole, "s1", Blackhole); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Install(n); err != nil {
+		t.Fatal(err)
+	}
+	bad := sdn.Header{Src: ndlog.MustParseIP("66.66.1.1"), Dst: ndlog.MustParseIP("1.1.1.1"), Proto: 6}
+	good := sdn.Header{Src: ndlog.MustParseIP("8.8.8.8"), Dst: ndlog.MustParseIP("1.1.1.1"), Proto: 6}
+	if _, err := n.InjectPacket("s1", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.InjectPacket("s1", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Arrived(Blackhole, bad) {
+		t.Error("blocked traffic must be dropped")
+	}
+	if !n.Arrived("h", good) {
+		t.Error("ordinary traffic must pass")
+	}
+}

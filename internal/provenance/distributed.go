@@ -1,0 +1,261 @@
+package provenance
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+)
+
+// Distributed operation (§4.8): "each node in the distributed system only
+// stores the provenance of its local tuples. When a node needs to invoke
+// an operation on a vertex that is stored on another node, only that part
+// of the provenance tree is materialized on demand."
+//
+// ShardedRecorder keeps one provenance shard per node. Cross-node edges
+// (a derivation whose head lives on another node, or whose body tuples
+// do) are remote references; Materialize resolves them shard by shard,
+// counting the fetches a real deployment would pay as messages.
+
+// remoteRef identifies a vertex in another node's shard.
+type remoteRef struct {
+	node string
+	id   int
+}
+
+// shard is one node's local provenance store.
+type shard struct {
+	node     string
+	vertexes []*Vertex
+	// remote[i] holds, for local vertex i, the remote references that
+	// stand in for children living on other nodes (keyed by child slot).
+	remote map[int]map[int]remoteRef
+	// indexes mirroring the monolithic graph's, but shard-local.
+	appearByRef    map[string]int
+	existByRef     map[string]int
+	openExist      map[string]int
+	appearsByTuple map[string][]int
+	byDerive       map[int64]int
+}
+
+func newShard(node string) *shard {
+	return &shard{
+		node:           node,
+		remote:         map[int]map[int]remoteRef{},
+		appearByRef:    map[string]int{},
+		existByRef:     map[string]int{},
+		openExist:      map[string]int{},
+		appearsByTuple: map[string][]int{},
+		byDerive:       map[int64]int{},
+	}
+}
+
+func (s *shard) add(v *Vertex) *Vertex {
+	v.ID = len(s.vertexes)
+	if v.Type != Derive {
+		v.Trigger = -1
+	}
+	s.vertexes = append(s.vertexes, v)
+	return v
+}
+
+// ShardedRecorder implements ndlog.Observer, storing provenance per node.
+type ShardedRecorder struct {
+	prog   *ndlog.Program
+	shards map[string]*shard
+	order  []string
+
+	pendingInsert remoteRef
+	// Fetches counts cross-shard materializations performed so far.
+	Fetches int
+}
+
+// NewShardedRecorder creates a per-node provenance store for the program.
+func NewShardedRecorder(prog *ndlog.Program) *ShardedRecorder {
+	return &ShardedRecorder{prog: prog, shards: map[string]*shard{}, pendingInsert: remoteRef{id: -1}}
+}
+
+func (r *ShardedRecorder) shardFor(node string) *shard {
+	s, ok := r.shards[node]
+	if !ok {
+		s = newShard(node)
+		r.shards[node] = s
+		r.order = append(r.order, node)
+	}
+	return s
+}
+
+// Nodes lists the nodes holding shards.
+func (r *ShardedRecorder) Nodes() []string { return append([]string(nil), r.order...) }
+
+// ShardSize returns the number of vertexes stored on a node.
+func (r *ShardedRecorder) ShardSize(node string) int {
+	if s, ok := r.shards[node]; ok {
+		return len(s.vertexes)
+	}
+	return 0
+}
+
+// OnBaseInsert implements ndlog.Observer.
+func (r *ShardedRecorder) OnBaseInsert(at ndlog.At) {
+	s := r.shardFor(at.Node)
+	v := s.add(&Vertex{Type: Insert, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	r.pendingInsert = remoteRef{node: at.Node, id: v.ID}
+}
+
+// OnBaseDelete implements ndlog.Observer.
+func (r *ShardedRecorder) OnBaseDelete(at ndlog.At) {
+	s := r.shardFor(at.Node)
+	s.add(&Vertex{Type: Delete, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+}
+
+// OnDerive implements ndlog.Observer. The DERIVE vertex is stored on the
+// node that evaluated the rule; its body children may be remote.
+func (r *ShardedRecorder) OnDerive(d ndlog.Derivation) {
+	s := r.shardFor(d.Node)
+	v := &Vertex{Type: Derive, Node: d.Node, Tuple: d.Head.Tuple, Rule: d.Rule, At: d.Head.Stamp, Trigger: -1}
+	slotRemote := map[int]remoteRef{}
+	for i, b := range d.Body {
+		ref, ok := r.resolveBody(b)
+		if !ok {
+			continue
+		}
+		slot := len(v.Children)
+		if ref.node == d.Node {
+			v.Children = append(v.Children, ref.id)
+		} else {
+			v.Children = append(v.Children, -1) // placeholder for a remote child
+			slotRemote[slot] = ref
+		}
+		if i == d.Trigger {
+			v.Trigger = slot
+		}
+	}
+	s.add(v)
+	if len(slotRemote) > 0 {
+		s.remote[v.ID] = slotRemote
+	}
+	s.byDerive[d.ID] = v.ID
+}
+
+func (r *ShardedRecorder) resolveBody(b ndlog.At) (remoteRef, bool) {
+	s, ok := r.shards[b.Node]
+	if !ok {
+		return remoteRef{}, false
+	}
+	key := fmt.Sprintf("%s|%d", b.Tuple.Key(), b.Stamp.Seq)
+	if id, ok := s.existByRef[key]; ok {
+		return remoteRef{node: b.Node, id: id}, true
+	}
+	if id, ok := s.appearByRef[key]; ok {
+		return remoteRef{node: b.Node, id: id}, true
+	}
+	return remoteRef{}, false
+}
+
+// OnAppear implements ndlog.Observer.
+func (r *ShardedRecorder) OnAppear(at ndlog.At, deriveID int64) {
+	s := r.shardFor(at.Node)
+	ap := &Vertex{Type: Appear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp}
+	var remoteCause *remoteRef
+	if deriveID != 0 {
+		// The producing DERIVE may live on another node (remote head).
+		found := false
+		for _, nodeName := range r.order {
+			if dv, ok := r.shards[nodeName].byDerive[deriveID]; ok {
+				if nodeName == at.Node {
+					ap.Children = append(ap.Children, dv)
+				} else {
+					ap.Children = append(ap.Children, -1)
+					remoteCause = &remoteRef{node: nodeName, id: dv}
+				}
+				found = true
+				break
+			}
+		}
+		_ = found
+	} else if r.pendingInsert.id >= 0 && r.pendingInsert.node == at.Node {
+		ap.Children = append(ap.Children, r.pendingInsert.id)
+		r.pendingInsert = remoteRef{id: -1}
+	}
+	s.add(ap)
+	if remoteCause != nil {
+		s.remote[ap.ID] = map[int]remoteRef{0: *remoteCause}
+	}
+	key := fmt.Sprintf("%s|%d", at.Tuple.Key(), at.Stamp.Seq)
+	s.appearByRef[key] = ap.ID
+	s.appearsByTuple[at.Tuple.Key()] = append(s.appearsByTuple[at.Tuple.Key()], ap.ID)
+
+	decl := r.prog.Decl(at.Tuple.Table)
+	if decl != nil && decl.Event {
+		return
+	}
+	ex := &Vertex{Type: Exist, Node: at.Node, Tuple: at.Tuple,
+		Span: ndlog.Interval{From: at.Stamp, Open: true}, Children: []int{ap.ID}}
+	s.add(ex)
+	s.existByRef[key] = ex.ID
+	s.openExist[at.Tuple.Key()] = ex.ID
+}
+
+// OnDisappear implements ndlog.Observer.
+func (r *ShardedRecorder) OnDisappear(at ndlog.At, underiveID int64) {
+	s := r.shardFor(at.Node)
+	if exID, ok := s.openExist[at.Tuple.Key()]; ok {
+		ex := s.vertexes[exID]
+		ex.Span.To = at.Stamp
+		ex.Span.Open = false
+		delete(s.openExist, at.Tuple.Key())
+	}
+	s.add(&Vertex{Type: Disappear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+}
+
+// OnUnderive implements ndlog.Observer.
+func (r *ShardedRecorder) OnUnderive(u ndlog.Underivation) {
+	s := r.shardFor(u.Node)
+	s.add(&Vertex{Type: Underive, Node: u.Node, Tuple: u.Head.Tuple, Rule: u.Rule, At: u.Head.Stamp})
+}
+
+var _ ndlog.Observer = (*ShardedRecorder)(nil)
+
+// LastAppear finds the most recent appearance of a tuple on a node
+// (shard-local, no fetches).
+func (r *ShardedRecorder) LastAppear(node string, t ndlog.Tuple) (int, bool) {
+	s, ok := r.shards[node]
+	if !ok {
+		return 0, false
+	}
+	ids := s.appearsByTuple[t.Key()]
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[len(ids)-1], true
+}
+
+// Materialize assembles the provenance tree rooted at a vertex of a
+// node's shard, fetching remote subtrees on demand and counting each
+// cross-shard resolution in Fetches.
+func (r *ShardedRecorder) Materialize(node string, id int) (*Tree, error) {
+	s, ok := r.shards[node]
+	if !ok || id < 0 || id >= len(s.vertexes) {
+		return nil, fmt.Errorf("provenance: no vertex %d on %s", id, node)
+	}
+	v := s.vertexes[id]
+	t := &Tree{Vertex: v}
+	for slot, c := range v.Children {
+		var child *Tree
+		var err error
+		if c >= 0 {
+			child, err = r.Materialize(node, c)
+		} else if ref, ok := s.remote[id][slot]; ok {
+			r.Fetches++
+			child, err = r.Materialize(ref.node, ref.id)
+		} else {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		child.Parent = t
+		t.Children = append(t.Children, child)
+	}
+	return t, nil
+}

@@ -1,0 +1,68 @@
+package provenance
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format, mimicking the paper's
+// Figure 2 styling: the trigger chain (the "special branch" carrying the
+// stimulus) is highlighted, and vertex shapes distinguish base inputs
+// from derivations.
+func (t *Tree) WriteDOT(w io.Writer, name string) error {
+	if t == nil {
+		return fmt.Errorf("provenance: nil tree")
+	}
+	onChain := map[*Tree]bool{}
+	if chain, err := t.TriggerChain(); err == nil {
+		for _, n := range chain {
+			onChain[n] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=BT;\n  node [fontsize=10];\n")
+	id := 0
+	var emit func(n *Tree) int
+	emit = func(n *Tree) int {
+		my := id
+		id++
+		shape := "box"
+		style := "solid"
+		switch n.Vertex.Type {
+		case Insert, Delete:
+			shape = "oval"
+			style = "bold"
+		case Exist:
+			shape = "box"
+			style = "rounded"
+		case Derive, Underive:
+			shape = "hexagon"
+		}
+		color := "black"
+		if onChain[n] {
+			color = "blue"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s, style=%q, color=%s];\n",
+			my, n.Vertex.Label(), shape, style, color)
+		for _, c := range n.Children {
+			ci := emit(c)
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", ci, my)
+		}
+		return my
+	}
+	emit(t)
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOT renders the tree as a DOT string.
+func (t *Tree) DOT(name string) string {
+	var sb strings.Builder
+	if err := t.WriteDOT(&sb, name); err != nil {
+		return ""
+	}
+	return sb.String()
+}

@@ -1,0 +1,228 @@
+// Package provenance implements the temporal provenance graph of DTaP as
+// used by DiffProv (§3.2 of the paper): an append-only DAG over seven
+// vertex types (INSERT, DELETE, EXIST, DERIVE, UNDERIVE, APPEAR,
+// DISAPPEAR) that records the causal connections between the states and
+// events of an NDlog execution, plus tree projection and seed finding.
+package provenance
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ndlog"
+)
+
+// VertexType enumerates the seven vertex types of §3.2.
+type VertexType uint8
+
+// The vertex types. Positive vertexes describe tuples coming into being;
+// negative vertexes (DELETE, UNDERIVE, DISAPPEAR) are their counterparts.
+const (
+	Insert VertexType = iota
+	Delete
+	Exist
+	Derive
+	Underive
+	Appear
+	Disappear
+)
+
+var vertexTypeNames = [...]string{
+	Insert: "INSERT", Delete: "DELETE", Exist: "EXIST", Derive: "DERIVE",
+	Underive: "UNDERIVE", Appear: "APPEAR", Disappear: "DISAPPEAR",
+}
+
+func (t VertexType) String() string {
+	if int(t) < len(vertexTypeNames) {
+		return vertexTypeNames[t]
+	}
+	return fmt.Sprintf("VERTEX(%d)", uint8(t))
+}
+
+// Vertex is one vertex of the provenance graph. Children point at direct
+// causes; the graph is acyclic because children always precede parents in
+// creation order.
+type Vertex struct {
+	ID    int
+	Type  VertexType
+	Node  string
+	Tuple ndlog.Tuple
+	Rule  string // rule name, for DERIVE/UNDERIVE
+
+	// At is the event time for point vertexes (all but EXIST).
+	At ndlog.Stamp
+	// Span is the existence interval for EXIST vertexes.
+	Span ndlog.Interval
+
+	// Children are the IDs of the direct causes of this vertex.
+	Children []int
+	// Trigger, for DERIVE vertexes, is the index into Children of the
+	// precondition that appeared last and thus triggered the rule
+	// (-1 elsewhere). The seed-finding procedure of §4.2 follows these.
+	Trigger int
+}
+
+// Label renders the vertex without timestamps; the naive tree diff
+// (§2.5) compares vertexes by label.
+func (v *Vertex) Label() string {
+	var sb strings.Builder
+	sb.WriteString(v.Type.String())
+	sb.WriteByte('(')
+	sb.WriteString(v.Node)
+	sb.WriteString(", ")
+	sb.WriteString(v.Tuple.String())
+	if v.Rule != "" {
+		sb.WriteString(", ")
+		sb.WriteString(v.Rule)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func (v *Vertex) String() string {
+	if v.Type == Exist {
+		to := "now"
+		if !v.Span.Open {
+			to = v.Span.To.String()
+		}
+		return fmt.Sprintf("EXIST(%s, %s, [%s, %s))", v.Node, v.Tuple, v.Span.From, to)
+	}
+	s := v.Label()
+	return fmt.Sprintf("%s@%s", s, v.At)
+}
+
+// Graph is an append-only temporal provenance graph.
+type Graph struct {
+	vertexes []*Vertex
+
+	// appearByRef locates the APPEAR vertex for a tuple appearance,
+	// keyed by node|tupleKey|appearSeq (the engine's body references).
+	appearByRef map[string]int
+	// openExist tracks the currently-open EXIST vertex per node|tupleKey.
+	openExist map[string]int
+	// existByRef maps node|tupleKey|appearSeq to the EXIST vertex opened
+	// by that appearance.
+	existByRef map[string]int
+	// byDerive maps engine derivation IDs to DERIVE vertex IDs.
+	byDerive map[int64]int
+	// appearsByTuple indexes APPEAR vertexes by node|tupleKey in order.
+	appearsByTuple map[string][]int
+	// lastDisappear maps node|tupleKey to the latest DISAPPEAR vertex.
+	lastDisappear map[string]int
+	// appearsByTable indexes APPEAR vertexes by node|table for queries.
+	appearsByTable map[string][]int
+	// triggerParents maps a vertex (EXIST or APPEAR) to the DERIVE
+	// vertexes it triggered, for walking derivation chains upward.
+	triggerParents map[int][]int
+	// headAppear maps a DERIVE (or INSERT) vertex to the APPEAR of its
+	// head tuple.
+	headAppear map[int]int
+	// existOf maps an APPEAR vertex to the EXIST vertex it opened.
+	existOf map[int]int
+}
+
+// NewGraph creates an empty provenance graph.
+func NewGraph() *Graph {
+	return &Graph{
+		appearByRef:    map[string]int{},
+		openExist:      map[string]int{},
+		existByRef:     map[string]int{},
+		byDerive:       map[int64]int{},
+		appearsByTuple: map[string][]int{},
+		lastDisappear:  map[string]int{},
+		appearsByTable: map[string][]int{},
+		triggerParents: map[int][]int{},
+		headAppear:     map[int]int{},
+		existOf:        map[int]int{},
+	}
+}
+
+// NumVertexes returns the number of vertexes in the graph.
+func (g *Graph) NumVertexes() int { return len(g.vertexes) }
+
+// Vertex returns the vertex with the given ID.
+func (g *Graph) Vertex(id int) *Vertex {
+	if id < 0 || id >= len(g.vertexes) {
+		return nil
+	}
+	return g.vertexes[id]
+}
+
+func (g *Graph) add(v *Vertex) *Vertex {
+	v.ID = len(g.vertexes)
+	if v.Type != Derive {
+		v.Trigger = -1
+	}
+	g.vertexes = append(g.vertexes, v)
+	return v
+}
+
+func refKey(node string, t ndlog.Tuple, seq uint64) string {
+	return fmt.Sprintf("%s|%s|%d", node, t.Key(), seq)
+}
+
+func tupleKey(node string, t ndlog.Tuple) string {
+	return node + "|" + t.Key()
+}
+
+// AppearVertexes returns the APPEAR vertex IDs for the exact tuple on the
+// node, in chronological order.
+func (g *Graph) AppearVertexes(node string, t ndlog.Tuple) []int {
+	return append([]int(nil), g.appearsByTuple[tupleKey(node, t)]...)
+}
+
+// FindAppears returns the APPEAR vertexes on a node, over a table,
+// matching the predicate, in chronological order. It is the graph's query
+// entry point: "the packet that arrived at web server 2" is an APPEAR.
+func (g *Graph) FindAppears(node, table string, pred func(ndlog.Tuple) bool) []*Vertex {
+	var out []*Vertex
+	for _, id := range g.appearsByTable[node+"|"+table] {
+		v := g.vertexes[id]
+		if pred == nil || pred(v.Tuple) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LastAppear returns the most recent APPEAR of the tuple on the node, or
+// nil.
+func (g *Graph) LastAppear(node string, t ndlog.Tuple) *Vertex {
+	ids := g.appearsByTuple[tupleKey(node, t)]
+	if len(ids) == 0 {
+		return nil
+	}
+	return g.vertexes[ids[len(ids)-1]]
+}
+
+// TriggerParents returns the DERIVE vertexes that were triggered by the
+// given vertex (the derivations for which it was the last precondition to
+// appear). Following these walks a derivation chain from a seed upward.
+func (g *Graph) TriggerParents(id int) []int {
+	return append([]int(nil), g.triggerParents[id]...)
+}
+
+// HeadAppear returns the APPEAR vertex of the head tuple produced by the
+// given DERIVE (or following a base INSERT), or -1.
+func (g *Graph) HeadAppear(id int) int {
+	if a, ok := g.headAppear[id]; ok {
+		return a
+	}
+	return -1
+}
+
+// ExistOf returns the EXIST vertex opened by the given APPEAR, or -1 for
+// event tuples (which never exist as state).
+func (g *Graph) ExistOf(appearID int) int {
+	if e, ok := g.existOf[appearID]; ok {
+		return e
+	}
+	return -1
+}
+
+// Vertexes calls fn for every vertex in creation order.
+func (g *Graph) Vertexes(fn func(*Vertex)) {
+	for _, v := range g.vertexes {
+		fn(v)
+	}
+}

@@ -1,0 +1,185 @@
+package provenance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+// randomExecution drives a random mix of inserts, deletes, and packets
+// through a two-rule program and returns the graph plus the engine.
+func randomExecution(t *testing.T, seed int64, events int) (*ndlog.Engine, *Graph) {
+	t.Helper()
+	prog := ndlog.MustParse(`
+table flowEntry/3 base mutable;
+table policy/2 base mutable;
+table derivedEntry/3;
+table packet/1 event base;
+
+rule de derivedEntry(Prio + 100, M, Nxt) :- policy(Prio, Nxt), flowEntry(Prio, M, Nxt).
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+	rec := NewRecorder(prog)
+	e := ndlog.New(prog, rec)
+	r := rand.New(rand.NewSource(seed))
+	nodes := []string{"a", "b", "c"}
+	var inserted []ndlog.At
+	for i := 0; i < events; i++ {
+		node := nodes[r.Intn(len(nodes))]
+		tick := int64(i)
+		switch r.Intn(5) {
+		case 0, 1:
+			// Forward strictly "rightward" so forwarding stays loop-free.
+			var nxt string
+			idx := indexOf(nodes, node)
+			if idx+1 < len(nodes) {
+				nxt = nodes[idx+1+r.Intn(len(nodes)-idx-1)]
+			} else {
+				nxt = "sink"
+			}
+			fe := ndlog.NewTuple("flowEntry",
+				ndlog.Int(r.Int63n(10)),
+				ndlog.Prefix{Addr: ndlog.IP(r.Uint32()).Mask(8), Bits: 8},
+				ndlog.Str(nxt))
+			if err := e.ScheduleInsert(node, fe, tick); err != nil {
+				t.Fatal(err)
+			}
+			inserted = append(inserted, ndlog.At{Node: node, Tuple: fe})
+		case 2:
+			if len(inserted) > 0 {
+				victim := inserted[r.Intn(len(inserted))]
+				if err := e.ScheduleDelete(victim.Node, victim.Tuple, tick); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 3:
+			pol := ndlog.NewTuple("policy", ndlog.Int(r.Int63n(10)), ndlog.Str(nodes[r.Intn(len(nodes))]))
+			if err := e.ScheduleInsert(node, pol, tick); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			pkt := ndlog.NewTuple("packet", ndlog.IP(r.Uint32()))
+			if err := e.ScheduleInsert(node, pkt, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e, rec.Graph()
+}
+
+func indexOf(ss []string, s string) int {
+	for i, x := range ss {
+		if x == s {
+			return i
+		}
+	}
+	return len(ss) - 1
+}
+
+// TestGraphInvariantsUnderRandomExecutions checks the provenance
+// well-formedness invariants over many random executions (deletions,
+// re-derivations, argmax, cross-node messages).
+func TestGraphInvariantsUnderRandomExecutions(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		_, g := randomExecution(t, seed, 120)
+		counts := map[VertexType]int{}
+		g.Vertexes(func(v *Vertex) {
+			counts[v.Type]++
+			for _, c := range v.Children {
+				if c >= v.ID {
+					t.Fatalf("seed %d: cycle: vertex %d -> child %d", seed, v.ID, c)
+				}
+				if g.Vertex(c) == nil {
+					t.Fatalf("seed %d: dangling child %d", seed, c)
+				}
+			}
+			switch v.Type {
+			case Derive:
+				if v.Trigger < 0 || v.Trigger >= len(v.Children) {
+					t.Fatalf("seed %d: DERIVE without a valid trigger", seed)
+				}
+			case Appear:
+				if len(v.Children) > 1 {
+					t.Fatalf("seed %d: APPEAR with %d causes", seed, len(v.Children))
+				}
+			case Exist:
+				if len(v.Children) != 1 || g.Vertex(v.Children[0]).Type != Appear {
+					t.Fatalf("seed %d: malformed EXIST", seed)
+				}
+				if !v.Span.Open && v.Span.To.Before(v.Span.From) {
+					t.Fatalf("seed %d: EXIST interval ends before it starts", seed)
+				}
+			case Disappear:
+				if len(v.Children) > 1 {
+					t.Fatalf("seed %d: DISAPPEAR with %d causes", seed, len(v.Children))
+				}
+			}
+		})
+		// Conservation: every DISAPPEAR closes an EXIST, so closed
+		// EXISTs == DISAPPEARs, and INSERTs+DERIVEs >= APPEARs.
+		closed := 0
+		g.Vertexes(func(v *Vertex) {
+			if v.Type == Exist && !v.Span.Open {
+				closed++
+			}
+		})
+		if closed != counts[Disappear] {
+			t.Fatalf("seed %d: %d closed EXISTs vs %d DISAPPEARs", seed, closed, counts[Disappear])
+		}
+		if counts[Appear] > counts[Insert]+counts[Derive] {
+			t.Fatalf("seed %d: more appearances than causes", seed)
+		}
+	}
+}
+
+// TestTreesAreFiniteAndSeeded checks that every event appearance yields a
+// projectable tree whose seed is a base INSERT.
+func TestTreesAreFiniteAndSeeded(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		_, g := randomExecution(t, seed, 100)
+		trees := 0
+		g.Vertexes(func(v *Vertex) {
+			if v.Type != Appear || v.Tuple.Table != "packet" {
+				return
+			}
+			tree := g.Tree(v.ID)
+			if tree.Size() <= 0 || tree.Size() > g.NumVertexes()*4 {
+				t.Fatalf("seed %d: implausible tree size %d", seed, tree.Size())
+			}
+			s, err := tree.FindSeed()
+			if err != nil {
+				t.Fatalf("seed %d: FindSeed: %v", seed, err)
+			}
+			if s.Vertex.Type != Insert {
+				t.Fatalf("seed %d: seed is %s, want INSERT", seed, s.Vertex.Type)
+			}
+			trees++
+		})
+		if trees == 0 {
+			t.Fatalf("seed %d: no packet trees produced", seed)
+		}
+	}
+}
+
+// TestReplayedGraphIdenticalToLive re-runs a random execution and checks
+// the graphs match vertex for vertex (the determinism DiffProv rests on).
+func TestReplayedGraphIdenticalToLive(t *testing.T) {
+	for seed := int64(30); seed < 38; seed++ {
+		_, g1 := randomExecution(t, seed, 80)
+		_, g2 := randomExecution(t, seed, 80)
+		if g1.NumVertexes() != g2.NumVertexes() {
+			t.Fatalf("seed %d: vertex counts differ: %d vs %d", seed, g1.NumVertexes(), g2.NumVertexes())
+		}
+		for i := 0; i < g1.NumVertexes(); i++ {
+			a, b := g1.Vertex(i), g2.Vertex(i)
+			if a.Label() != b.Label() || a.At != b.At || a.Trigger != b.Trigger {
+				t.Fatalf("seed %d: vertex %d differs: %s vs %s", seed, i, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package provenance
+
+import (
+	"repro/internal/ndlog"
+)
+
+// Recorder builds a temporal provenance graph incrementally from the
+// primitive events emitted by an ndlog.Engine. It implements
+// ndlog.Observer and corresponds to the paper's "provenance recorder"
+// component operating in the direct-inference mode (§5): provenance is
+// inferred from the declarative rules as they fire.
+type Recorder struct {
+	prog  *ndlog.Program
+	graph *Graph
+
+	// pendingInsert is the INSERT vertex awaiting its APPEAR (the engine
+	// emits OnBaseInsert immediately followed by OnAppear for the same
+	// tuple within one work item).
+	pendingInsert int
+	// pendingDelete likewise links DELETE to the following DISAPPEAR.
+	pendingDelete int
+	// underiveVertex maps engine underivation IDs to UNDERIVE vertexes
+	// so a following DISAPPEAR can reference its cause.
+	underiveVertex map[int64]int
+}
+
+// NewRecorder creates a recorder for executions of the given program.
+func NewRecorder(prog *ndlog.Program) *Recorder {
+	return &Recorder{
+		prog:           prog,
+		graph:          NewGraph(),
+		pendingInsert:  -1,
+		pendingDelete:  -1,
+		underiveVertex: map[int64]int{},
+	}
+}
+
+// Graph returns the graph built so far. The graph remains owned by the
+// recorder and keeps growing as the engine runs.
+func (r *Recorder) Graph() *Graph { return r.graph }
+
+// OnBaseInsert implements ndlog.Observer.
+func (r *Recorder) OnBaseInsert(at ndlog.At) {
+	v := r.graph.add(&Vertex{Type: Insert, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	r.pendingInsert = v.ID
+}
+
+// OnBaseDelete implements ndlog.Observer.
+func (r *Recorder) OnBaseDelete(at ndlog.At) {
+	v := r.graph.add(&Vertex{Type: Delete, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	r.pendingDelete = v.ID
+}
+
+// OnDerive implements ndlog.Observer.
+func (r *Recorder) OnDerive(d ndlog.Derivation) {
+	v := &Vertex{
+		Type:    Derive,
+		Node:    d.Node,
+		Tuple:   d.Head.Tuple,
+		Rule:    d.Rule,
+		At:      d.Head.Stamp,
+		Trigger: -1,
+	}
+	for i, b := range d.Body {
+		child := r.bodyVertex(b)
+		if child < 0 {
+			continue
+		}
+		v.Children = append(v.Children, child)
+		if i == d.Trigger {
+			v.Trigger = len(v.Children) - 1
+		}
+	}
+	r.graph.add(v)
+	r.graph.byDerive[d.ID] = v.ID
+	if v.Trigger >= 0 {
+		trig := v.Children[v.Trigger]
+		r.graph.triggerParents[trig] = append(r.graph.triggerParents[trig], v.ID)
+	}
+}
+
+// bodyVertex resolves a derivation body reference to its cause vertex:
+// the EXIST vertex of the appearance for state tuples, or the APPEAR
+// vertex itself for event tuples (which never exist as state).
+func (r *Recorder) bodyVertex(b ndlog.At) int {
+	key := refKey(b.Node, b.Tuple, b.Stamp.Seq)
+	if id, ok := r.graph.existByRef[key]; ok {
+		return id
+	}
+	if id, ok := r.graph.appearByRef[key]; ok {
+		return id
+	}
+	return -1
+}
+
+// OnAppear implements ndlog.Observer.
+func (r *Recorder) OnAppear(at ndlog.At, deriveID int64) {
+	ap := &Vertex{Type: Appear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp}
+	if deriveID != 0 {
+		if dv, ok := r.graph.byDerive[deriveID]; ok {
+			ap.Children = append(ap.Children, dv)
+		}
+	} else if r.pendingInsert >= 0 {
+		ap.Children = append(ap.Children, r.pendingInsert)
+		r.pendingInsert = -1
+	}
+	r.graph.add(ap)
+	if len(ap.Children) == 1 {
+		r.graph.headAppear[ap.Children[0]] = ap.ID
+	}
+
+	key := refKey(at.Node, at.Tuple, at.Stamp.Seq)
+	tk := tupleKey(at.Node, at.Tuple)
+	r.graph.appearByRef[key] = ap.ID
+	r.graph.appearsByTuple[tk] = append(r.graph.appearsByTuple[tk], ap.ID)
+	tblKey := at.Node + "|" + at.Tuple.Table
+	r.graph.appearsByTable[tblKey] = append(r.graph.appearsByTable[tblKey], ap.ID)
+
+	decl := r.prog.Decl(at.Tuple.Table)
+	if decl != nil && decl.Event {
+		return // events do not persist: no EXIST vertex
+	}
+	ex := &Vertex{
+		Type:     Exist,
+		Node:     at.Node,
+		Tuple:    at.Tuple,
+		Span:     ndlog.Interval{From: at.Stamp, Open: true},
+		Children: []int{ap.ID},
+	}
+	r.graph.add(ex)
+	r.graph.openExist[tk] = ex.ID
+	r.graph.existByRef[key] = ex.ID
+	r.graph.existOf[ap.ID] = ex.ID
+}
+
+// OnUnderive implements ndlog.Observer.
+func (r *Recorder) OnUnderive(u ndlog.Underivation) {
+	v := &Vertex{
+		Type:  Underive,
+		Node:  u.Node,
+		Tuple: u.Head.Tuple,
+		Rule:  u.Rule,
+		At:    u.Head.Stamp,
+	}
+	// The cause of the underivation is the disappearance of the body
+	// tuple that vanished.
+	if dv, ok := r.graph.lastDisappear[tupleKey(u.Cause.Node, u.Cause.Tuple)]; ok {
+		v.Children = append(v.Children, dv)
+	}
+	r.graph.add(v)
+	r.underiveVertex[u.ID] = v.ID
+}
+
+// OnDisappear implements ndlog.Observer.
+func (r *Recorder) OnDisappear(at ndlog.At, underiveID int64) {
+	tk := tupleKey(at.Node, at.Tuple)
+	if exID, ok := r.graph.openExist[tk]; ok {
+		ex := r.graph.vertexes[exID]
+		ex.Span.To = at.Stamp
+		ex.Span.Open = false
+		delete(r.graph.openExist, tk)
+	}
+	dis := &Vertex{Type: Disappear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp}
+	if underiveID != 0 {
+		if uv, ok := r.underiveVertex[underiveID]; ok {
+			dis.Children = append(dis.Children, uv)
+		}
+	} else if r.pendingDelete >= 0 {
+		dis.Children = append(dis.Children, r.pendingDelete)
+		r.pendingDelete = -1
+	}
+	r.graph.add(dis)
+	r.graph.lastDisappear[tk] = dis.ID
+}
+
+var _ ndlog.Observer = (*Recorder)(nil)

@@ -1,0 +1,490 @@
+package replay
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+)
+
+var fwdProg = ndlog.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst),
+    flowEntry(@Sw, Prio, M, Nxt),
+    matches(Dst, M),
+    argmax Prio.
+`)
+
+func randomTuple(r *rand.Rand) ndlog.Tuple {
+	switch r.Intn(3) {
+	case 0:
+		return ndlog.NewTuple("flowEntry", ndlog.Int(r.Int63n(100)),
+			ndlog.Prefix{Addr: ndlog.IP(r.Uint32()).Mask(8), Bits: 8}, ndlog.Str("nxt"))
+	case 1:
+		return ndlog.NewTuple("packet", ndlog.IP(r.Uint32()))
+	default:
+		return ndlog.NewTuple("flowEntry", ndlog.Int(r.Int63n(5)),
+			ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str(string(rune('a'+r.Intn(26)))))
+	}
+}
+
+func TestLogEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	l := NewLog()
+	for i := 0; i < 200; i++ {
+		tu := randomTuple(r)
+		if tu.Table == "packet" || r.Intn(4) != 0 {
+			l.Insert("n", tu, int64(i))
+		} else {
+			l.Delete("n", tu, int64(i))
+		}
+	}
+	// Add events covering every value kind.
+	l.Insert("m", ndlog.NewTuple("flowEntry", ndlog.Int(-5), ndlog.MustParsePrefix("10.0.0.0/8"), ndlog.Str("x")), 500)
+
+	var buf bytes.Buffer
+	if err := l.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != l.Len() {
+		t.Fatalf("decoded %d events, want %d", back.Len(), l.Len())
+	}
+	for i, ev := range l.Events() {
+		got := back.Events()[i]
+		if got.Kind != ev.Kind || got.Node != ev.Node || got.Tick != ev.Tick || !got.Tuple.Equal(ev.Tuple) {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, ev)
+		}
+	}
+}
+
+func TestLogEncodedSizeNearFixedPerPacket(t *testing.T) {
+	// The log stores header + timestamp per packet: per-event size must
+	// be small and near constant.
+	l := NewLog()
+	l.Insert("s1", ndlog.NewTuple("packet", ndlog.IP(1)), 1)
+	one := l.EncodedSize()
+	for i := 2; i <= 1001; i++ {
+		l.Insert("s1", ndlog.NewTuple("packet", ndlog.IP(uint32(i))), int64(i))
+	}
+	total := l.EncodedSize()
+	per := float64(total-one) / 1000
+	if per > 32 {
+		t.Errorf("per-packet log record = %.1f bytes, want compact (<32)", per)
+	}
+	if per <= 0 {
+		t.Error("per-packet size must be positive")
+	}
+}
+
+func TestDecodeCorruptLog(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{0xff, 0xff, 0xff})); err == nil {
+		t.Error("decoding garbage must fail")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("decoding empty input must fail")
+	}
+	// Truncated valid log.
+	l := NewLog()
+	l.Insert("n", ndlog.NewTuple("packet", ndlog.IP(1)), 1)
+	var buf bytes.Buffer
+	l.Encode(&buf)
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Error("decoding truncated log must fail")
+	}
+}
+
+func driveScenario(t *testing.T, s *Session) {
+	t.Helper()
+	mp := ndlog.MustParsePrefix
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(10), mp("4.3.2.0/24"), ndlog.Str("s6")), 0))
+	must(s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(1), mp("0.0.0.0/0"), ndlog.Str("s3")), 0))
+	must(s.Insert("s6", ndlog.NewTuple("flowEntry", ndlog.Int(1), mp("0.0.0.0/0"), ndlog.Str("web1")), 0))
+	must(s.Insert("s3", ndlog.NewTuple("flowEntry", ndlog.Int(1), mp("0.0.0.0/0"), ndlog.Str("web2")), 0))
+	must(s.Insert("s1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1")), 10))
+	must(s.Insert("s1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1")), 11))
+	must(s.Run())
+}
+
+func TestReplayReproducesLiveExecution(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	e, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.ExistsEver("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1"))) {
+		t.Error("replayed engine missing packet at web1")
+	}
+	if !e.ExistsEver("web2", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+		t.Error("replayed engine missing packet at web2")
+	}
+	if g.NumVertexes() == 0 {
+		t.Error("replayed graph empty")
+	}
+}
+
+func TestRuntimeAndQueryTimeModesAgree(t *testing.T) {
+	sQ := NewSession(fwdProg)
+	sR := NewSession(fwdProg, WithMode(Runtime))
+	driveScenario(t, sQ)
+	driveScenario(t, sR)
+
+	_, gQ, err := sQ.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gR, err := sR.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gQ.NumVertexes() != gR.NumVertexes() {
+		t.Fatalf("graphs differ: %d vs %d vertexes", gQ.NumVertexes(), gR.NumVertexes())
+	}
+	// Vertex-by-vertex equality of labels and stamps.
+	for i := 0; i < gQ.NumVertexes(); i++ {
+		vq, vr := gQ.Vertex(i), gR.Vertex(i)
+		if vq.Label() != vr.Label() || vq.At != vr.At {
+			t.Fatalf("vertex %d differs: %s vs %s", i, vq, vr)
+		}
+	}
+}
+
+func TestReplayDeterminismProperty(t *testing.T) {
+	// Random logs replay to identical graphs every time.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		s := NewSession(fwdProg)
+		for i := 0; i < 60; i++ {
+			tu := randomTuple(r)
+			s.Insert("s1", tu, int64(i))
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_, g1, err := s.Replay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, g2, err := s.Replay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.NumVertexes() != g2.NumVertexes() {
+			t.Fatalf("trial %d: replay nondeterministic (%d vs %d)", trial, g1.NumVertexes(), g2.NumVertexes())
+		}
+		for i := 0; i < g1.NumVertexes(); i++ {
+			if g1.Vertex(i).Label() != g2.Vertex(i).Label() {
+				t.Fatalf("trial %d: vertex %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestReplayWithCounterfactualChange(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+
+	// Counterfactual: add the corrected /23 entry before the bad packet.
+	fix := Change{
+		Insert: true,
+		Node:   "s1",
+		Tuple:  ndlog.NewTuple("flowEntry", ndlog.Int(10), ndlog.MustParsePrefix("4.3.2.0/23"), ndlog.Str("s6")),
+		Tick:   9,
+	}
+	e, _, err := s.ReplayWith([]Change{fix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.ExistsEver("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+		t.Error("with the fix, 4.3.3.1 should reach web1")
+	}
+	if e.ExistsEver("web2", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+		t.Error("with the fix, 4.3.3.1 must no longer reach web2")
+	}
+	// The live system is untouched.
+	if s.Live().ExistsEver("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+		t.Error("counterfactual change leaked into the live system")
+	}
+	if c := (Change{Insert: false, Node: "n", Tuple: ndlog.NewTuple("flowEntry", ndlog.Int(1), ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str("x")), Tick: 3}); c.String() == "" {
+		t.Error("Change.String empty")
+	}
+}
+
+func TestReplayUntilTruncates(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	e, _, err := s.ReplayUntil(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.ExistsEver("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1"))) {
+		t.Error("packet at tick 10 must be replayed")
+	}
+	if e.ExistsEver("web2", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+		t.Error("packet at tick 11 must be excluded")
+	}
+}
+
+func TestGraphMemoization(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	_, g1, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := s.ReplayCount
+	_, g2, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ReplayCount != rc {
+		t.Error("second Graph() call should hit the memo")
+	}
+	if g1 != g2 {
+		t.Error("memoized graph identity changed")
+	}
+	// New events invalidate the memo.
+	s.Insert("s1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.9")), 20)
+	s.Run()
+	_, g3, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Error("memo must be invalidated by new events")
+	}
+	if s.ReplayCount != rc+1 {
+		t.Error("expected one more replay")
+	}
+}
+
+func TestCheckpoints(t *testing.T) {
+	s := NewSession(fwdProg, WithCheckpointEvery(5))
+	mp := ndlog.MustParsePrefix
+	s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(1), mp("0.0.0.0/0"), ndlog.Str("h")), 0)
+	s.Run()
+	s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(2), mp("10.0.0.0/8"), ndlog.Str("h2")), 7)
+	s.Run()
+	s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(3), mp("10.0.0.0/8"), ndlog.Str("h3")), 20)
+	s.Run()
+	cks := s.Checkpoints()
+	if len(cks) < 2 {
+		t.Fatalf("checkpoints = %d, want >= 2", len(cks))
+	}
+	snap, ok := s.StateAt(8)
+	if !ok {
+		t.Fatal("no checkpoint at or before tick 8")
+	}
+	if !snap.Lookup("s1", ndlog.NewTuple("flowEntry", ndlog.Int(2), mp("10.0.0.0/8"), ndlog.Str("h2"))) {
+		t.Error("checkpoint at tick >= 7 should contain the second entry")
+	}
+	if _, ok := s.StateAt(-1); ok {
+		t.Error("no checkpoint should precede tick -1")
+	}
+	if snap.NumTuples() == 0 {
+		t.Error("snapshot should contain tuples")
+	}
+}
+
+func TestSessionInsertErrors(t *testing.T) {
+	s := NewSession(fwdProg)
+	if err := s.Insert("n", ndlog.NewTuple("nosuch", ndlog.Int(1)), 0); err == nil {
+		t.Error("bad insert must fail and not be logged")
+	}
+	if s.Log().Len() != 0 {
+		t.Error("failed insert must not be logged")
+	}
+	if err := s.Delete("n", ndlog.NewTuple("nosuch", ndlog.Int(1)), 0); err == nil {
+		t.Error("bad delete must fail")
+	}
+}
+
+func TestLogClone(t *testing.T) {
+	l := NewLog()
+	l.Insert("n", ndlog.NewTuple("packet", ndlog.IP(1)), 0)
+	c := l.Clone()
+	c.Insert("n", ndlog.NewTuple("packet", ndlog.IP(2)), 1)
+	if l.Len() != 1 || c.Len() != 2 {
+		t.Error("clone must not share growth")
+	}
+}
+
+func TestReplayAccountsTime(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	if _, _, err := s.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReplayCount != 1 {
+		t.Errorf("ReplayCount = %d, want 1", s.ReplayCount)
+	}
+	if s.ReplayTime <= 0 {
+		t.Error("ReplayTime should be positive")
+	}
+}
+
+var _ = provenance.NewGraph // ensure import is used even if assertions change
+
+func TestFromLogRoundTrip(t *testing.T) {
+	orig := NewSession(fwdProg)
+	driveScenario(t, orig)
+
+	// Serialize the log, decode it, rebuild a session, and compare.
+	var buf bytes.Buffer
+	if err := orig.Log().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := FromLog(fwdProg, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g1, err := orig.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g2, err := rebuilt.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertexes() != g2.NumVertexes() {
+		t.Fatalf("graphs differ after log round trip: %d vs %d", g1.NumVertexes(), g2.NumVertexes())
+	}
+	for i := 0; i < g1.NumVertexes(); i++ {
+		if g1.Vertex(i).Label() != g2.Vertex(i).Label() {
+			t.Fatalf("vertex %d differs after round trip", i)
+		}
+	}
+}
+
+func TestFromLogRejectsBadEvents(t *testing.T) {
+	l := NewLog()
+	l.Insert("n", ndlog.NewTuple("nosuch", ndlog.Int(1)), 0)
+	if _, err := FromLog(fwdProg, l); err == nil {
+		t.Error("a log with undeclared tables must be rejected")
+	}
+}
+
+func TestAgeOut(t *testing.T) {
+	l := NewLog()
+	for i := int64(0); i < 100; i++ {
+		l.Insert("n", ndlog.NewTuple("packet", ndlog.IP(uint32(i))), i)
+	}
+	aged := l.AgeOut(60)
+	if aged.Len() != 40 {
+		t.Fatalf("aged log has %d events, want 40", aged.Len())
+	}
+	for _, ev := range aged.Events() {
+		if ev.Tick < 60 {
+			t.Fatal("aged log retains old events")
+		}
+	}
+	if l.Len() != 100 {
+		t.Error("AgeOut must not mutate the original")
+	}
+	if aged.EncodedSize() >= l.EncodedSize() {
+		t.Error("aging out must reclaim storage")
+	}
+}
+
+func TestCheckpointsConsistentWithHistory(t *testing.T) {
+	// Property: every tuple in a checkpoint existed at the checkpoint's
+	// tick according to the replayed temporal store, and vice versa.
+	s := NewSession(fwdProg, WithCheckpointEvery(3))
+	mp := ndlog.MustParsePrefix
+	for i := int64(0); i < 30; i++ {
+		fe := ndlog.NewTuple("flowEntry", ndlog.Int(i%7), mp("0.0.0.0/0"), ndlog.Str(string(rune('a'+i%3))))
+		if i%4 == 3 {
+			if err := s.Delete("s1", fe, i); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := s.Insert("s1", fe, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, _, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cks := s.Checkpoints()
+	if len(cks) < 3 {
+		t.Fatalf("checkpoints = %d, want several", len(cks))
+	}
+	for _, ck := range cks {
+		at := ndlog.Stamp{T: ck.Tick, Seq: ^uint64(0)}
+		for node, tables := range ck.State {
+			for _, rows := range tables {
+				for _, row := range rows {
+					if !e.Exists(node, row, at) {
+						t.Fatalf("checkpoint@%d contains %s on %s but history disagrees", ck.Tick, row, node)
+					}
+				}
+			}
+		}
+		// Reverse direction: everything live at the checkpoint tick is
+		// in the snapshot.
+		for _, tu := range e.TuplesAt("s1", "flowEntry", at) {
+			if !ck.Lookup("s1", tu) {
+				t.Fatalf("history has %s at t=%d but checkpoint misses it", tu, ck.Tick)
+			}
+		}
+	}
+}
+
+func TestSessionAccessorsAndEngineOptions(t *testing.T) {
+	s := NewSession(fwdProg, WithEngineOptions(ndlog.WithDelay(3)), WithMode(Runtime))
+	if s.Program() != fwdProg {
+		t.Error("Program accessor broken")
+	}
+	if s.Mode() != Runtime {
+		t.Error("Mode accessor broken")
+	}
+	// The engine option must reach the live engine: a packet takes 3
+	// ticks per hop.
+	mp := ndlog.MustParsePrefix
+	if err := s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(1), mp("0.0.0.0/0"), ndlog.Str("h")), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("s1", ndlog.NewTuple("packet", ndlog.IP(1)), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	hist := s.Live().History("h", ndlog.NewTuple("packet", ndlog.IP(1)))
+	if len(hist) != 1 || hist[0].From.T != 13 {
+		t.Errorf("arrival = %v, want tick 13 (delay option propagated)", hist)
+	}
+	// Replays inherit the option too.
+	e, _, err := s.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := e.History("h", ndlog.NewTuple("packet", ndlog.IP(1)))
+	if len(rh) != 1 || rh[0].From.T != 13 {
+		t.Errorf("replayed arrival = %v, want tick 13", rh)
+	}
+}

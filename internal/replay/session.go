@@ -1,0 +1,273 @@
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+)
+
+// Mode selects how provenance is captured (§5): at runtime (log every
+// derivation as it happens; queries are cheap, runtime is expensive) or
+// at query time (log base events only; provenance is reconstructed by
+// deterministic replay). The paper's prototype defaults to query-time.
+type Mode uint8
+
+// Capture modes.
+const (
+	QueryTime Mode = iota
+	Runtime
+)
+
+// Change is a counterfactual base-tuple change that UPDATETREE injects
+// into a cloned execution (§4.6).
+type Change struct {
+	Insert bool // true = insert the tuple, false = delete it
+	Node   string
+	Tuple  ndlog.Tuple
+	Tick   int64 // when to apply; "shortly before it is needed" (§4.8)
+}
+
+func (c Change) String() string {
+	op := "insert"
+	if !c.Insert {
+		op = "delete"
+	}
+	return fmt.Sprintf("%s %s on %s at t=%d", op, c.Tuple, c.Node, c.Tick)
+}
+
+// Session couples a live engine with the logging engine, and provides the
+// replay operations DiffProv needs. It is the embodiment of the paper's
+// five-component architecture minus the reasoning engine (which lives in
+// internal/core): recorder + logging engine + replay engine.
+type Session struct {
+	prog *ndlog.Program
+	mode Mode
+	log  *Log
+
+	live    *ndlog.Engine
+	liveRec *provenance.Recorder // only in Runtime mode
+
+	ckptEvery int64 // checkpoint interval in ticks; 0 disables
+	lastCkpt  int64
+	ckpts     []ndlog.Snapshot
+
+	// memoized full replay for query-time provenance
+	replayed    *ndlog.Engine
+	replayedG   *provenance.Graph
+	replayedLen int // log length the memo was built from
+
+	// ReplayTime accumulates wall-clock time spent replaying, and
+	// ReplayCount the number of replays; the turnaround experiments
+	// (Figure 7) read these.
+	ReplayTime  time.Duration
+	ReplayCount int
+
+	engineOpts []ndlog.Option
+}
+
+// SessionOption configures a Session.
+type SessionOption func(*Session)
+
+// WithMode selects the capture mode (default QueryTime).
+func WithMode(m Mode) SessionOption { return func(s *Session) { s.mode = m } }
+
+// WithCheckpointEvery enables periodic state checkpoints at the given
+// tick interval.
+func WithCheckpointEvery(ticks int64) SessionOption {
+	return func(s *Session) { s.ckptEvery = ticks }
+}
+
+// WithEngineOptions passes options to every engine the session creates.
+func WithEngineOptions(opts ...ndlog.Option) SessionOption {
+	return func(s *Session) { s.engineOpts = opts }
+}
+
+// NewSession creates a session for the given program.
+func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
+	s := &Session{prog: prog, log: NewLog()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.mode == Runtime {
+		s.liveRec = provenance.NewRecorder(prog)
+		s.live = ndlog.New(prog, s.liveRec, s.engineOpts...)
+	} else {
+		s.live = ndlog.New(prog, nil, s.engineOpts...)
+	}
+	return s
+}
+
+// FromLog reconstructs a session from a previously captured base-event
+// log: the log is re-driven through a fresh live engine, after which the
+// session is indistinguishable from the one that recorded it. This is how
+// a diagnosis is run offline against saved logs.
+func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, error) {
+	s := NewSession(prog, opts...)
+	for _, ev := range l.Events() {
+		var err error
+		if ev.Kind == EvInsert {
+			err = s.Insert(ev.Node, ev.Tuple, ev.Tick)
+		} else {
+			err = s.Delete(ev.Node, ev.Tuple, ev.Tick)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("replay: rebuilding session: %v", err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("replay: rebuilding session: %v", err)
+	}
+	return s, nil
+}
+
+// Program returns the session's program.
+func (s *Session) Program() *ndlog.Program { return s.prog }
+
+// Live returns the live engine (the "runtime system").
+func (s *Session) Live() *ndlog.Engine { return s.live }
+
+// Log returns the base-event log.
+func (s *Session) Log() *Log { return s.log }
+
+// Mode returns the capture mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// Checkpoints returns the state checkpoints captured so far.
+func (s *Session) Checkpoints() []ndlog.Snapshot { return s.ckpts }
+
+// Insert logs and schedules a base-tuple insertion on the live system.
+func (s *Session) Insert(node string, t ndlog.Tuple, tick int64) error {
+	if err := s.live.ScheduleInsert(node, t, tick); err != nil {
+		return err
+	}
+	s.log.Insert(node, t, tick)
+	return nil
+}
+
+// Delete logs and schedules a base-tuple deletion on the live system.
+func (s *Session) Delete(node string, t ndlog.Tuple, tick int64) error {
+	if err := s.live.ScheduleDelete(node, t, tick); err != nil {
+		return err
+	}
+	s.log.Delete(node, t, tick)
+	return nil
+}
+
+// Run drains the live engine and takes due checkpoints.
+func (s *Session) Run() error {
+	if err := s.live.Run(); err != nil {
+		return err
+	}
+	if s.ckptEvery > 0 && s.live.Now().T >= s.lastCkpt+s.ckptEvery {
+		s.ckpts = append(s.ckpts, s.live.CaptureState())
+		s.lastCkpt = s.live.Now().T
+	}
+	return nil
+}
+
+// StateAt returns the most recent checkpoint at or before the tick, if
+// one exists. This is the fast path for state inspection; provenance
+// queries replay instead.
+func (s *Session) StateAt(tick int64) (ndlog.Snapshot, bool) {
+	for i := len(s.ckpts) - 1; i >= 0; i-- {
+		if s.ckpts[i].Tick <= tick {
+			return s.ckpts[i], true
+		}
+	}
+	return ndlog.Snapshot{}, false
+}
+
+// Graph returns the provenance graph of the execution so far: directly in
+// Runtime mode, via (memoized) replay in QueryTime mode. The returned
+// engine exposes the temporal store backing the graph.
+func (s *Session) Graph() (*ndlog.Engine, *provenance.Graph, error) {
+	if s.mode == Runtime {
+		return s.live, s.liveRec.Graph(), nil
+	}
+	if s.replayed != nil && s.replayedLen == s.log.Len() {
+		return s.replayed, s.replayedG, nil
+	}
+	e, g, err := s.Replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.replayed, s.replayedG, s.replayedLen = e, g, s.log.Len()
+	return e, g, nil
+}
+
+// Replay deterministically re-executes the log from scratch with a
+// provenance recorder attached and returns the fresh engine and graph.
+func (s *Session) Replay() (*ndlog.Engine, *provenance.Graph, error) {
+	return s.ReplayWith(nil)
+}
+
+// ReplayWith clones the logged execution and rolls it forward with the
+// given counterfactual changes injected at their ticks. The live system
+// is never touched (§4.6: "DiffProv clones the current state of the
+// system ... and applies its changes only to the clone").
+func (s *Session) ReplayWith(changes []Change) (*ndlog.Engine, *provenance.Graph, error) {
+	start := time.Now()
+	defer func() {
+		s.ReplayTime += time.Since(start)
+		s.ReplayCount++
+	}()
+	rec := provenance.NewRecorder(s.prog)
+	e := ndlog.New(s.prog, rec, s.engineOpts...)
+	schedule := func(kind EventKind, node string, t ndlog.Tuple, tick int64) error {
+		if kind == EvInsert {
+			return e.ScheduleInsert(node, t, tick)
+		}
+		return e.ScheduleDelete(node, t, tick)
+	}
+	for _, ev := range s.log.events {
+		if err := schedule(ev.Kind, ev.Node, ev.Tuple, ev.Tick); err != nil {
+			return nil, nil, fmt.Errorf("replay: %v", err)
+		}
+	}
+	for _, c := range changes {
+		kind := EvDelete
+		if c.Insert {
+			kind = EvInsert
+		}
+		if err := schedule(kind, c.Node, c.Tuple, c.Tick); err != nil {
+			return nil, nil, fmt.Errorf("replay: injecting %s: %v", c, err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %v", err)
+	}
+	return e, rec.Graph(), nil
+}
+
+// ReplayUntil replays only the log prefix up to and including the given
+// tick — the "selective reconstruction" optimization for queries about
+// past events.
+func (s *Session) ReplayUntil(tick int64) (*ndlog.Engine, *provenance.Graph, error) {
+	start := time.Now()
+	defer func() {
+		s.ReplayTime += time.Since(start)
+		s.ReplayCount++
+	}()
+	rec := provenance.NewRecorder(s.prog)
+	e := ndlog.New(s.prog, rec, s.engineOpts...)
+	for _, ev := range s.log.events {
+		if ev.Tick > tick {
+			continue
+		}
+		var err error
+		if ev.Kind == EvInsert {
+			err = e.ScheduleInsert(ev.Node, ev.Tuple, ev.Tick)
+		} else {
+			err = e.ScheduleDelete(ev.Node, ev.Tuple, ev.Tick)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("replay: %v", err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %v", err)
+	}
+	return e, rec.Graph(), nil
+}

@@ -1,0 +1,90 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+)
+
+// RefCheckResult summarizes one unsuitable-reference query (§6.3: "we
+// issued ten additional queries ... for which we picked a reference
+// event at random. As expected, DiffProv failed with an error message in
+// all cases").
+type RefCheckResult struct {
+	Scenario  string
+	Reference string
+	Kind      core.FailureKind
+	Message   string
+}
+
+// RandomReferenceChecks runs unsuitable-reference queries against SDN1
+// and MR1-D: references are picked from other tuple appearances in the
+// same execution (configuration state, other packets at other ingress
+// points), and every query must fail with a diagnostic error.
+func RandomReferenceChecks(scale Scale, perScenario int) ([]RefCheckResult, error) {
+	var out []RefCheckResult
+	for _, name := range []string{"SDN1", "MR1-D"} {
+		s, err := Build(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		refs, err := unsuitableReferences(s, perScenario)
+		if err != nil {
+			return nil, err
+		}
+		for _, ref := range refs {
+			_, derr := core.Diagnose(ref, s.Bad, s.World, core.Options{})
+			if derr == nil {
+				return nil, fmt.Errorf("%s: diagnosis with unsuitable reference %s unexpectedly succeeded",
+					name, ref.Vertex)
+			}
+			de, ok := derr.(*core.DiagnosisError)
+			if !ok {
+				return nil, fmt.Errorf("%s: unexpected error type: %v", name, derr)
+			}
+			out = append(out, RefCheckResult{
+				Scenario:  name,
+				Reference: ref.Vertex.Label(),
+				Kind:      de.Kind,
+				Message:   de.Error(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// unsuitableReferences picks reference trees that are known to be wrong:
+// trees rooted at configuration-state appearances (seed type mismatch)
+// and, where available, trees of events whose alignment would require
+// immutable changes.
+func unsuitableReferences(s *Scenario, n int) ([]*provenance.Tree, error) {
+	g := s.World.Graph()
+	badSeedTable := ""
+	if seed, err := s.Bad.FindSeed(); err == nil {
+		badSeedTable = seed.Vertex.Tuple.Table
+	}
+	var refs []*provenance.Tree
+	// Walk appearances and pick ones that make bad references: state
+	// tuples (different seed type) are always unsuitable.
+	g.Vertexes(func(v *provenance.Vertex) {
+		if len(refs) >= n || v.Type != provenance.Appear {
+			return
+		}
+		if v.Tuple.Table == badSeedTable {
+			return // might be a legitimate reference; skip
+		}
+		decl := s.World.Program().Decl(v.Tuple.Table)
+		if decl == nil || decl.Event {
+			return
+		}
+		if len(refs) > 0 && refs[len(refs)-1].Vertex.Tuple.Table == v.Tuple.Table {
+			return // diversify
+		}
+		refs = append(refs, g.Tree(v.ID))
+	})
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("scenarios: no unsuitable references found for %s", s.Name)
+	}
+	return refs, nil
+}

@@ -1,0 +1,406 @@
+// Package scenarios wires up the paper's six diagnostic scenarios (§6.2)
+// — SDN1–SDN4 plus the MapReduce scenarios in their declarative (MR1-D,
+// MR2-D) and imperative (MR1-I, MR2-I) variants — for reuse by the test
+// suite, the benchmark harness (Table 1, Figures 7–8), the CLI, and the
+// examples.
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ndlog"
+	"repro/internal/netcore"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+	"repro/internal/sdn"
+	"repro/internal/trace"
+)
+
+// Scale selects the workload size: Small keeps unit tests fast; Paper
+// approaches the paper's workload sizes for the benchmark harness.
+type Scale int
+
+// The scales.
+const (
+	Small Scale = iota
+	Paper
+)
+
+// Scenario is one ready-to-diagnose case study.
+type Scenario struct {
+	Name        string
+	Description string
+	// Good and Bad are the reference and diagnostic provenance trees.
+	Good, Bad *provenance.Tree
+	// World is the bad execution for DiffProv.
+	World core.World
+	// BadSession is the bad execution's replay session (nil for the
+	// imperative MapReduce variants, which re-run jobs instead).
+	BadSession *replay.Session
+	// WantRounds is the number of DiffProv rounds the paper reports.
+	WantRounds int
+	// Check validates the diagnosis result against the known root cause.
+	Check func(*core.Result) error
+}
+
+// Diagnose runs DiffProv on the scenario.
+func (s *Scenario) Diagnose() (*core.Result, error) {
+	return core.Diagnose(s.Good, s.Bad, s.World, core.Options{})
+}
+
+// Names lists the scenarios in the paper's Table 1 order.
+func Names() []string {
+	return []string{"SDN1", "SDN2", "SDN3", "SDN4", "MR1-D", "MR2-D", "MR1-I", "MR2-I"}
+}
+
+// Build constructs a scenario by name.
+func Build(name string, scale Scale) (*Scenario, error) {
+	switch strings.ToUpper(name) {
+	case "SDN1":
+		return SDN1(scale)
+	case "SDN2":
+		return SDN2(scale)
+	case "SDN3":
+		return SDN3(scale)
+	case "SDN4":
+		return SDN4(scale)
+	case "MR1-D":
+		return MR1D(scale)
+	case "MR2-D":
+		return MR2D(scale)
+	case "MR1-I":
+		return MR1I(scale)
+	case "MR2-I":
+		return MR2I(scale)
+	default:
+		return nil, fmt.Errorf("scenarios: unknown scenario %q (want one of %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// All builds every scenario.
+func All(scale Scale) ([]*Scenario, error) {
+	var out []*Scenario
+	for _, n := range Names() {
+		s, err := Build(n, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", n, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// The Figure 1 headers. The web service IP is the same for all clients;
+// paths are selected by the source subnet.
+var (
+	webIP   = ndlog.MustParseIP("10.0.0.80")
+	goodHdr = sdn.Header{Src: ndlog.MustParseIP("4.3.2.1"), Dst: webIP, Proto: 6}
+	badHdr  = sdn.Header{Src: ndlog.MustParseIP("4.3.3.1"), Dst: webIP, Proto: 6}
+)
+
+// figure1Policy is the controller program of §2, written in the NetCore
+// front-end, with the operator's typo (4.3.2.0/24 instead of /23).
+const figure1Policy = `
+policy untrusted priority 10 {
+    match src in 4.3.2.0/24;    // TYPO: the untrusted subnet is /23
+    route web1;
+}
+policy default priority 1 {
+    route web2;
+}
+mirror at s6 {
+    match src in 0.0.0.0/0;
+    to dpi;
+}
+`
+
+// backgroundPackets returns how much background traffic a scale implies.
+func backgroundPackets(scale Scale) int {
+	if scale == Paper {
+		return 3000
+	}
+	return 120
+}
+
+// buildFigure1 builds the §2 network with the given policy source and
+// streams background traffic through it.
+func buildFigure1(policySrc string, scale Scale) (*sdn.Network, error) {
+	n := sdn.NewNetwork()
+	for _, sw := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
+		if err := n.SwitchUp(sw); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.AddPath("web1", "s1", "s2", "s6", "web1"); err != nil {
+		return nil, err
+	}
+	if err := n.AddPath("web2", "s1", "s2", "s3", "s4", "s5", "web2"); err != nil {
+		return nil, err
+	}
+	prog, err := netcore.Parse(policySrc)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Install(n); err != nil {
+		return nil, err
+	}
+	// Replay a synthetic capture through the network (the paper replays
+	// an OC-192 CAIDA trace through the SDN1 setup).
+	gen := trace.New(trace.Config{
+		Seed:       11,
+		DstSubnets: []ndlog.Prefix{ndlog.MustParsePrefix("10.0.0.80/32")},
+	})
+	for i := 0; i < backgroundPackets(scale); i++ {
+		p := gen.Next()
+		if _, err := n.InjectPacket("s1", sdn.Header{Src: p.Src, Dst: p.Dst, Proto: p.Proto}); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func sdnScenario(n *sdn.Network, goodNode string, good sdn.Header, badNode string, bad sdn.Header) (*Scenario, error) {
+	if err := n.Run(); err != nil {
+		return nil, err
+	}
+	gt, err := n.ArrivalTree(goodNode, good)
+	if err != nil {
+		return nil, fmt.Errorf("good tree: %v", err)
+	}
+	bt, err := n.ArrivalTree(badNode, bad)
+	if err != nil {
+		return nil, fmt.Errorf("bad tree: %v", err)
+	}
+	world, err := core.NewWorld(n.Session())
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Good: gt, Bad: bt, World: world, BadSession: n.Session(), WantRounds: 1}, nil
+}
+
+// SDN1 is the broken flow entry scenario of §2/§6.2: the overly specific
+// rule misroutes part of the untrusted subnet.
+func SDN1(scale Scale) (*Scenario, error) {
+	n, err := buildFigure1(figure1Policy, scale)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.InjectPacket("s1", goodHdr); err != nil {
+		return nil, err
+	}
+	if _, err := n.InjectPacket("s1", badHdr); err != nil {
+		return nil, err
+	}
+	s, err := sdnScenario(n, "web1", goodHdr, "web2", badHdr)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "SDN1"
+	s.Description = "Broken flow entry: 4.3.2.0/23 mistyped as /24; requests from 4.3.3.0/24 reach the wrong server"
+	s.Check = func(r *core.Result) error {
+		if len(r.Changes) != 1 {
+			return fmt.Errorf("Δ = %v, want 1 change", r.Changes)
+		}
+		c := r.Changes[0]
+		if c.Tuple.Table != "intent" || !c.Insert {
+			return fmt.Errorf("change = %v, want an intent insertion", c)
+		}
+		if c.Tuple.Args[1] != ndlog.MustParsePrefix("4.3.2.0/23") {
+			return fmt.Errorf("change = %s, want the corrected /23 match", c.Tuple)
+		}
+		return nil
+	}
+	return s, nil
+}
+
+// SDN2 is the multi-controller inconsistency: a second app's
+// higher-priority scrubber rule overlaps legitimate traffic.
+func SDN2(scale Scale) (*Scenario, error) {
+	const policy = `
+policy webdefault priority 1 {
+    route web1;
+}
+// Installed by a different controller app, unaware of the first:
+policy scrubsuspects priority 20 {
+    match src in 9.9.0.0/16;    // overlaps legitimate clients
+    route scrubber;
+}
+`
+	n := sdn.NewNetwork()
+	for _, sw := range []string{"s1", "s2"} {
+		if err := n.SwitchUp(sw); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.AddPath("web1", "s1", "s2", "web1"); err != nil {
+		return nil, err
+	}
+	if err := n.AddPath("scrubber", "s1", "s2", "scrubber"); err != nil {
+		return nil, err
+	}
+	prog, err := netcore.Parse(policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Install(n); err != nil {
+		return nil, err
+	}
+	gen := trace.New(trace.Config{Seed: 12, DstSubnets: []ndlog.Prefix{ndlog.MustParsePrefix("10.0.0.80/32")}})
+	for i := 0; i < backgroundPackets(scale); i++ {
+		p := gen.Next()
+		if _, err := n.InjectPacket("s1", sdn.Header{Src: p.Src, Dst: p.Dst, Proto: p.Proto}); err != nil {
+			return nil, err
+		}
+	}
+	good := sdn.Header{Src: ndlog.MustParseIP("8.8.1.1"), Dst: webIP, Proto: 6}
+	bad := sdn.Header{Src: ndlog.MustParseIP("9.9.1.1"), Dst: webIP, Proto: 6} // legitimate client
+	if _, err := n.InjectPacket("s1", good); err != nil {
+		return nil, err
+	}
+	if _, err := n.InjectPacket("s1", bad); err != nil {
+		return nil, err
+	}
+	s, err := sdnScenario(n, "web1", good, "scrubber", bad)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "SDN2"
+	s.Description = "Multi-controller inconsistency: a conflicting higher-priority rule sends legitimate traffic to the scrubber"
+	s.Check = func(r *core.Result) error {
+		if len(r.Changes) != 1 {
+			return fmt.Errorf("Δ = %v, want 1 change", r.Changes)
+		}
+		c := r.Changes[0]
+		if c.Insert || c.Tuple.Table != "intent" {
+			return fmt.Errorf("change = %v, want deletion of the conflicting intent", c)
+		}
+		if c.Tuple.Args[1] != ndlog.MustParsePrefix("9.9.0.0/16") {
+			return fmt.Errorf("change = %s, want the scrubber app's intent", c.Tuple)
+		}
+		return nil
+	}
+	return s, nil
+}
+
+// SDN3 is the unexpected rule expiration: a multicast-style video intent
+// expires and traffic falls back to a lower-priority rule toward the
+// wrong host. The reference event is in the past.
+func SDN3(scale Scale) (*Scenario, error) {
+	n := sdn.NewNetwork()
+	for _, sw := range []string{"s1", "s2"} {
+		if err := n.SwitchUp(sw); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.AddPath("video1", "s1", "s2", "video1"); err != nil {
+		return nil, err
+	}
+	if err := n.AddPath("other", "s1", "s2", "other"); err != nil {
+		return nil, err
+	}
+	videoSrc := ndlog.MustParsePrefix("7.7.0.0/16")
+	if err := n.AddIntent(10, videoSrc, sdn.Any, "video1"); err != nil {
+		return nil, err
+	}
+	if err := n.AddIntent(1, sdn.Any, sdn.Any, "other"); err != nil {
+		return nil, err
+	}
+	gen := trace.New(trace.Config{Seed: 13, DstSubnets: []ndlog.Prefix{ndlog.MustParsePrefix("10.0.0.80/32")}})
+	for i := 0; i < backgroundPackets(scale)/2; i++ {
+		p := gen.Next()
+		if _, err := n.InjectPacket("s1", sdn.Header{Src: p.Src, Dst: p.Dst, Proto: p.Proto}); err != nil {
+			return nil, err
+		}
+	}
+	good := sdn.Header{Src: ndlog.MustParseIP("7.7.1.1"), Dst: webIP, Proto: 17}
+	bad := sdn.Header{Src: ndlog.MustParseIP("7.7.1.2"), Dst: webIP, Proto: 17}
+	if _, err := n.InjectPacket("s1", good); err != nil {
+		return nil, err
+	}
+	// The rule expires, well after the good packet has traversed...
+	n.AdvanceTo(n.Tick() + 20)
+	if err := n.RemoveIntent(10, videoSrc, sdn.Any, "video1"); err != nil {
+		return nil, err
+	}
+	n.AdvanceTo(n.Tick() + 20)
+	for i := 0; i < backgroundPackets(scale)/2; i++ {
+		p := gen.Next()
+		if _, err := n.InjectPacket("s1", sdn.Header{Src: p.Src, Dst: p.Dst, Proto: p.Proto}); err != nil {
+			return nil, err
+		}
+	}
+	// ... and later traffic is delivered to the wrong host.
+	if _, err := n.InjectPacket("s1", bad); err != nil {
+		return nil, err
+	}
+	s, err := sdnScenario(n, "video1", good, "other", bad)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "SDN3"
+	s.Description = "Unexpected rule expiration: after the video intent expires, traffic is delivered to the wrong host (the reference is a past packet)"
+	s.Check = func(r *core.Result) error {
+		if len(r.Changes) != 1 {
+			return fmt.Errorf("Δ = %v, want 1 change", r.Changes)
+		}
+		c := r.Changes[0]
+		if !c.Insert || c.Tuple.Table != "intent" || c.Tuple.Args[3] != ndlog.Str("video1") {
+			return fmt.Errorf("change = %v, want reinstating the expired video intent", c)
+		}
+		return nil
+	}
+	return s, nil
+}
+
+// SDN4 extends SDN1 with a larger topology and two faulty entries on
+// consecutive hops; DiffProv proceeds in two rounds.
+func SDN4(scale Scale) (*Scenario, error) {
+	n, err := buildFigure1(strings.Replace(figure1Policy, "4.3.2.0/24", "4.3.2.0/23", 1), scale)
+	if err != nil {
+		return nil, err
+	}
+	// Two injected faults: hard-coded entries on the consecutive hops
+	// s2 and s6 that hijack the bad packet's /24.
+	badSrc := ndlog.MustParsePrefix("4.3.3.0/24")
+	if err := n.AddStaticEntry("s2", 20, badSrc, sdn.Any, "s3"); err != nil {
+		return nil, err
+	}
+	if err := n.AddStaticEntry("s6", 20, badSrc, sdn.Any, "s5"); err != nil {
+		return nil, err
+	}
+	if _, err := n.InjectPacket("s1", goodHdr); err != nil {
+		return nil, err
+	}
+	if _, err := n.InjectPacket("s1", badHdr); err != nil {
+		return nil, err
+	}
+	s, err := sdnScenario(n, "web1", goodHdr, "web2", badHdr)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "SDN4"
+	s.WantRounds = 2
+	s.Description = "Multiple faulty entries on consecutive hops (s2, s6); DiffProv identifies them in two rounds"
+	s.Check = func(r *core.Result) error {
+		if len(r.Rounds) != 2 {
+			return fmt.Errorf("rounds = %d, want 2", len(r.Rounds))
+		}
+		for i, round := range r.Rounds {
+			if len(round.Changes) != 1 {
+				return fmt.Errorf("round %d Δ = %v, want 1", i+1, round.Changes)
+			}
+			c := round.Changes[0]
+			if c.Insert || c.Tuple.Table != "staticEntry" {
+				return fmt.Errorf("round %d change = %v, want deletion of a faulty static entry", i+1, c)
+			}
+		}
+		if r.Rounds[0].Changes[0].Node != "s2" || r.Rounds[1].Changes[0].Node != "s6" {
+			return fmt.Errorf("faults fixed on %s then %s, want s2 then s6",
+				r.Rounds[0].Changes[0].Node, r.Rounds[1].Changes[0].Node)
+		}
+		return nil
+	}
+	return s, nil
+}

@@ -1,0 +1,221 @@
+// Package server exposes the DiffProv debugger over HTTP: a small
+// JSON API for listing the case studies, fetching provenance trees, and
+// running differential diagnoses — the kind of front-end an operator
+// would point dashboards or scripts at.
+//
+// Endpoints:
+//
+//	GET /scenarios                  list scenarios
+//	GET /scenarios/{name}           scenario summary (tree sizes, diff)
+//	GET /scenarios/{name}/tree/good provenance tree (text or DOT)
+//	GET /scenarios/{name}/tree/bad  ?format=dot for Graphviz
+//	POST /scenarios/{name}/diagnose run DiffProv, return Δ and timings
+//	POST /scenarios/{name}/autoref  diagnose with a mined reference
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenarios"
+	"repro/internal/treediff"
+)
+
+// Server is the HTTP front-end. Scenarios are built lazily and cached;
+// diagnosis runs on the cached instance. Diagnoses are serialized per
+// server: the underlying replay sessions accumulate timing state and are
+// not safe for concurrent counterfactual replays.
+type Server struct {
+	scale scenarios.Scale
+
+	mu    sync.Mutex
+	cache map[string]*scenarios.Scenario
+
+	// diagMu serializes diagnosis runs (they mutate session replay
+	// statistics and share scenario state).
+	diagMu sync.Mutex
+}
+
+// New creates a server at the given workload scale.
+func New(scale scenarios.Scale) *Server {
+	return &Server{scale: scale, cache: map[string]*scenarios.Scenario{}}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /scenarios", s.handleList)
+	mux.HandleFunc("GET /scenarios/{name}", s.handleSummary)
+	mux.HandleFunc("GET /scenarios/{name}/tree/{which}", s.handleTree)
+	mux.HandleFunc("POST /scenarios/{name}/diagnose", s.handleDiagnose)
+	mux.HandleFunc("POST /scenarios/{name}/autoref", s.handleAutoRef)
+	return mux
+}
+
+func (s *Server) scenario(name string) (*scenarios.Scenario, error) {
+	key := strings.ToUpper(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc, ok := s.cache[key]; ok {
+		return sc, nil
+	}
+	sc, err := scenarios.Build(key, s.scale)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = sc
+	return sc, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// scenarioInfo is the JSON shape of a scenario listing entry.
+type scenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []scenarioInfo
+	for _, name := range scenarios.Names() {
+		sc, err := s.scenario(name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, scenarioInfo{Name: sc.Name, Description: sc.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// summary is the JSON shape of a scenario summary.
+type summary struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	GoodTree    int    `json:"goodTreeVertexes"`
+	BadTree     int    `json:"badTreeVertexes"`
+	PlainDiff   int    `json:"plainDiffVertexes"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.scenario(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, summary{
+		Name:        sc.Name,
+		Description: sc.Description,
+		GoodTree:    sc.Good.Size(),
+		BadTree:     sc.Bad.Size(),
+		PlainDiff:   treediff.PlainDiff(sc.Good, sc.Bad),
+	})
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.scenario(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	tree := sc.Good
+	switch r.PathValue("which") {
+	case "good":
+	case "bad":
+		tree = sc.Bad
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("tree must be good or bad"))
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		_ = tree.WriteDOT(w, sc.Name)
+	case "explain":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tree.Explain())
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tree.String())
+	}
+}
+
+// diagnosis is the JSON shape of a diagnosis response.
+type diagnosis struct {
+	Scenario   string        `json:"scenario"`
+	Changes    []string      `json:"changes"`
+	Rounds     int           `json:"rounds"`
+	Iterations int           `json:"iterations"`
+	ReasoningM string        `json:"reasoning"`
+	UpdateTree string        `json:"treeUpdates"`
+	Elapsed    time.Duration `json:"elapsedNs"`
+	Reference  string        `json:"reference,omitempty"`
+}
+
+func diagnosisOf(name string, res *core.Result, elapsed time.Duration) diagnosis {
+	d := diagnosis{
+		Scenario:   name,
+		Rounds:     len(res.Rounds),
+		Iterations: res.Iterations,
+		ReasoningM: (res.Timings.FindSeed + res.Timings.Divergence + res.Timings.MakeAppear).String(),
+		UpdateTree: res.Timings.UpdateTree.String(),
+		Elapsed:    elapsed,
+	}
+	for _, c := range res.Changes {
+		d.Changes = append(d.Changes, c.String())
+	}
+	return d
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.scenario(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.diagMu.Lock()
+	start := time.Now()
+	res, err := sc.Diagnose()
+	elapsed := time.Since(start)
+	s.diagMu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, diagnosisOf(sc.Name, res, elapsed))
+}
+
+func (s *Server) handleAutoRef(w http.ResponseWriter, r *http.Request) {
+	sc, err := s.scenario(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.diagMu.Lock()
+	start := time.Now()
+	res, ref, err := core.AutoDiagnose(sc.Bad, sc.World, core.Options{})
+	elapsed := time.Since(start)
+	s.diagMu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	d := diagnosisOf(sc.Name, res, elapsed)
+	d.Reference = ref.Vertex.Tuple.String()
+	writeJSON(w, http.StatusOK, d)
+}

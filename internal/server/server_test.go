@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(scenarios.Small).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestListScenarios(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/scenarios")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out []map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("scenarios = %d, want 8", len(out))
+	}
+	if out[0]["name"] != "SDN1" || out[0]["description"] == "" {
+		t.Errorf("first scenario = %v", out[0])
+	}
+}
+
+func TestSummary(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/scenarios/sdn1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var s struct {
+		GoodTree  int `json:"goodTreeVertexes"`
+		BadTree   int `json:"badTreeVertexes"`
+		PlainDiff int `json:"plainDiffVertexes"`
+	}
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.GoodTree < 20 || s.BadTree < 20 || s.PlainDiff < 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if code, _ := get(t, ts.URL+"/scenarios/NOPE"); code != http.StatusNotFound {
+		t.Errorf("unknown scenario status = %d", code)
+	}
+}
+
+func TestTreeFormats(t *testing.T) {
+	ts := testServer(t)
+	code, body := get(t, ts.URL+"/scenarios/SDN1/tree/bad")
+	if code != http.StatusOK || !strings.Contains(string(body), "APPEAR") {
+		t.Errorf("text tree: %d %s", code, body[:min(80, len(body))])
+	}
+	code, body = get(t, ts.URL+"/scenarios/SDN1/tree/good?format=dot")
+	if code != http.StatusOK || !strings.Contains(string(body), "digraph") {
+		t.Errorf("dot tree: %d", code)
+	}
+	code, body = get(t, ts.URL+"/scenarios/SDN1/tree/good?format=explain")
+	if code != http.StatusOK || !strings.Contains(string(body), "Why did") {
+		t.Errorf("explain tree: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/scenarios/SDN1/tree/ugly"); code != http.StatusNotFound {
+		t.Errorf("bad tree selector status = %d", code)
+	}
+}
+
+func TestDiagnoseEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, body := post(t, ts.URL+"/scenarios/SDN1/diagnose")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var d struct {
+		Changes []string `json:"changes"`
+		Rounds  int      `json:"rounds"`
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changes) != 1 || !strings.Contains(d.Changes[0], "4.3.2.0/23") {
+		t.Errorf("diagnosis = %+v", d)
+	}
+	if d.Rounds != 1 {
+		t.Errorf("rounds = %d", d.Rounds)
+	}
+}
+
+func TestAutoRefEndpoint(t *testing.T) {
+	ts := testServer(t)
+	code, body := post(t, ts.URL+"/scenarios/SDN1/autoref")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var d struct {
+		Changes   []string `json:"changes"`
+		Reference string   `json:"reference"`
+	}
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reference == "" {
+		t.Error("autoref response must name the mined reference")
+	}
+	if len(d.Changes) != 1 {
+		t.Errorf("changes = %v", d.Changes)
+	}
+}
+
+func TestScenarioCaching(t *testing.T) {
+	srv := New(scenarios.Small)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	get(t, ts.URL+"/scenarios/SDN2")
+	get(t, ts.URL+"/scenarios/SDN2")
+	srv.mu.Lock()
+	n := len(srv.cache)
+	srv.mu.Unlock()
+	if n != 1 {
+		t.Errorf("cache entries = %d, want 1", n)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestConcurrentDiagnoses(t *testing.T) {
+	ts := testServer(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			name := []string{"SDN1", "SDN2"}[i%2]
+			resp, err := http.Post(ts.URL+"/scenarios/"+name+"/diagnose", "application/json", nil)
+			if err != nil {
+				done <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				done <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

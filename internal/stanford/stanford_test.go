@@ -1,0 +1,117 @@
+package stanford
+
+import (
+	"testing"
+
+	"repro/internal/treediff"
+)
+
+func buildSmall(t *testing.T) *Backbone {
+	t.Helper()
+	b, err := Build(Config{Seed: 1, ForwardingEntries: 300, ACLRules: 30, BackgroundPackets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTopologyShape(t *testing.T) {
+	if len(OZRouters()) != 14 {
+		t.Error("paper: 14 OZ routers")
+	}
+	if len(BackboneRouters()) != 2 {
+		t.Error("paper: 2 backbone routers")
+	}
+}
+
+func TestForwardingErrorReproduces(t *testing.T) {
+	b := buildSmall(t)
+	if !b.Net.Arrived(b.Zone2Hosts, b.GoodHeader) {
+		t.Error("the reference packet must reach the zone (H1 can reach 172.19.254.0/24)")
+	}
+	if !b.Net.Arrived(b.DropNode, b.BadHeader) {
+		t.Error("the bad packet must be dropped by the faulty entry")
+	}
+	if b.Net.Arrived(b.Zone2Hosts, b.BadHeader) {
+		t.Error("the bad packet must not reach the zone")
+	}
+}
+
+func TestTreeSizesMatchPaperShape(t *testing.T) {
+	b := buildSmall(t)
+	good, bad, err := b.Trees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: trees of 67 and 75 nodes (smaller than SDN1-4: only two
+	// intermediate hops); plain diff 108 nodes.
+	if good.Size() < 10 || good.Size() > 300 {
+		t.Errorf("good tree = %d vertexes, want tens", good.Size())
+	}
+	if bad.Size() < 5 || bad.Size() > 300 {
+		t.Errorf("bad tree = %d vertexes, want tens", bad.Size())
+	}
+	diff := treediff.PlainDiff(good, bad)
+	if diff == 0 {
+		t.Error("plain diff must be non-empty")
+	}
+	t.Logf("trees %d/%d vertexes, plain diff %d (paper: 67/75, diff 108)",
+		good.Size(), bad.Size(), diff)
+}
+
+func TestDiagnosisFindsTheFault(t *testing.T) {
+	b := buildSmall(t)
+	res, err := b.Diagnose()
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want exactly the misconfigured entry", res.Changes)
+	}
+	if !b.IsFaultChange(res.Changes[0]) {
+		t.Fatalf("change = %v, want deletion of %s on %s", res.Changes[0], b.FaultEntry, b.S2)
+	}
+}
+
+func TestDiagnosisResilientToNoise(t *testing.T) {
+	// More faults, more background traffic, different seed: the
+	// diagnosis must not be confused by unrelated problems (§6.7:
+	// "despite the 20 other concurrent faults and the heavy background
+	// traffic").
+	b, err := Build(Config{Seed: 99, ForwardingEntries: 800, ACLRules: 80, ExtraFaults: 20, BackgroundPackets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Diagnose()
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if len(res.Changes) != 1 || !b.IsFaultChange(res.Changes[0]) {
+		t.Fatalf("Δ = %v, want exactly the misconfigured entry", res.Changes)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	b1 := buildSmall(t)
+	b2 := buildSmall(t)
+	s1 := b1.Net.Session().Live().Stats()
+	s2 := b2.Net.Session().Live().Stats()
+	if s1 != s2 {
+		t.Errorf("builds differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestScaleParameters(t *testing.T) {
+	b, err := Build(Config{Seed: 2, ForwardingEntries: 50, ACLRules: 5, ExtraFaults: 4, BackgroundPackets: 20, Protocols: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry count: generated + scenario entries land on the routers.
+	total := 0
+	for _, r := range append(OZRouters(), BackboneRouters()...) {
+		total += len(b.Net.FlowTable(r))
+	}
+	if total < 50 {
+		t.Errorf("installed entries = %d, want at least the configured 50", total)
+	}
+}

@@ -1,0 +1,189 @@
+// Package trace generates deterministic synthetic packet traces — the
+// stand-in for the paper's CAIDA OC-192 capture (§6.1). The paper uses
+// the trace purely as a packet workload with a given rate and size
+// distribution; this generator produces a statistically similar stream
+// (heavy-tailed flow sizes, a mix of subnets and protocols) from a seed,
+// so every experiment is reproducible bit-for-bit.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+)
+
+// Packet is one generated packet: a header plus a wire size. Only the
+// header is logged (the paper: "we only store fixed-size information for
+// each packet, i.e., the header and the timestamp").
+type Packet struct {
+	Src, Dst ndlog.IP
+	Proto    int64
+	Size     int // wire size in bytes
+}
+
+// Tuple renders the packet as an NDlog event for the SDN model.
+func (p Packet) Tuple() ndlog.Tuple {
+	return ndlog.NewTuple("packet", p.Src, p.Dst, ndlog.Int(p.Proto))
+}
+
+// Config parameterizes a trace.
+type Config struct {
+	Seed int64
+	// RateBps is the traffic rate in bits per second.
+	RateBps float64
+	// PacketSize is the mean packet size in bytes (fixed per trace, as
+	// in the paper's experiments).
+	PacketSize int
+	// DurationSec is the trace length in (simulated) seconds.
+	DurationSec float64
+	// SrcSubnets and DstSubnets are the address pools (defaults cover a
+	// typical campus mix).
+	SrcSubnets, DstSubnets []ndlog.Prefix
+	// Protocols and their weights (defaults: TCP-heavy internet mix).
+	Protocols []ProtoMix
+}
+
+// ProtoMix pairs a protocol number with a relative weight.
+type ProtoMix struct {
+	Proto  int64
+	Weight int
+}
+
+func (c *Config) defaults() {
+	if c.PacketSize == 0 {
+		c.PacketSize = 500
+	}
+	if c.RateBps == 0 {
+		c.RateBps = 1e6
+	}
+	if c.DurationSec == 0 {
+		c.DurationSec = 1
+	}
+	if len(c.SrcSubnets) == 0 {
+		c.SrcSubnets = []ndlog.Prefix{
+			ndlog.MustParsePrefix("4.3.2.0/23"),
+			ndlog.MustParsePrefix("8.8.0.0/16"),
+			ndlog.MustParsePrefix("128.32.0.0/16"),
+			ndlog.MustParsePrefix("171.64.0.0/14"),
+		}
+	}
+	if len(c.DstSubnets) == 0 {
+		c.DstSubnets = []ndlog.Prefix{
+			ndlog.MustParsePrefix("10.0.0.0/24"),
+			ndlog.MustParsePrefix("10.0.1.0/24"),
+		}
+	}
+	if len(c.Protocols) == 0 {
+		c.Protocols = []ProtoMix{{6, 85}, {17, 12}, {1, 3}}
+	}
+}
+
+// PacketsPerSecond returns the packet rate implied by the config.
+func (c Config) PacketsPerSecond() float64 {
+	c.defaults()
+	return c.RateBps / (8 * float64(c.PacketSize))
+}
+
+// NumPackets returns the number of packets in the configured duration.
+func (c Config) NumPackets() int {
+	return int(c.PacketsPerSecond() * c.DurationSec)
+}
+
+// Generator produces a deterministic packet stream.
+type Generator struct {
+	cfg    Config
+	state  uint64
+	weight int
+}
+
+// New creates a generator; the zero config is usable (1 Mbps, 500 B).
+func New(cfg Config) *Generator {
+	cfg.defaults()
+	g := &Generator{cfg: cfg, state: uint64(cfg.Seed)*2862933555777941757 + 3037000493}
+	for _, p := range cfg.Protocols {
+		g.weight += p.Weight
+	}
+	return g
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// next is a SplitMix64 step: fast, deterministic, well-distributed.
+func (g *Generator) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *Generator) pick(prefixes []ndlog.Prefix) ndlog.IP {
+	p := prefixes[int(g.next()%uint64(len(prefixes)))]
+	host := uint32(g.next())
+	if p.Bits < 32 {
+		host &= 1<<(32-uint(p.Bits)) - 1
+	} else {
+		host = 0
+	}
+	// Avoid the all-zero host so addresses look plausible.
+	if host == 0 && p.Bits < 32 {
+		host = 1
+	}
+	return p.Addr | ndlog.IP(host)
+}
+
+// Next generates one packet.
+func (g *Generator) Next() Packet {
+	proto := int64(6)
+	if g.weight > 0 {
+		w := int(g.next() % uint64(g.weight))
+		for _, pm := range g.cfg.Protocols {
+			if w < pm.Weight {
+				proto = pm.Proto
+				break
+			}
+			w -= pm.Weight
+		}
+	}
+	return Packet{
+		Src:   g.pick(g.cfg.SrcSubnets),
+		Dst:   g.pick(g.cfg.DstSubnets),
+		Proto: proto,
+		Size:  g.cfg.PacketSize,
+	}
+}
+
+// Packets generates n packets.
+func (g *Generator) Packets(n int) []Packet {
+	out := make([]Packet, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// BuildLog generates the trace and logs every packet (header + timestamp)
+// at the given ingress node, one tick per packet, returning the log. This
+// is the workload of the storage-cost experiments (Figures 5 and 6).
+func (g *Generator) BuildLog(ingress string, startTick int64, n int) *replay.Log {
+	l := replay.NewLog()
+	for i := 0; i < n; i++ {
+		l.Insert(ingress, g.Next().Tuple(), startTick+int64(i))
+	}
+	return l
+}
+
+// LoggingRate measures the log growth rate for the configured traffic:
+// bytes of encoded log per (simulated) second. The shape reproduced from
+// the paper: linear in the traffic rate, decreasing in packet size at a
+// fixed bit rate (fewer packets per second mean fewer log records).
+func (g *Generator) LoggingRate(samplePackets int) (bytesPerSec float64, err error) {
+	if samplePackets <= 0 {
+		return 0, fmt.Errorf("trace: need a positive sample size")
+	}
+	l := g.BuildLog("border", 0, samplePackets)
+	perPacket := float64(l.EncodedSize()) / float64(samplePackets)
+	return perPacket * g.cfg.PacketsPerSecond(), nil
+}

@@ -1,0 +1,214 @@
+// Package treediff implements the strawman tree-comparison baselines of
+// §2.5: a plain vertex-multiset diff and the Zhang–Shasha ordered tree
+// edit distance. The paper shows these perform poorly on provenance
+// trees — the diff of the two SDN1 trees has more vertexes than either
+// tree — which is precisely what motivates differential provenance.
+package treediff
+
+import (
+	"sort"
+
+	"repro/internal/provenance"
+)
+
+// PlainDiff counts the vertexes in the symmetric difference of the two
+// trees' label multisets: the naive "compare the trees vertex by vertex
+// and pick out the different ones" baseline. Labels ignore timestamps
+// (an equivalence relation masking irrelevant detail, per §2.5) but keep
+// headers, nodes, and rules — which is why small routing changes blow the
+// diff up.
+func PlainDiff(a, b *provenance.Tree) int {
+	la := a.Labels()
+	lb := b.Labels()
+	diff := 0
+	for label, ca := range la {
+		cb := lb[label]
+		if ca > cb {
+			diff += ca - cb
+		}
+	}
+	for label, cb := range lb {
+		ca := la[label]
+		if cb > ca {
+			diff += cb - ca
+		}
+	}
+	return diff
+}
+
+// SharedVertexes counts label-equal vertexes present in both trees (the
+// green vertexes of Figure 2).
+func SharedVertexes(a, b *provenance.Tree) int {
+	la := a.Labels()
+	lb := b.Labels()
+	shared := 0
+	for label, ca := range la {
+		if cb := lb[label]; cb < ca {
+			shared += cb
+		} else {
+			shared += ca
+		}
+	}
+	return shared
+}
+
+// Node is the minimal ordered labeled tree the edit-distance algorithm
+// operates on.
+type Node struct {
+	Label    string
+	Children []*Node
+}
+
+// FromProvenance converts a provenance tree into an ordered labeled tree.
+func FromProvenance(t *provenance.Tree) *Node {
+	if t == nil {
+		return nil
+	}
+	n := &Node{Label: t.Vertex.Label()}
+	for _, c := range t.Children {
+		n.Children = append(n.Children, FromProvenance(c))
+	}
+	return n
+}
+
+// Size returns the number of nodes in the tree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// EditDistance computes the Zhang–Shasha tree edit distance between two
+// ordered labeled trees with unit costs for insert, delete, and rename.
+// This is the classical algorithm the paper cites ([5], Bille's survey):
+// O(n1*n2*min(depth1, leaves1)*min(depth2, leaves2)) time.
+func EditDistance(t1, t2 *Node) int {
+	a := newOrdered(t1)
+	b := newOrdered(t2)
+	if a.n == 0 {
+		return b.n
+	}
+	if b.n == 0 {
+		return a.n
+	}
+	td := make([][]int, a.n+1)
+	for i := range td {
+		td[i] = make([]int, b.n+1)
+	}
+	for _, i := range a.keyRoots {
+		for _, j := range b.keyRoots {
+			treeDist(a, b, i, j, td)
+		}
+	}
+	return td[a.n][b.n]
+}
+
+// ordered holds the postorder decomposition used by Zhang–Shasha.
+type ordered struct {
+	n        int
+	labels   []string // 1-based postorder labels
+	lmld     []int    // leftmost leaf descendant per postorder index
+	keyRoots []int
+}
+
+func newOrdered(t *Node) *ordered {
+	o := &ordered{}
+	if t == nil {
+		return o
+	}
+	o.labels = append(o.labels, "") // 1-based
+	o.lmld = append(o.lmld, 0)
+	var walk func(n *Node) int // returns postorder index of n
+	var leftmost func(n *Node) *Node
+	leftmost = func(n *Node) *Node {
+		for len(n.Children) > 0 {
+			n = n.Children[0]
+		}
+		return n
+	}
+	lmOf := map[*Node]int{}
+	walk = func(n *Node) int {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		o.n++
+		idx := o.n
+		o.labels = append(o.labels, n.Label)
+		lm := leftmost(n)
+		lmIdx, ok := lmOf[lm]
+		if !ok {
+			lmIdx = idx // n is itself a leaf
+		}
+		lmOf[n] = lmIdx
+		o.lmld = append(o.lmld, lmIdx)
+		return idx
+	}
+	walk(t)
+	// Key roots: nodes with no left sibling sharing their leftmost leaf —
+	// the largest postorder index per distinct leftmost-leaf value.
+	last := map[int]int{}
+	for i := 1; i <= o.n; i++ {
+		last[o.lmld[i]] = i
+	}
+	for _, i := range last {
+		o.keyRoots = append(o.keyRoots, i)
+	}
+	sort.Ints(o.keyRoots)
+	return o
+}
+
+func treeDist(a, b *ordered, i, j int, td [][]int) {
+	li := a.lmld[i]
+	lj := b.lmld[j]
+	m := i - li + 2
+	n := j - lj + 2
+	fd := make([][]int, m)
+	for x := range fd {
+		fd[x] = make([]int, n)
+	}
+	for x := 1; x < m; x++ {
+		fd[x][0] = fd[x-1][0] + 1 // delete
+	}
+	for y := 1; y < n; y++ {
+		fd[0][y] = fd[0][y-1] + 1 // insert
+	}
+	for x := 1; x < m; x++ {
+		for y := 1; y < n; y++ {
+			iIdx := li + x - 1
+			jIdx := lj + y - 1
+			if a.lmld[iIdx] == li && b.lmld[jIdx] == lj {
+				rename := 0
+				if a.labels[iIdx] != b.labels[jIdx] {
+					rename = 1
+				}
+				fd[x][y] = min3(
+					fd[x-1][y]+1,
+					fd[x][y-1]+1,
+					fd[x-1][y-1]+rename,
+				)
+				td[iIdx][jIdx] = fd[x][y]
+			} else {
+				fd[x][y] = min3(
+					fd[x-1][y]+1,
+					fd[x][y-1]+1,
+					fd[a.lmld[iIdx]-li][b.lmld[jIdx]-lj]+td[iIdx][jIdx],
+				)
+			}
+		}
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

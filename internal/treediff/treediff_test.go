@@ -1,0 +1,198 @@
+package treediff
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+)
+
+func leaf(l string) *Node { return &Node{Label: l} }
+
+func tree(l string, children ...*Node) *Node {
+	return &Node{Label: l, Children: children}
+}
+
+func TestEditDistanceBasics(t *testing.T) {
+	tests := []struct {
+		name   string
+		t1, t2 *Node
+		want   int
+	}{
+		{"identical leaves", leaf("a"), leaf("a"), 0},
+		{"rename", leaf("a"), leaf("b"), 1},
+		{"insert child", leaf("a"), tree("a", leaf("b")), 1},
+		{"delete child", tree("a", leaf("b")), leaf("a"), 1},
+		{"identical trees", tree("a", leaf("b"), leaf("c")), tree("a", leaf("b"), leaf("c")), 0},
+		{"swap labels", tree("a", leaf("b"), leaf("c")), tree("a", leaf("c"), leaf("b")), 2},
+		{"empty vs tree", nil, tree("a", leaf("b")), 2},
+		{"tree vs empty", tree("a", leaf("b")), nil, 2},
+		{"both empty", nil, nil, 0},
+		{
+			"classic zhang-shasha example",
+			tree("f", tree("d", leaf("a"), tree("c", leaf("b"))), leaf("e")),
+			tree("f", tree("c", tree("d", leaf("a"), leaf("b"))), leaf("e")),
+			2,
+		},
+	}
+	for _, tc := range tests {
+		if got := EditDistance(tc.t1, tc.t2); got != tc.want {
+			t.Errorf("%s: distance = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func randomTree(r *rand.Rand, depth int) *Node {
+	n := leaf(string(rune('a' + r.Intn(6))))
+	if depth > 0 {
+		k := r.Intn(3)
+		for i := 0; i < k; i++ {
+			n.Children = append(n.Children, randomTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+func TestEditDistanceMetricProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	trees := make([]*Node, 12)
+	for i := range trees {
+		trees[i] = randomTree(r, 3)
+	}
+	for _, a := range trees {
+		if EditDistance(a, a) != 0 {
+			t.Fatal("identity: d(a,a) must be 0")
+		}
+		for _, b := range trees {
+			dab := EditDistance(a, b)
+			dba := EditDistance(b, a)
+			if dab != dba {
+				t.Fatalf("symmetry violated: %d vs %d", dab, dba)
+			}
+			if dab < 0 {
+				t.Fatal("distance must be non-negative")
+			}
+			// Distance is bounded by total size (delete all + insert all).
+			if dab > a.Size()+b.Size() {
+				t.Fatalf("distance %d exceeds size bound %d", dab, a.Size()+b.Size())
+			}
+			for _, c := range trees {
+				if EditDistance(a, c) > dab+EditDistance(b, c) {
+					t.Fatal("triangle inequality violated")
+				}
+			}
+		}
+	}
+}
+
+func TestEditDistanceDeepChain(t *testing.T) {
+	// A degenerate chain exercises the keyroot decomposition.
+	var chain func(n int) *Node
+	chain = func(n int) *Node {
+		if n == 0 {
+			return leaf("x")
+		}
+		return tree("x", chain(n-1))
+	}
+	if got := EditDistance(chain(20), chain(25)); got != 5 {
+		t.Errorf("chain distance = %d, want 5", got)
+	}
+}
+
+// buildTrees runs the SDN1-like scenario and returns good/bad trees.
+func buildTrees(t *testing.T) (*provenance.Tree, *provenance.Tree) {
+	t.Helper()
+	prog := ndlog.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+	s := replay.NewSession(prog)
+	fe := func(prio int64, match, nxt string) ndlog.Tuple {
+		return ndlog.NewTuple("flowEntry", ndlog.Int(prio), ndlog.MustParsePrefix(match), ndlog.Str(nxt))
+	}
+	s.Insert("s1", fe(1, "0.0.0.0/0", "s2"), 0)
+	s.Insert("s2", fe(10, "4.3.2.0/24", "s6"), 0)
+	s.Insert("s2", fe(1, "0.0.0.0/0", "s3"), 0)
+	s.Insert("s6", fe(1, "0.0.0.0/0", "web1"), 0)
+	s.Insert("s3", fe(1, "0.0.0.0/0", "web2"), 0)
+	s.Insert("s1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1")), 10)
+	s.Insert("s1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1")), 20)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := g.Tree(g.LastAppear("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1"))).ID)
+	bad := g.Tree(g.LastAppear("web2", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))).ID)
+	return good, bad
+}
+
+func TestPlainDiffOnProvenance(t *testing.T) {
+	good, bad := buildTrees(t)
+	diff := PlainDiff(good, bad)
+	if diff == 0 {
+		t.Fatal("trees of differently-routed packets must differ")
+	}
+	// The butterfly effect (§2.5): even though the root cause is a single
+	// flow entry, the plain diff is large — a significant fraction of the
+	// trees themselves.
+	if diff < good.Size()/2 {
+		t.Errorf("plain diff = %d; expected the butterfly effect to make it large (trees %d/%d)",
+			diff, good.Size(), bad.Size())
+	}
+	if PlainDiff(good, good) != 0 {
+		t.Error("self-diff must be 0")
+	}
+	// Symmetry.
+	if PlainDiff(good, bad) != PlainDiff(bad, good) {
+		t.Error("plain diff must be symmetric")
+	}
+}
+
+func TestSharedVertexes(t *testing.T) {
+	good, bad := buildTrees(t)
+	shared := SharedVertexes(good, bad)
+	if shared == 0 {
+		t.Error("the trees share at least the s1 hop's flow entry subtree")
+	}
+	if shared != SharedVertexes(bad, good) {
+		t.Error("shared count must be symmetric")
+	}
+	if got := SharedVertexes(good, good); got != good.Size() {
+		t.Errorf("self-shared = %d, want %d", got, good.Size())
+	}
+	// shared + diff = total
+	if 2*shared+PlainDiff(good, bad) != good.Size()+bad.Size() {
+		t.Error("2*shared + diff must equal total vertexes")
+	}
+}
+
+func TestFromProvenance(t *testing.T) {
+	good, _ := buildTrees(t)
+	n := FromProvenance(good)
+	if n.Size() != good.Size() {
+		t.Errorf("converted size = %d, want %d", n.Size(), good.Size())
+	}
+	if FromProvenance(nil) != nil {
+		t.Error("nil tree converts to nil")
+	}
+}
+
+func TestEditDistanceOnProvenance(t *testing.T) {
+	good, bad := buildTrees(t)
+	d := EditDistance(FromProvenance(good), FromProvenance(bad))
+	if d == 0 {
+		t.Fatal("edit distance of differently-routed packets must be positive")
+	}
+	// Even the optimal tree alignment reports many differences — far more
+	// than the single-vertex root cause.
+	if d < 3 {
+		t.Errorf("edit distance = %d; expected the butterfly effect to inflate it", d)
+	}
+}
