@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -208,7 +209,7 @@ func runAutoRef(args []string) error {
 		return err
 	}
 	fmt.Printf("scenario: %s (reference withheld; mining candidates from the execution)\n\n", s.Name)
-	res, ref, err := core.AutoDiagnose(s.Bad, s.World, core.Options{})
+	res, ref, err := core.AutoDiagnose(context.Background(), s.Bad, s.World, core.Options{})
 	if err != nil {
 		return err
 	}

@@ -1,18 +1,25 @@
 // Command diffprovd serves the DiffProv debugger over HTTP.
 //
-//	diffprovd -addr :8080 -scale small
+//	diffprovd -addr :8080 -scale small -workers 8 -diagnose-timeout 30s
 //
 //	curl localhost:8080/scenarios
 //	curl localhost:8080/scenarios/SDN1
 //	curl localhost:8080/scenarios/SDN1/tree/bad?format=explain
 //	curl -X POST localhost:8080/scenarios/SDN1/diagnose
 //	curl -X POST localhost:8080/scenarios/SDN1/autoref
+//
+// Diagnoses run concurrently, each against a private clone of the
+// scenario's replay session, bounded by -workers; excess load is shed
+// with 429 + Retry-After. -diagnose-timeout bounds each diagnosis via
+// its request context (0 disables the deadline).
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/scenarios"
@@ -22,17 +29,33 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	scaleStr := flag.String("scale", "small", "workload scale: small or paper")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent diagnoses (default GOMAXPROCS)")
+	diagTimeout := flag.Duration("diagnose-timeout", 0, "per-diagnosis deadline (0 = none)")
 	flag.Parse()
 
 	scale := scenarios.Small
 	if *scaleStr == "paper" {
 		scale = scenarios.Paper
 	}
+	handler := server.New(scale, server.WithWorkers(*workers)).Handler()
+	if *diagTimeout > 0 {
+		handler = withTimeout(handler, *diagTimeout)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(scale).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("diffprovd listening on %s (scale=%s)", *addr, *scaleStr)
+	log.Printf("diffprovd listening on %s (scale=%s, workers=%d)", *addr, *scaleStr, *workers)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// withTimeout bounds every request's context; diagnoses observe the
+// deadline between reasoning rounds and inside counterfactual replays.
+func withTimeout(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }

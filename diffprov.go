@@ -37,6 +37,8 @@
 package diffprov
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/ndlog"
 	"repro/internal/provenance"
@@ -184,7 +186,14 @@ func NewWorld(s *Session) (World, error) { return core.NewWorld(s) }
 // trees and the bad execution's world, it returns the set of changes to
 // mutable base tuples that aligns the trees — the root cause estimate.
 func Diagnose(good, bad *Tree, world World, opts Options) (*Result, error) {
-	return core.Diagnose(good, bad, world, opts)
+	return core.Diagnose(context.Background(), good, bad, world, opts)
+}
+
+// DiagnoseContext is Diagnose honoring the context's cancellation and
+// deadline: the diagnosis aborts between rounds and inside counterfactual
+// replays, returning the context's error (wrapped).
+func DiagnoseContext(ctx context.Context, good, bad *Tree, world World, opts Options) (*Result, error) {
+	return core.Diagnose(ctx, good, bad, world, opts)
 }
 
 // AutoDiagnose diagnoses a bad event without an operator-supplied
@@ -192,7 +201,13 @@ func Diagnose(good, bad *Tree, world World, opts Options) (*Result, error) {
 // automation the paper sketches in §4.9). It returns the result and the
 // reference tree that produced it.
 func AutoDiagnose(bad *Tree, world World, opts Options) (*Result, *Tree, error) {
-	return core.AutoDiagnose(bad, world, opts)
+	return core.AutoDiagnose(context.Background(), bad, world, opts)
+}
+
+// AutoDiagnoseContext is AutoDiagnose honoring the context's cancellation
+// and deadline.
+func AutoDiagnoseContext(ctx context.Context, bad *Tree, world World, opts Options) (*Result, *Tree, error) {
+	return core.AutoDiagnose(ctx, bad, world, opts)
 }
 
 // ReferenceCandidate is a mined reference candidate.

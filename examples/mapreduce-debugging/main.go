@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func main() {
 	fmt.Println("(each tree explains a count in terms of every contributing key-value")
 	fmt.Println(" pair, its input record, the job configuration, and the mapper code)")
 
-	res, err := core.Diagnose(goodTree, badTree, badRun.World(), core.Options{})
+	res, err := core.Diagnose(context.Background(), goodTree, badTree, badRun.World(), core.Options{})
 	check(err)
 	fmt.Println("\nDiffProv root cause:")
 	for _, c := range res.Changes {

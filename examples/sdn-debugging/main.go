@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,7 +85,7 @@ func main() {
 	// Differential provenance pinpoints the intent.
 	world, err := core.NewWorld(n.Session())
 	check(err)
-	res, err := core.Diagnose(goodTree, badTree, world, core.Options{})
+	res, err := core.Diagnose(context.Background(), goodTree, badTree, world, core.Options{})
 	check(err)
 	fmt.Println("\nDiffProv root cause:")
 	for _, c := range res.Changes {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ndlog"
@@ -49,7 +50,7 @@ func TestArgmaxCompetitorTracedToIntent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestAdoptionOfCoexistingEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}

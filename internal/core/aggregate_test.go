@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ndlog"
@@ -80,7 +81,7 @@ func TestAggregateDivergenceCountMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(goodTree, badTree, world, Options{})
+	res, err := Diagnose(context.Background(), goodTree, badTree, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}

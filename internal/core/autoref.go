@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/ndlog"
@@ -109,16 +111,23 @@ func similarity(a, b ndlog.Tuple) int {
 // yields a non-trivial diagnosis. Candidates that align trivially (the
 // "reference" suffered the same fault: empty Δ) or are unusable
 // (DiagnosisError) are skipped. It returns the result and the reference
-// that produced it.
-func AutoDiagnose(badTree *provenance.Tree, w World, opts Options) (*Result, *provenance.Tree, error) {
+// that produced it. Cancellation is honored between candidates (and
+// inside each candidate's diagnosis).
+func AutoDiagnose(ctx context.Context, badTree *provenance.Tree, w World, opts Options) (*Result, *provenance.Tree, error) {
 	cands, err := FindReferenceCandidates(badTree, w, 32)
 	if err != nil {
 		return nil, nil, err
 	}
 	var lastErr error
 	for _, c := range cands {
-		res, err := Diagnose(c.Tree, badTree, w, opts)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("diffprov: reference search interrupted: %w", err)
+		}
+		res, err := Diagnose(ctx, c.Tree, badTree, w, opts)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, nil, err
+			}
 			lastErr = err
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -107,7 +108,12 @@ type gLevel struct {
 // the bad tree, and the bad execution's world, it computes the set of
 // changes to mutable base tuples that makes the bad tree equivalent to
 // the good tree while preserving the bad seed.
-func Diagnose(goodTree, badTree *provenance.Tree, world World, opts Options) (*Result, error) {
+//
+// The context bounds the diagnosis: cancellation and deadlines are
+// honored at every round boundary and inside the UPDATETREE replays, and
+// the context's error is returned (wrapped) when the diagnosis is cut
+// short.
+func Diagnose(ctx context.Context, goodTree, badTree *provenance.Tree, world World, opts Options) (*Result, error) {
 	opts.defaults()
 	d := &diag{prog: world.Program(), opts: opts}
 	baseWorld := world
@@ -142,6 +148,9 @@ func Diagnose(goodTree, badTree *provenance.Tree, world World, opts Options) (*R
 
 	res := &Result{GoodSeed: seedG, BadSeed: seedB}
 	for iter := 0; iter < opts.MaxRounds; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("diffprov: diagnosis interrupted after %d rounds: %w", iter, err)
+		}
 		res.Iterations = iter + 1
 		// Step 2: find the first divergence (§4.4).
 		t1 := time.Now()
@@ -156,7 +165,7 @@ func Diagnose(goodTree, badTree *provenance.Tree, world World, opts Options) (*R
 			res.Timings = d.timings
 			res.FinalWorld = world
 			if opts.Minimize && len(res.Changes) > 1 {
-				if err := d.minimize(res, baseWorld, chainG, seedB); err != nil {
+				if err := d.minimize(ctx, res, baseWorld, chainG, seedB); err != nil {
 					return nil, err
 				}
 			}
@@ -185,10 +194,10 @@ func Diagnose(goodTree, badTree *provenance.Tree, world World, opts Options) (*R
 
 		// Step 4: update T_B (§4.6) by rolling the clone forward.
 		t3 := time.Now()
-		newWorld, err := world.Apply(d.pending)
+		newWorld, err := world.Apply(ctx, d.pending)
 		d.timings.UpdateTree += time.Since(t3)
 		if err != nil {
-			return nil, fmt.Errorf("diffprov: updating the bad tree: %v", err)
+			return nil, fmt.Errorf("diffprov: updating the bad tree: %w", err)
 		}
 		world = newWorld
 		res.Rounds = append(res.Rounds, Round{Changes: d.pending})
@@ -205,12 +214,15 @@ func Diagnose(goodTree, badTree *provenance.Tree, world World, opts Options) (*R
 // minimize greedily drops changes whose removal keeps the trees aligned,
 // re-verifying each candidate subset against a fresh clone of the
 // original bad execution.
-func (d *diag) minimize(res *Result, baseWorld World, chainG []gLevel, seedB ndlog.At) error {
+func (d *diag) minimize(ctx context.Context, res *Result, baseWorld World, chainG []gLevel, seedB ndlog.At) error {
 	changes := append([]replay.Change(nil), res.Changes...)
 	for i := 0; i < len(changes); {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("diffprov: minimization interrupted: %w", err)
+		}
 		candidate := append(append([]replay.Change(nil), changes[:i]...), changes[i+1:]...)
 		t0 := time.Now()
-		w, err := baseWorld.Apply(candidate)
+		w, err := baseWorld.Apply(ctx, candidate)
 		d.timings.UpdateTree += time.Since(t0)
 		if err != nil {
 			i++

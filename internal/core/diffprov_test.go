@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ndlog"
@@ -74,7 +75,7 @@ func TestDiffProvSDN1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -139,7 +140,7 @@ func TestDiffProvSDN2MultiControllerConflict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -186,7 +187,7 @@ func TestDiffProvSDN3ExpiredRule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -231,7 +232,7 @@ func TestDiffProvSDN4TwoFaultsTwoRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -267,7 +268,7 @@ func TestDiffProvSeedTypeMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Diagnose(good, bad, world, Options{})
+	_, err = Diagnose(context.Background(), good, bad, world, Options{})
 	de, ok := err.(*DiagnosisError)
 	if !ok {
 		t.Fatalf("err = %v, want DiagnosisError", err)
@@ -314,7 +315,7 @@ rule fw packet(@Nxt, Dst) :-
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = Diagnose(good, bad, world, Options{})
+	_, err = Diagnose(context.Background(), good, bad, world, Options{})
 	de, ok := err.(*DiagnosisError)
 	if !ok {
 		t.Fatalf("err = %v, want DiagnosisError", err)
@@ -365,7 +366,7 @@ rule mk abc(P, Q) :- foo(P), bar(X), Q := X + 2.
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ndlog"
@@ -36,7 +37,7 @@ func TestMinimizeDropsRedundantChanges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{Minimize: true})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{Minimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +65,13 @@ func TestMinimizeRemovesGenuinelyRedundantChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	extra := append(append([]replay.Change(nil), res.Changes...),
 		replay.Change{Insert: true, Node: "s4", Tuple: fe(3, "9.9.9.0/24", "s5"), Tick: 5})
-	w2, err := world.Apply(nil)
+	w2, err := world.Apply(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMinimizeRemovesGenuinelyRedundantChange(t *testing.T) {
 	}
 	seedB := ndlog.At{Node: seedBT.Vertex.Node, Tuple: seedBT.Vertex.Tuple, Stamp: seedBT.Vertex.At}
 	resM := &Result{Changes: extra}
-	if err := d.minimize(resM, world, chainG, seedB); err != nil {
+	if err := d.minimize(context.Background(), resM, world, chainG, seedB); err != nil {
 		t.Fatal(err)
 	}
 	if len(resM.Changes) != 1 {
@@ -120,7 +121,7 @@ func TestAutoDiagnoseSDN1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, ref, err := AutoDiagnose(bad, world, Options{})
+	res, ref, err := AutoDiagnose(context.Background(), bad, world, Options{})
 	if err != nil {
 		t.Fatalf("AutoDiagnose: %v", err)
 	}
@@ -198,7 +199,7 @@ func TestAutoDiagnoseNoCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := AutoDiagnose(bad, world, Options{}); err == nil {
+	if _, _, err := AutoDiagnose(context.Background(), bad, world, Options{}); err == nil {
 		t.Error("no candidates must be an error")
 	}
 }
@@ -254,7 +255,7 @@ rule fw packet(@Nxt, Src) :-
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -336,7 +337,7 @@ rule q2 response(@r1, Q, Name, Addr) :- ask(@Srv, Q, Name), record(@Srv, Name, A
 	}
 
 	// Default strategy: re-aim slot 0 (a valid counterfactual).
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("default: %v", err)
 	}
@@ -345,7 +346,7 @@ rule q2 response(@r1, Q, Name, Addr) :- ask(@Srv, Q, Name), record(@Srv, Name, A
 	}
 
 	// FollowKeyedRows: fix the selected server's record.
-	res, err = Diagnose(good, bad, world, Options{FollowKeyedRows: true})
+	res, err = Diagnose(context.Background(), good, bad, world, Options{FollowKeyedRows: true})
 	if err != nil {
 		t.Fatalf("follow: %v", err)
 	}

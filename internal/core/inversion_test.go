@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -57,7 +58,7 @@ rule enc resp(R, Y) :-
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -114,7 +115,7 @@ rule tk token(R, hash(S)) :- req(R), secret(S).
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -209,7 +210,7 @@ rule chk ok(R) :- req(R), flag(F), R == hash(F) & 1023.
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -253,7 +254,7 @@ rule o out(R, X ^ 12345) :- req(R), k1(X).
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Diagnose(good, bad, world, Options{})
+	res, err := Diagnose(context.Background(), good, bad, world, Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/ndlog"
 	"repro/internal/provenance"
 	"repro/internal/replay"
@@ -38,7 +40,8 @@ type World interface {
 	IsMutable(node string, t ndlog.Tuple) bool
 	// Apply clones the world, rolls it forward with the changes
 	// injected, and returns the new world. The receiver is unchanged.
-	Apply(changes []replay.Change) (World, error)
+	// The roll-forward honors the context's cancellation and deadline.
+	Apply(ctx context.Context, changes []replay.Change) (World, error)
 }
 
 // ndlogWorld adapts a replay.Session (plus accumulated changes) to World.
@@ -90,9 +93,9 @@ func (w *ndlogWorld) IsMutable(node string, t ndlog.Tuple) bool {
 	return w.engine.IsMutable(node, t)
 }
 
-func (w *ndlogWorld) Apply(changes []replay.Change) (World, error) {
+func (w *ndlogWorld) Apply(ctx context.Context, changes []replay.Change) (World, error) {
 	all := append(append([]replay.Change(nil), w.changes...), changes...)
-	e, g, err := w.session.ReplayWith(all)
+	e, g, err := w.session.ReplayWithContext(ctx, all)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package evaluation
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -115,7 +116,7 @@ func Figure7(scale scenarios.Scale) ([]Fig7Row, error) {
 		} else {
 			// Imperative MR: the Y! query re-runs the instrumented job.
 			start := time.Now()
-			if _, err := s.World.Apply(nil); err != nil {
+			if _, err := s.World.Apply(context.Background(), nil); err != nil {
 				return nil, err
 			}
 			row.YBang = time.Since(start)

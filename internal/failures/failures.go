@@ -8,6 +8,7 @@
 package failures
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -64,7 +65,7 @@ func (c *Case) Diagnose() (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Diagnose(c.Good, c.Bad, world, core.Options{})
+	return core.Diagnose(context.Background(), c.Good, c.Bad, world, core.Options{})
 }
 
 var (

@@ -1,6 +1,7 @@
 package failures
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -88,7 +89,7 @@ func TestAutoReferenceOnPartialFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, ref, err := core.AutoDiagnose(c.Bad, world, core.Options{})
+	res, ref, err := core.AutoDiagnose(context.Background(), c.Bad, world, core.Options{})
 	if err != nil {
 		t.Fatalf("AutoDiagnose: %v", err)
 	}

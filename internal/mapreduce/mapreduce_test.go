@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -224,7 +225,7 @@ func diagnoseDeclarative(t *testing.T, good, bad *Cluster, word string) (*core.R
 	if err != nil {
 		t.Fatal(err)
 	}
-	return core.Diagnose(gt, bt, world, core.Options{})
+	return core.Diagnose(context.Background(), gt, bt, world, core.Options{})
 }
 
 func TestDiffProvMR1Declarative(t *testing.T) {
@@ -334,7 +335,7 @@ func TestDiffProvMR1Imperative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Diagnose(gt, bt, badEx.World(), core.Options{})
+	res, err := core.Diagnose(context.Background(), gt, bt, badEx.World(), core.Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -364,7 +365,7 @@ func TestDiffProvMR2Imperative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Diagnose(gt, bt, badEx.World(), core.Options{})
+	res, err := core.Diagnose(context.Background(), gt, bt, badEx.World(), core.Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}
@@ -383,16 +384,16 @@ func TestImperativeWorldApplyErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := ex.World()
-	if _, err := w.Apply(nil); err != nil {
+	if _, err := w.Apply(context.Background(), nil); err != nil {
 		t.Errorf("empty apply should re-run fine: %v", err)
 	}
 	// Changes to non-overridable tables are rejected.
 	badChange := []replay.Change{{Insert: true, Node: "mapper0", Tuple: ndlog.NewTuple("inputRecord",
 		ndlog.Str("j"), ndlog.ID(1), ndlog.Int(0), ndlog.Int(0), ndlog.Str("w"))}}
-	if _, err := w.Apply(badChange); err == nil {
+	if _, err := w.Apply(context.Background(), badChange); err == nil {
 		t.Error("input records cannot be changed by a job re-run")
 	}
-	if _, err := w.Apply([]replay.Change{{Insert: false, Node: "mapper0",
+	if _, err := w.Apply(context.Background(), []replay.Change{{Insert: false, Node: "mapper0",
 		Tuple: ndlog.NewTuple("mapperCode", ndlog.Str(MapperSlot), GoodMapper)}}); err == nil {
 		t.Error("removing the mapper must be rejected")
 	}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -147,7 +148,10 @@ func (w *mrWorld) IsMutable(node string, t ndlog.Tuple) bool {
 // re-runs the instrumented pipeline (the paper's MR replays: "once on the
 // correct job, another on the faulty job, and a final one to update the
 // tree").
-func (w *mrWorld) Apply(changes []replay.Change) (core.World, error) {
+func (w *mrWorld) Apply(ctx context.Context, changes []replay.Change) (core.World, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: re-run interrupted: %w", err)
+	}
 	j := w.ex.job.clone()
 	for _, c := range changes {
 		switch c.Tuple.Table {

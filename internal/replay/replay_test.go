@@ -2,7 +2,11 @@ package replay
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/ndlog"
@@ -486,5 +490,102 @@ func TestSessionAccessorsAndEngineOptions(t *testing.T) {
 	rh := e.History("h", ndlog.NewTuple("packet", ndlog.IP(1)))
 	if len(rh) != 1 || rh[0].From.T != 13 {
 		t.Errorf("replayed arrival = %v, want tick 13", rh)
+	}
+}
+
+func TestSessionClone(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	if _, _, err := s.Graph(); err != nil { // memoize the full replay
+		t.Fatal(err)
+	}
+	parentReplays := s.ReplayCount
+
+	cl := s.Clone()
+	if cl.ReplayCount != 0 || cl.ReplayTime != 0 {
+		t.Errorf("clone stats = (%d, %v), want zeroed", cl.ReplayCount, cl.ReplayTime)
+	}
+	// The memoized replay is shared: Graph() on the clone must not
+	// trigger a fresh replay.
+	if _, _, err := cl.Graph(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.ReplayCount != 0 {
+		t.Errorf("clone.Graph() replayed %d times, want memo hit", cl.ReplayCount)
+	}
+
+	// A counterfactual replay on the clone accounts only on the clone.
+	ch := Change{Insert: true, Node: "s1",
+		Tuple: ndlog.NewTuple("flowEntry", ndlog.Int(20), ndlog.MustParsePrefix("4.3.3.0/24"), ndlog.Str("s6")),
+		Tick:  5}
+	e, _, err := cl.ReplayWith([]Change{ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.ExistsEver("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+		t.Error("counterfactual change had no effect in clone replay")
+	}
+	if cl.ReplayCount != 1 {
+		t.Errorf("clone.ReplayCount = %d, want 1", cl.ReplayCount)
+	}
+	if s.ReplayCount != parentReplays {
+		t.Errorf("parent.ReplayCount = %d, want unchanged %d", s.ReplayCount, parentReplays)
+	}
+	if cl.Log().Len() != s.Log().Len() {
+		t.Errorf("clone log length %d, want %d (logs must match)", cl.Log().Len(), s.Log().Len())
+	}
+
+	// ResetStats gives per-request deltas.
+	cl.ResetStats()
+	if cl.ReplayCount != 0 || cl.ReplayTime != 0 {
+		t.Error("ResetStats did not zero the counters")
+	}
+}
+
+func TestSessionCloneConcurrent(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	if _, _, err := s.Graph(); err != nil {
+		t.Fatal(err)
+	}
+	ch := Change{Insert: true, Node: "s1",
+		Tuple: ndlog.NewTuple("flowEntry", ndlog.Int(20), ndlog.MustParsePrefix("4.3.3.0/24"), ndlog.Str("s6")),
+		Tick:  5}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := s.Clone()
+			e, _, err := cl.ReplayWith([]Change{ch})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !e.ExistsEver("web1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))) {
+				errs[i] = fmt.Errorf("replay %d: change not applied", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if s.ReplayCount != 1 {
+		t.Errorf("parent.ReplayCount = %d, want 1 (clones account privately)", s.ReplayCount)
+	}
+}
+
+func TestReplayWithContextCancelled(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.ReplayWithContext(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled replay error = %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -122,6 +123,40 @@ func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, erro
 	return s, nil
 }
 
+// Clone returns an independent session over the same captured execution.
+// It reuses the copy-on-write structure of counterfactual roll-forward
+// (§4.6): the immutable program, engine options, and memoized replay are
+// shared, the base-event log is copied, and the replay statistics start
+// at zero. Clones are how concurrent diagnoses isolate their mutable
+// state — each one replays and accounts time privately, so a completed
+// session can serve any number of clones in parallel.
+//
+// The live engine is shared read-only; driving the execution further
+// (Insert/Delete/Run) must happen on the original session, not a clone.
+func (s *Session) Clone() *Session {
+	return &Session{
+		prog:        s.prog,
+		mode:        s.mode,
+		log:         s.log.Clone(),
+		live:        s.live,
+		liveRec:     s.liveRec,
+		ckptEvery:   s.ckptEvery,
+		lastCkpt:    s.lastCkpt,
+		ckpts:       append([]ndlog.Snapshot(nil), s.ckpts...),
+		replayed:    s.replayed,
+		replayedG:   s.replayedG,
+		replayedLen: s.replayedLen,
+		engineOpts:  s.engineOpts,
+	}
+}
+
+// ResetStats zeroes the replay statistics, so subsequent replays are
+// accounted from a clean slate (per-request deltas).
+func (s *Session) ResetStats() {
+	s.ReplayTime = 0
+	s.ReplayCount = 0
+}
+
 // Program returns the session's program.
 func (s *Session) Program() *ndlog.Program { return s.prog }
 
@@ -208,14 +243,35 @@ func (s *Session) Replay() (*ndlog.Engine, *provenance.Graph, error) {
 // is never touched (§4.6: "DiffProv clones the current state of the
 // system ... and applies its changes only to the clone").
 func (s *Session) ReplayWith(changes []Change) (*ndlog.Engine, *provenance.Graph, error) {
+	return s.ReplayWithContext(context.Background(), changes)
+}
+
+// ctxCheckEvery is how many scheduled events pass between cancellation
+// checks during a replay.
+const ctxCheckEvery = 4096
+
+// ReplayWithContext is ReplayWith honoring cancellation and deadlines:
+// the replay aborts with the context's error as soon as the cancellation
+// is observed (between scheduled events).
+func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndlog.Engine, *provenance.Graph, error) {
 	start := time.Now()
 	defer func() {
 		s.ReplayTime += time.Since(start)
 		s.ReplayCount++
 	}()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %w", err)
+	}
 	rec := provenance.NewRecorder(s.prog)
 	e := ndlog.New(s.prog, rec, s.engineOpts...)
+	scheduled := 0
 	schedule := func(kind EventKind, node string, t ndlog.Tuple, tick int64) error {
+		scheduled++
+		if scheduled%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if kind == EvInsert {
 			return e.ScheduleInsert(node, t, tick)
 		}
@@ -223,7 +279,7 @@ func (s *Session) ReplayWith(changes []Change) (*ndlog.Engine, *provenance.Graph
 	}
 	for _, ev := range s.log.events {
 		if err := schedule(ev.Kind, ev.Node, ev.Tuple, ev.Tick); err != nil {
-			return nil, nil, fmt.Errorf("replay: %v", err)
+			return nil, nil, fmt.Errorf("replay: %w", err)
 		}
 	}
 	for _, c := range changes {
@@ -232,8 +288,11 @@ func (s *Session) ReplayWith(changes []Change) (*ndlog.Engine, *provenance.Graph
 			kind = EvInsert
 		}
 		if err := schedule(kind, c.Node, c.Tuple, c.Tick); err != nil {
-			return nil, nil, fmt.Errorf("replay: injecting %s: %v", c, err)
+			return nil, nil, fmt.Errorf("replay: injecting %s: %w", c, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %w", err)
 	}
 	if err := e.Run(); err != nil {
 		return nil, nil, fmt.Errorf("replay: %v", err)

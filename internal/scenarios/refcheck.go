@@ -1,6 +1,8 @@
 package scenarios
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -34,7 +36,7 @@ func RandomReferenceChecks(scale Scale, perScenario int) ([]RefCheckResult, erro
 			return nil, err
 		}
 		for _, ref := range refs {
-			_, derr := core.Diagnose(ref, s.Bad, s.World, core.Options{})
+			_, derr := core.Diagnose(context.Background(), ref, s.Bad, s.World, core.Options{})
 			if derr == nil {
 				return nil, fmt.Errorf("%s: diagnosis with unsuitable reference %s unexpectedly succeeded",
 					name, ref.Vertex)

@@ -1,6 +1,7 @@
 package scenarios
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -128,7 +129,7 @@ func TestDiagnosisPostconditionHolds(t *testing.T) {
 		// which must return an empty Δ against the final world's
 		// already-applied changes... here verified via zero further
 		// rounds when re-diagnosing from the final world).
-		res2, err := core.Diagnose(s.Good, s.Bad, res.FinalWorld, core.Options{})
+		res2, err := core.Diagnose(context.Background(), s.Good, s.Bad, res.FinalWorld, core.Options{})
 		if err != nil {
 			t.Fatalf("%s: re-diagnosis: %v", name, err)
 		}
@@ -157,7 +158,7 @@ func TestCaptureModeIndependence(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return core.Diagnose(gt, bt, world, core.Options{})
+		return core.Diagnose(context.Background(), gt, bt, world, core.Options{})
 	}
 	r1, err := build()
 	if err != nil {

@@ -6,6 +6,8 @@
 package scenarios
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -47,13 +49,45 @@ type Scenario struct {
 
 // Diagnose runs DiffProv on the scenario.
 func (s *Scenario) Diagnose() (*core.Result, error) {
-	return core.Diagnose(s.Good, s.Bad, s.World, core.Options{})
+	return s.DiagnoseContext(context.Background())
+}
+
+// DiagnoseContext runs DiffProv on the scenario, honoring the context's
+// cancellation and deadline.
+func (s *Scenario) DiagnoseContext(ctx context.Context) (*core.Result, error) {
+	return core.Diagnose(ctx, s.Good, s.Bad, s.World, core.Options{})
+}
+
+// Isolated returns a shallow copy of the scenario whose World (and
+// BadSession) are backed by a private clone of the bad execution's replay
+// session, so a diagnosis can run concurrently with others without
+// sharing mutable replay state or timing counters. Scenarios without a
+// replay session (the instrumented MapReduce variants, whose worlds
+// re-run the job and share nothing mutable) are returned as-is.
+func (s *Scenario) Isolated() (*Scenario, error) {
+	if s.BadSession == nil {
+		return s, nil
+	}
+	cl := s.BadSession.Clone()
+	world, err := core.NewWorld(cl)
+	if err != nil {
+		return nil, err
+	}
+	iso := *s
+	iso.BadSession = cl
+	iso.World = world
+	return &iso, nil
 }
 
 // Names lists the scenarios in the paper's Table 1 order.
 func Names() []string {
 	return []string{"SDN1", "SDN2", "SDN3", "SDN4", "MR1-D", "MR2-D", "MR1-I", "MR2-I"}
 }
+
+// ErrUnknownScenario reports that a scenario name is not one of Names().
+// Callers distinguish it (errors.Is) from a scenario that exists but
+// failed to build.
+var ErrUnknownScenario = errors.New("unknown scenario")
 
 // Build constructs a scenario by name.
 func Build(name string, scale Scale) (*Scenario, error) {
@@ -75,7 +109,7 @@ func Build(name string, scale Scale) (*Scenario, error) {
 	case "MR2-I":
 		return MR2I(scale)
 	default:
-		return nil, fmt.Errorf("scenarios: unknown scenario %q (want one of %s)", name, strings.Join(Names(), ", "))
+		return nil, fmt.Errorf("scenarios: %w %q (want one of %s)", ErrUnknownScenario, name, strings.Join(Names(), ", "))
 	}
 }
 

@@ -1,6 +1,7 @@
 package sdn
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -172,7 +173,7 @@ func TestDiffProvTracesToIntent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Diagnose(good, bad, world, core.Options{})
+	res, err := core.Diagnose(context.Background(), good, bad, world, core.Options{})
 	if err != nil {
 		t.Fatalf("Diagnose: %v", err)
 	}

@@ -11,12 +11,34 @@
 //	GET /scenarios/{name}/tree/bad  ?format=dot for Graphviz
 //	POST /scenarios/{name}/diagnose run DiffProv, return Δ and timings
 //	POST /scenarios/{name}/autoref  diagnose with a mined reference
+//
+// Concurrency model: scenarios are built lazily, once (per-scenario
+// singleflight), and cached. Each diagnosis runs against a private clone
+// of the scenario's replay session (see replay.Session.Clone), so any
+// number of diagnoses proceed in parallel without sharing mutable replay
+// state — replay is deterministic, so parallel requests return identical
+// results. A bounded worker pool caps concurrent diagnoses; when it is
+// saturated the server sheds load with 429 and a Retry-After hint.
+// Request contexts are threaded into the reasoning engine, so a client
+// disconnect or deadline cancels the diagnosis between rounds and inside
+// counterfactual replays.
+//
+// Error taxonomy:
+//
+//	404 unknown scenario name, unknown tree selector
+//	422 the diagnosis itself failed (unsuitable reference, no progress)
+//	429 the diagnosis worker pool is saturated (Retry-After is set)
+//	500 a scenario exists but failed to build
+//	503 the diagnosis was cancelled (client gone or deadline exceeded)
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -26,24 +48,61 @@ import (
 	"repro/internal/treediff"
 )
 
-// Server is the HTTP front-end. Scenarios are built lazily and cached;
-// diagnosis runs on the cached instance. Diagnoses are serialized per
-// server: the underlying replay sessions accumulate timing state and are
-// not safe for concurrent counterfactual replays.
+// Server is the HTTP front-end.
 type Server struct {
 	scale scenarios.Scale
 
-	mu    sync.Mutex
-	cache map[string]*scenarios.Scenario
+	// workers bounds concurrent diagnoses; sem holds one token per slot.
+	workers int
+	sem     chan struct{}
 
-	// diagMu serializes diagnosis runs (they mutate session replay
-	// statistics and share scenario state).
-	diagMu sync.Mutex
+	// build constructs a scenario; replaceable in tests.
+	build func(name string, scale scenarios.Scale) (*scenarios.Scenario, error)
+
+	mu    sync.Mutex
+	cache map[string]*scenarioEntry
+
+	// testHookDiagnoseStart, when set, runs inside a diagnosis slot
+	// before the diagnosis starts (used by tests to hold the pool full).
+	testHookDiagnoseStart func()
+}
+
+// scenarioEntry is a singleflight cell: the first request for a scenario
+// builds it, concurrent requests wait on the same once, and the outcome
+// (including a build failure) is cached.
+type scenarioEntry struct {
+	once sync.Once
+	sc   *scenarios.Scenario
+	err  error
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithWorkers bounds the number of concurrent diagnoses (default
+// GOMAXPROCS). Values < 1 are treated as 1.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
 }
 
 // New creates a server at the given workload scale.
-func New(scale scenarios.Scale) *Server {
-	return &Server{scale: scale, cache: map[string]*scenarios.Scenario{}}
+func New(scale scenarios.Scale, opts ...Option) *Server {
+	s := &Server{
+		scale:   scale,
+		workers: runtime.GOMAXPROCS(0),
+		build:   scenarios.Build,
+		cache:   map[string]*scenarioEntry{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.sem = make(chan struct{}, s.workers)
+	return s
 }
 
 // Handler returns the HTTP handler.
@@ -57,19 +116,30 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// scenario returns the cached scenario, building it exactly once even
+// under concurrent requests. The build outcome is cached either way:
+// rebuilding on every request would turn one failure into a 500 storm.
 func (s *Server) scenario(name string) (*scenarios.Scenario, error) {
 	key := strings.ToUpper(name)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sc, ok := s.cache[key]; ok {
-		return sc, nil
+	e, ok := s.cache[key]
+	if !ok {
+		e = &scenarioEntry{}
+		s.cache[key] = e
 	}
-	sc, err := scenarios.Build(key, s.scale)
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	e.once.Do(func() { e.sc, e.err = s.build(key, s.scale) })
+	return e.sc, e.err
+}
+
+// writeScenarioErr maps a scenario lookup error onto the taxonomy:
+// unknown names are the client's fault (404), build failures ours (500).
+func writeScenarioErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, scenarios.ErrUnknownScenario) {
+		writeErr(w, http.StatusNotFound, err)
+		return
 	}
-	s.cache[key] = sc
-	return sc, nil
+	writeErr(w, http.StatusInternalServerError, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -84,19 +154,22 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// scenarioInfo is the JSON shape of a scenario listing entry.
+// scenarioInfo is the JSON shape of a scenario listing entry. Error is
+// set when the scenario failed to build; the listing still includes it so
+// one broken scenario does not hide the healthy ones.
 type scenarioInfo struct {
 	Name        string `json:"name"`
-	Description string `json:"description"`
+	Description string `json:"description,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	var out []scenarioInfo
+	out := make([]scenarioInfo, 0, len(scenarios.Names()))
 	for _, name := range scenarios.Names() {
 		sc, err := s.scenario(name)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
+			out = append(out, scenarioInfo{Name: name, Error: err.Error()})
+			continue
 		}
 		out = append(out, scenarioInfo{Name: sc.Name, Description: sc.Description})
 	}
@@ -115,7 +188,7 @@ type summary struct {
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	sc, err := s.scenario(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeScenarioErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, summary{
@@ -130,7 +203,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 	sc, err := s.scenario(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeScenarioErr(w, err)
 		return
 	}
 	tree := sc.Good
@@ -155,26 +228,46 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// diagnosis is the JSON shape of a diagnosis response.
+// diagnosis is the JSON shape of a diagnosis response. Every duration is
+// reported twice: a machine-readable *Ns int64 (nanoseconds) and a
+// humanized string. elapsedNs predates the split and is kept for
+// compatibility.
 type diagnosis struct {
-	Scenario   string        `json:"scenario"`
-	Changes    []string      `json:"changes"`
-	Rounds     int           `json:"rounds"`
-	Iterations int           `json:"iterations"`
-	ReasoningM string        `json:"reasoning"`
-	UpdateTree string        `json:"treeUpdates"`
-	Elapsed    time.Duration `json:"elapsedNs"`
-	Reference  string        `json:"reference,omitempty"`
+	Scenario   string   `json:"scenario"`
+	Changes    []string `json:"changes"`
+	Rounds     int      `json:"rounds"`
+	Iterations int      `json:"iterations"`
+
+	ReasoningNs  int64  `json:"reasoningNs"`
+	Reasoning    string `json:"reasoning"`
+	UpdateTreeNs int64  `json:"treeUpdatesNs"`
+	UpdateTree   string `json:"treeUpdates"`
+	ElapsedNs    int64  `json:"elapsedNs"`
+	Elapsed      string `json:"elapsed"`
+
+	// Replays counts this request's counterfactual replays, and
+	// ReplayNs/Replay the time spent in them — per-request deltas from
+	// the private session clone, not lifetime accumulations.
+	Replays  int    `json:"replays,omitempty"`
+	ReplayNs int64  `json:"replayNs,omitempty"`
+	Replay   string `json:"replay,omitempty"`
+
+	Reference string `json:"reference,omitempty"`
 }
 
 func diagnosisOf(name string, res *core.Result, elapsed time.Duration) diagnosis {
+	reasoning := res.Timings.FindSeed + res.Timings.Divergence + res.Timings.MakeAppear
 	d := diagnosis{
-		Scenario:   name,
-		Rounds:     len(res.Rounds),
-		Iterations: res.Iterations,
-		ReasoningM: (res.Timings.FindSeed + res.Timings.Divergence + res.Timings.MakeAppear).String(),
-		UpdateTree: res.Timings.UpdateTree.String(),
-		Elapsed:    elapsed,
+		Scenario:     name,
+		Changes:      []string{},
+		Rounds:       len(res.Rounds),
+		Iterations:   res.Iterations,
+		ReasoningNs:  reasoning.Nanoseconds(),
+		Reasoning:    reasoning.String(),
+		UpdateTreeNs: res.Timings.UpdateTree.Nanoseconds(),
+		UpdateTree:   res.Timings.UpdateTree.String(),
+		ElapsedNs:    elapsed.Nanoseconds(),
+		Elapsed:      elapsed.String(),
 	}
 	for _, c := range res.Changes {
 		d.Changes = append(d.Changes, c.String())
@@ -182,40 +275,116 @@ func diagnosisOf(name string, res *core.Result, elapsed time.Duration) diagnosis
 	return d
 }
 
+// acquireSlot claims a diagnosis worker slot, or sheds the request. It
+// returns a release func and reports success; on failure it has already
+// written the 429 (pool saturated) or 503 (client gone) response.
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests,
+		fmt.Errorf("all %d diagnosis workers are busy; retry shortly", s.workers))
+	return nil, false
+}
+
+// writeDiagnosisErr maps a diagnosis failure onto the taxonomy.
+func writeDiagnosisErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		// Diagnosis failures (unsuitable reference, no progress, ...)
+		// are semantic errors in the request: the scenario and server
+		// are fine, the diagnosis question has no answer.
+		writeErr(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// runDiagnosis isolates the scenario, runs fn against the isolated copy,
+// and attaches the per-request replay statistics to the response.
+func runDiagnosis(ctx context.Context, sc *scenarios.Scenario,
+	fn func(context.Context, *scenarios.Scenario) (*core.Result, diagnosis, error)) (diagnosis, error) {
+	iso, err := sc.Isolated()
+	if err != nil {
+		return diagnosis{}, err
+	}
+	_, d, err := fn(ctx, iso)
+	if err != nil {
+		return diagnosis{}, err
+	}
+	if iso.BadSession != nil {
+		d.Replays = iso.BadSession.ReplayCount
+		d.ReplayNs = iso.BadSession.ReplayTime.Nanoseconds()
+		d.Replay = iso.BadSession.ReplayTime.String()
+	}
+	return d, nil
+}
+
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	sc, err := s.scenario(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeScenarioErr(w, err)
 		return
 	}
-	s.diagMu.Lock()
-	start := time.Now()
-	res, err := sc.Diagnose()
-	elapsed := time.Since(start)
-	s.diagMu.Unlock()
+	release, ok := s.acquireSlot(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if s.testHookDiagnoseStart != nil {
+		s.testHookDiagnoseStart()
+	}
+	d, err := runDiagnosis(r.Context(), sc,
+		func(ctx context.Context, iso *scenarios.Scenario) (*core.Result, diagnosis, error) {
+			start := time.Now()
+			res, err := iso.DiagnoseContext(ctx)
+			if err != nil {
+				return nil, diagnosis{}, err
+			}
+			return res, diagnosisOf(iso.Name, res, time.Since(start)), nil
+		})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeDiagnosisErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, diagnosisOf(sc.Name, res, elapsed))
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleAutoRef(w http.ResponseWriter, r *http.Request) {
 	sc, err := s.scenario(r.PathValue("name"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeScenarioErr(w, err)
 		return
 	}
-	s.diagMu.Lock()
-	start := time.Now()
-	res, ref, err := core.AutoDiagnose(sc.Bad, sc.World, core.Options{})
-	elapsed := time.Since(start)
-	s.diagMu.Unlock()
+	release, ok := s.acquireSlot(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if s.testHookDiagnoseStart != nil {
+		s.testHookDiagnoseStart()
+	}
+	d, err := runDiagnosis(r.Context(), sc,
+		func(ctx context.Context, iso *scenarios.Scenario) (*core.Result, diagnosis, error) {
+			start := time.Now()
+			res, ref, err := core.AutoDiagnose(ctx, iso.Bad, iso.World, core.Options{})
+			if err != nil {
+				return nil, diagnosis{}, err
+			}
+			d := diagnosisOf(iso.Name, res, time.Since(start))
+			d.Reference = ref.Vertex.Tuple.String()
+			return res, d, nil
+		})
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeDiagnosisErr(w, err)
 		return
 	}
-	d := diagnosisOf(sc.Name, res, elapsed)
-	d.Reference = ref.Vertex.Tuple.String()
 	writeJSON(w, http.StatusOK, d)
 }

@@ -1,20 +1,24 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/provenance"
 	"repro/internal/scenarios"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testServer(t *testing.T, opts ...Option) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(scenarios.Small).Handler())
+	ts := httptest.NewServer(New(scenarios.Small, opts...).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -47,6 +51,52 @@ func post(t *testing.T, url string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
+// TestEndpointSurface covers the whole API surface against one server:
+// listing, summaries, tree formats, diagnosis, autoref, and the error
+// taxonomy (404 for unknown names and selectors).
+func TestEndpointSurface(t *testing.T) {
+	ts := testServer(t, WithWorkers(4))
+	tests := []struct {
+		name       string
+		method     string
+		path       string
+		wantStatus int
+		wantBody   string // substring; "" skips the check
+	}{
+		{"list", "GET", "/scenarios", http.StatusOK, `"SDN1"`},
+		{"summary", "GET", "/scenarios/sdn1", http.StatusOK, `"goodTreeVertexes"`},
+		{"summary lowercase name", "GET", "/scenarios/mr1-d", http.StatusOK, `"MR1-D"`},
+		{"summary unknown", "GET", "/scenarios/NOPE", http.StatusNotFound, "unknown scenario"},
+		{"tree text", "GET", "/scenarios/SDN1/tree/bad", http.StatusOK, "APPEAR"},
+		{"tree dot", "GET", "/scenarios/SDN1/tree/good?format=dot", http.StatusOK, "digraph"},
+		{"tree explain", "GET", "/scenarios/SDN1/tree/good?format=explain", http.StatusOK, "Why did"},
+		{"tree bad selector", "GET", "/scenarios/SDN1/tree/ugly", http.StatusNotFound, "good or bad"},
+		{"tree unknown scenario", "GET", "/scenarios/NOPE/tree/good", http.StatusNotFound, "unknown scenario"},
+		{"diagnose", "POST", "/scenarios/SDN1/diagnose", http.StatusOK, "4.3.2.0/23"},
+		{"diagnose unknown", "POST", "/scenarios/NOPE/diagnose", http.StatusNotFound, "unknown scenario"},
+		{"autoref", "POST", "/scenarios/SDN1/autoref", http.StatusOK, `"reference"`},
+		{"autoref unknown", "POST", "/scenarios/NOPE/autoref", http.StatusNotFound, "unknown scenario"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			var body []byte
+			switch tc.method {
+			case "GET":
+				code, body = get(t, ts.URL+tc.path)
+			case "POST":
+				code, body = post(t, ts.URL+tc.path)
+			}
+			if code != tc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d (%s)", tc.method, tc.path, code, tc.wantStatus, body)
+			}
+			if tc.wantBody != "" && !strings.Contains(string(body), tc.wantBody) {
+				t.Errorf("%s %s: body %q does not contain %q", tc.method, tc.path, body, tc.wantBody)
+			}
+		})
+	}
+}
+
 func TestListScenarios(t *testing.T) {
 	ts := testServer(t)
 	code, body := get(t, ts.URL+"/scenarios")
@@ -65,44 +115,96 @@ func TestListScenarios(t *testing.T) {
 	}
 }
 
-func TestSummary(t *testing.T) {
-	ts := testServer(t)
-	code, body := get(t, ts.URL+"/scenarios/sdn1")
-	if code != http.StatusOK {
-		t.Fatalf("status %d: %s", code, body)
+// TestBuildFailureTaxonomy distinguishes an unknown scenario (404) from a
+// scenario that exists but fails to build (500), and checks that the
+// listing reports per-scenario build errors without dropping the healthy
+// entries.
+func TestBuildFailureTaxonomy(t *testing.T) {
+	srv := New(scenarios.Small)
+	srv.build = func(name string, scale scenarios.Scale) (*scenarios.Scenario, error) {
+		if name == "SDN2" {
+			return nil, fmt.Errorf("synthetic build explosion")
+		}
+		return scenarios.Build(name, scale)
 	}
-	var s struct {
-		GoodTree  int `json:"goodTreeVertexes"`
-		BadTree   int `json:"badTreeVertexes"`
-		PlainDiff int `json:"plainDiffVertexes"`
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := get(t, ts.URL+"/scenarios/SDN2"); code != http.StatusInternalServerError {
+		t.Errorf("broken build status = %d (%s), want 500", code, body)
 	}
-	if err := json.Unmarshal(body, &s); err != nil {
-		t.Fatal(err)
-	}
-	if s.GoodTree < 20 || s.BadTree < 20 || s.PlainDiff < 4 {
-		t.Errorf("summary = %+v", s)
+	if code, body := post(t, ts.URL+"/scenarios/SDN2/diagnose"); code != http.StatusInternalServerError {
+		t.Errorf("broken build diagnose status = %d (%s), want 500", code, body)
 	}
 	if code, _ := get(t, ts.URL+"/scenarios/NOPE"); code != http.StatusNotFound {
-		t.Errorf("unknown scenario status = %d", code)
+		t.Errorf("unknown scenario status = %d, want 404", code)
+	}
+
+	code, body := get(t, ts.URL+"/scenarios")
+	if code != http.StatusOK {
+		t.Fatalf("list status %d: %s", code, body)
+	}
+	var out []scenarioInfo
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("listing dropped entries: %d, want 8", len(out))
+	}
+	broken := 0
+	for _, e := range out {
+		if e.Name == "SDN2" {
+			broken++
+			if !strings.Contains(e.Error, "synthetic build explosion") {
+				t.Errorf("SDN2 entry error = %q", e.Error)
+			}
+		} else if e.Error != "" {
+			t.Errorf("healthy entry %s carries error %q", e.Name, e.Error)
+		}
+	}
+	if broken != 1 {
+		t.Errorf("broken entries = %d, want 1", broken)
 	}
 }
 
-func TestTreeFormats(t *testing.T) {
-	ts := testServer(t)
-	code, body := get(t, ts.URL+"/scenarios/SDN1/tree/bad")
-	if code != http.StatusOK || !strings.Contains(string(body), "APPEAR") {
-		t.Errorf("text tree: %d %s", code, body[:min(80, len(body))])
+// TestUnsuitableReference exercises the 422 path: a diagnosis that runs
+// but fails (the reference tree is a config-state appearance, which is
+// not comparable to the bad packet).
+func TestUnsuitableReference(t *testing.T) {
+	srv := New(scenarios.Small)
+	srv.build = func(name string, scale scenarios.Scale) (*scenarios.Scenario, error) {
+		sc, err := scenarios.Build(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		// Sabotage the reference: a configuration-state appearance is
+		// never comparable to a packet outcome (seed type mismatch).
+		g := sc.World.Graph()
+		var badSeedTable string
+		if seed, err := sc.Bad.FindSeed(); err == nil {
+			badSeedTable = seed.Vertex.Tuple.Table
+		}
+		sabotaged := false
+		g.Vertexes(func(v *provenance.Vertex) {
+			if sabotaged || v.Type != provenance.Appear || v.Tuple.Table == badSeedTable {
+				return
+			}
+			if decl := sc.World.Program().Decl(v.Tuple.Table); decl == nil || decl.Event {
+				return
+			}
+			sc.Good = g.Tree(v.ID)
+			sabotaged = true
+		})
+		if !sabotaged {
+			return nil, fmt.Errorf("no state appearance to sabotage with")
+		}
+		return sc, nil
 	}
-	code, body = get(t, ts.URL+"/scenarios/SDN1/tree/good?format=dot")
-	if code != http.StatusOK || !strings.Contains(string(body), "digraph") {
-		t.Errorf("dot tree: %d", code)
-	}
-	code, body = get(t, ts.URL+"/scenarios/SDN1/tree/good?format=explain")
-	if code != http.StatusOK || !strings.Contains(string(body), "Why did") {
-		t.Errorf("explain tree: %d", code)
-	}
-	if code, _ := get(t, ts.URL+"/scenarios/SDN1/tree/ugly"); code != http.StatusNotFound {
-		t.Errorf("bad tree selector status = %d", code)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body := post(t, ts.URL+"/scenarios/SDN1/diagnose")
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d (%s), want 422", code, body)
 	}
 }
 
@@ -113,8 +215,15 @@ func TestDiagnoseEndpoint(t *testing.T) {
 		t.Fatalf("status %d: %s", code, body)
 	}
 	var d struct {
-		Changes []string `json:"changes"`
-		Rounds  int      `json:"rounds"`
+		Changes      []string `json:"changes"`
+		Rounds       int      `json:"rounds"`
+		ReasoningNs  int64    `json:"reasoningNs"`
+		Reasoning    string   `json:"reasoning"`
+		UpdateTreeNs int64    `json:"treeUpdatesNs"`
+		UpdateTree   string   `json:"treeUpdates"`
+		ElapsedNs    int64    `json:"elapsedNs"`
+		Elapsed      string   `json:"elapsed"`
+		Replays      int      `json:"replays"`
 	}
 	if err := json.Unmarshal(body, &d); err != nil {
 		t.Fatal(err)
@@ -124,6 +233,42 @@ func TestDiagnoseEndpoint(t *testing.T) {
 	}
 	if d.Rounds != 1 {
 		t.Errorf("rounds = %d", d.Rounds)
+	}
+	if d.ElapsedNs <= 0 || d.Elapsed == "" {
+		t.Errorf("elapsed missing: %+v", d)
+	}
+	if d.Reasoning == "" || d.UpdateTree == "" {
+		t.Errorf("humanized timings missing: %+v", d)
+	}
+	if d.Replays <= 0 {
+		t.Errorf("replays = %d, want > 0 (per-request replay stats)", d.Replays)
+	}
+}
+
+// TestTimingsDoNotAccumulate runs the same diagnosis twice and checks the
+// reported per-request counters are identical: before clone-per-request,
+// ReplayCount accumulated across requests.
+func TestTimingsDoNotAccumulate(t *testing.T) {
+	ts := testServer(t)
+	type stats struct {
+		Replays      int   `json:"replays"`
+		UpdateTreeNs int64 `json:"treeUpdatesNs"`
+	}
+	var first, second stats
+	for i, dst := range []*stats{&first, &second} {
+		code, body := post(t, ts.URL+"/scenarios/SDN1/diagnose")
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, code, body)
+		}
+		if err := json.Unmarshal(body, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first.Replays != second.Replays {
+		t.Errorf("replay counts drift across identical requests: %d then %d", first.Replays, second.Replays)
+	}
+	if first.Replays == 0 {
+		t.Error("replay count = 0, expected the diagnosis to replay")
 	}
 }
 
@@ -150,47 +295,178 @@ func TestAutoRefEndpoint(t *testing.T) {
 
 func TestScenarioCaching(t *testing.T) {
 	srv := New(scenarios.Small)
+	builds := 0
+	inner := srv.build
+	var mu sync.Mutex
+	srv.build = func(name string, scale scenarios.Scale) (*scenarios.Scenario, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		return inner(name, scale)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	get(t, ts.URL+"/scenarios/SDN2")
-	get(t, ts.URL+"/scenarios/SDN2")
-	srv.mu.Lock()
-	n := len(srv.cache)
-	srv.mu.Unlock()
-	if n != 1 {
-		t.Errorf("cache entries = %d, want 1", n)
-	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func TestConcurrentDiagnoses(t *testing.T) {
-	ts := testServer(t)
-	done := make(chan error, 8)
-	for i := 0; i < 8; i++ {
-		go func(i int) {
-			name := []string{"SDN1", "SDN2"}[i%2]
-			resp, err := http.Post(ts.URL+"/scenarios/"+name+"/diagnose", "application/json", nil)
-			if err != nil {
-				done <- err
-				return
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/scenarios/SDN2")
+			if err == nil {
+				resp.Body.Close()
 			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	n := builds
+	mu.Unlock()
+	if n != 1 {
+		t.Errorf("builds = %d, want 1 (singleflight)", n)
+	}
+	srv.mu.Lock()
+	entries := len(srv.cache)
+	srv.mu.Unlock()
+	if entries != 1 {
+		t.Errorf("cache entries = %d, want 1", entries)
+	}
+}
+
+// TestPoolSaturation fills the single worker slot and checks that the
+// next diagnosis is shed with 429 and a Retry-After hint, while
+// non-diagnosis endpoints keep serving.
+func TestPoolSaturation(t *testing.T) {
+	srv := New(scenarios.Small, WithWorkers(1))
+	occupied := make(chan struct{})
+	release := make(chan struct{})
+	srv.testHookDiagnoseStart = func() {
+		close(occupied)
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// Warm the scenario cache so the slow request holds only the slot.
+	get(t, ts.URL+"/scenarios/SDN1")
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/scenarios/SDN1/diagnose", "application/json", nil)
+		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
-				done <- fmt.Errorf("status %d", resp.StatusCode)
+				err = fmt.Errorf("slot holder status %d", resp.StatusCode)
+			}
+		}
+		errc <- err
+	}()
+	<-occupied
+
+	resp, err := http.Post(ts.URL+"/scenarios/SDN1/diagnose", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated pool status = %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response must set Retry-After")
+	}
+	// Read-only endpoints are not pooled and must still respond.
+	if code, _ := get(t, ts.URL+"/scenarios/SDN1"); code != http.StatusOK {
+		t.Errorf("summary during saturation = %d, want 200", code)
+	}
+
+	srv.testHookDiagnoseStart = nil
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	// The slot is free again: the next diagnosis succeeds.
+	if code, body := post(t, ts.URL+"/scenarios/SDN1/diagnose"); code != http.StatusOK {
+		t.Errorf("post-release diagnose = %d (%s), want 200", code, body)
+	}
+}
+
+// TestDiagnoseCancellation checks that an already-expired deadline stops
+// the diagnosis and is reported as 503, not 422.
+func TestDiagnoseCancellation(t *testing.T) {
+	ts := testServer(t)
+	// Warm the cache so cancellation hits the diagnosis, not the build.
+	get(t, ts.URL+"/scenarios/SDN1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/scenarios/SDN1/diagnose", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("expected the client-side cancellation to error")
+	}
+	// Server-side mapping: a diagnosis cut short by its context is 503.
+	// Exercise it through the handler directly with a cancelled context.
+	srv := New(scenarios.Small)
+	rec := httptest.NewRecorder()
+	hreq := httptest.NewRequest("POST", "/scenarios/SDN1/diagnose", nil).WithContext(ctx)
+	srv.Handler().ServeHTTP(rec, hreq)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("cancelled diagnosis status = %d (%s), want 503", rec.Code, rec.Body)
+	}
+}
+
+// TestConcurrentDiagnoses is the determinism stress test: N parallel
+// diagnoses of the same scenarios on one server must all succeed and
+// return byte-identical changes lists — parallel requests must not
+// perturb the deterministic replay engine.
+func TestConcurrentDiagnoses(t *testing.T) {
+	const n = 16
+	ts := testServer(t, WithWorkers(n))
+	type result struct {
+		name string
+		body []byte
+		err  error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			name := []string{"SDN1", "SDN2", "MR1-D", "MR2-I"}[i%4]
+			resp, err := http.Post(ts.URL+"/scenarios/"+name+"/diagnose", "application/json", nil)
+			if err != nil {
+				results <- result{name: name, err: err}
 				return
 			}
-			done <- nil
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("%s: status %d: %s", name, resp.StatusCode, body)
+			}
+			results <- result{name: name, body: body, err: err}
 		}(i)
 	}
-	for i := 0; i < 8; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
+	changesBy := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		var d struct {
+			Changes []string `json:"changes"`
+		}
+		if err := json.Unmarshal(r.body, &d); err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if len(d.Changes) == 0 {
+			t.Fatalf("%s: empty changes", r.name)
+		}
+		enc, _ := json.Marshal(d.Changes)
+		if prev, ok := changesBy[r.name]; ok {
+			if !bytes.Equal(prev, enc) {
+				t.Errorf("%s: concurrent diagnoses disagree:\n%s\nvs\n%s", r.name, prev, enc)
+			}
+		} else {
+			changesBy[r.name] = enc
 		}
 	}
 }

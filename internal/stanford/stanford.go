@@ -12,6 +12,7 @@
 package stanford
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -322,7 +323,7 @@ func (b *Backbone) Diagnose() (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Diagnose(good, bad, world, core.Options{})
+	return core.Diagnose(context.Background(), good, bad, world, core.Options{})
 }
 
 // IsFaultChange reports whether a change is the deletion of the
