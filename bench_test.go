@@ -510,3 +510,47 @@ func BenchmarkLatencyHarness(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkJoinFanout measures the hash-indexed join against the naive
+// table scan on a wide fan-in rule: one probe event joined against N
+// edge tuples on the same node, of which exactly one matches. With
+// indexing, each trigger costs one bucket probe; without, it scans all
+// N rows. At N=10000 the indexed variant must be at least ~5x faster.
+func BenchmarkJoinFanout(b *testing.B) {
+	const fanoutProgram = `
+table edge/2 base;
+table probe/1 event base;
+table hit/2 event;
+rule j hit(S, D) :- probe(@r, S), edge(@r, S, D).
+`
+	for _, n := range []int{100, 1000, 10000} {
+		for _, mode := range []struct {
+			name     string
+			indexing bool
+		}{{"indexed", true}, {"scan", false}} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, mode.name), func(b *testing.B) {
+				e := ndlog.New(ndlog.MustParse(fanoutProgram), nil,
+					ndlog.WithIndexing(mode.indexing))
+				for i := 0; i < n; i++ {
+					v := ndlog.Int(int64(i))
+					if err := e.ScheduleInsert("r", ndlog.NewTuple("edge", v, v), 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s := ndlog.Int(int64(i % n))
+					if err := e.ScheduleInsert("r", ndlog.NewTuple("probe", s), int64(i+1)); err != nil {
+						b.Fatal(err)
+					}
+					if err := e.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -158,9 +158,18 @@ func groupFieldsEqual(rule *ndlog.Rule, a, b ndlog.Tuple) bool {
 }
 
 // finalAggTuple finds the group's current (final) count tuple in the bad
-// world's live state.
+// world's live state. The non-count group columns are bound by the
+// expected tuple, so the lookup probes the aggregate-group hash index
+// registered for every counting rule's head table.
 func finalAggTuple(w World, rule *ndlog.Rule, expected ndlog.At) (ndlog.Tuple, bool) {
-	for _, t := range w.TuplesAt(expected.Node, expected.Tuple.Table, endOfTick(endOfExecution)) {
+	var match []ndlog.Match
+	for j := range expected.Tuple.Args {
+		if j < len(rule.Head.Args) && isVar(rule.Head.Args[j], rule.CountVar) {
+			continue
+		}
+		match = append(match, ndlog.Match{Col: j, Val: expected.Tuple.Args[j]})
+	}
+	for _, t := range w.TuplesMatchingAt(expected.Node, expected.Tuple.Table, endOfTick(endOfExecution), match) {
 		if groupFieldsEqual(rule, t, expected.Tuple) {
 			return t, true
 		}

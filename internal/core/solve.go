@@ -261,7 +261,7 @@ func (s *solver) followKeyedRows(w World, prog *ndlog.Program, trigIdx int, have
 		}
 		// Key columns must be bound; at least one must be tainted.
 		tainted := false
-		keyVals := map[int]ndlog.Value{}
+		keyMatch := make([]ndlog.Match, 0, len(decl.Key))
 		ok := true
 		for _, col := range decl.Key {
 			if col >= len(atom.Args) {
@@ -273,7 +273,7 @@ func (s *solver) followKeyedRows(w World, prog *ndlog.Program, trigIdx int, have
 				ok = false
 				break
 			}
-			keyVals[col] = v
+			keyMatch = append(keyMatch, ndlog.Match{Col: col, Val: v})
 			if gv, gerr := atom.Args[col].Eval(s.envG); gerr == nil && gv != v {
 				tainted = true
 			}
@@ -285,17 +285,9 @@ func (s *solver) followKeyedRows(w World, prog *ndlog.Program, trigIdx int, have
 		if err != nil || !known {
 			continue
 		}
-		for _, row := range w.TuplesAt(node, atom.Table, ndlog.Stamp{T: needBy, Seq: ^uint64(0)}) {
-			match := true
-			for col, v := range keyVals {
-				if col >= len(row.Args) || row.Args[col] != v {
-					match = false
-					break
-				}
-			}
-			if !match {
-				continue
-			}
+		// The primary-key lookup probes the table's key-column hash index
+		// (registered for every keyed table) instead of scanning.
+		for _, row := range w.TuplesMatchingAt(node, atom.Table, ndlog.Stamp{T: needBy, Seq: ^uint64(0)}, keyMatch) {
 			// Rebind the atom's non-key variables from this row.
 			trial := s.envB.Clone()
 			for _, fv := range s.defaultedVarsOf(atom) {

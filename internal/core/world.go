@@ -34,6 +34,10 @@ type World interface {
 	FirstOccurrence(node string, t ndlog.Tuple, tick int64) (int64, bool)
 	// TuplesAt returns the tuples of a table existing at a time.
 	TuplesAt(node, table string, at ndlog.Stamp) []ndlog.Tuple
+	// TuplesMatchingAt is TuplesAt restricted to tuples whose columns
+	// satisfy the match constraints; engine-backed worlds answer it from
+	// the table's secondary hash indexes when one covers the columns.
+	TuplesMatchingAt(node, table string, at ndlog.Stamp, match []ndlog.Match) []ndlog.Tuple
 	// Nodes lists the nodes of the system.
 	Nodes() []string
 	// IsMutable reports whether DiffProv may change the base tuple.
@@ -87,6 +91,10 @@ func (w *ndlogWorld) FirstOccurrence(node string, t ndlog.Tuple, tick int64) (in
 
 func (w *ndlogWorld) TuplesAt(node, table string, at ndlog.Stamp) []ndlog.Tuple {
 	return w.engine.TuplesAt(node, table, at)
+}
+
+func (w *ndlogWorld) TuplesMatchingAt(node, table string, at ndlog.Stamp, match []ndlog.Match) []ndlog.Tuple {
+	return w.engine.TuplesMatchingAt(node, table, at, match)
 }
 
 func (w *ndlogWorld) IsMutable(node string, t ndlog.Tuple) bool {

@@ -133,6 +133,18 @@ func (w *mrWorld) TuplesAt(node, table string, at ndlog.Stamp) []ndlog.Tuple {
 	return w.ex.store.tuplesAt(node, table, at.T)
 }
 
+// TuplesMatchingAt filters the store's as-of rows; the imperative store
+// is small (one job's records), so no index is kept.
+func (w *mrWorld) TuplesMatchingAt(node, table string, at ndlog.Stamp, match []ndlog.Match) []ndlog.Tuple {
+	var out []ndlog.Tuple
+	for _, t := range w.ex.store.tuplesAt(node, table, at.T) {
+		if ndlog.MatchTuple(match, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 func (w *mrWorld) Nodes() []string {
 	out := append([]string(nil), w.ex.store.nodes...)
 	sort.Strings(out)

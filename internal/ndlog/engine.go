@@ -104,8 +104,10 @@ type Engine struct {
 	now       Stamp
 	deriveID  int64
 	delay     int64 // cross-node transit delay in ticks
-	// dependents maps a row reference (node|key|appearSeq) to the
-	// derived rows it supports, for deletion cascade.
+	// dependents maps a row reference (node|key) to the derived rows it
+	// supports, for the deletion cascade. Refs are pruned when a support
+	// is retracted through any cause (see unindexSupport), so the map
+	// stays bounded by the number of live supports.
 	dependents map[string][]dependentRef
 	// immutable records tuples individually pinned immutable (beyond
 	// table-level mutability), e.g. "static flow entries declared off
@@ -117,6 +119,11 @@ type Engine struct {
 	// non-terminating models (e.g. forwarding loops).
 	deriveLimit int
 	stats       Stats
+	// indexing enables secondary hash indexes for body-atom joins (see
+	// index.go); plans and tableSpecs are computed once from the program.
+	indexing   bool
+	plans      map[planKey][]*indexSpec
+	tableSpecs map[string][]*indexSpec
 }
 
 // Stats counts engine activity, used by the evaluation harness.
@@ -127,6 +134,13 @@ type Stats struct {
 	Appears     int
 	Disappears  int
 	Messages    int
+	// IndexProbes counts join lookups answered from a hash index,
+	// IndexScans full scans of atoms with no bound columns, and
+	// IndexFallbacks planned probes that had to degrade to a scan (a
+	// variable the analysis expected bound was missing at runtime).
+	IndexProbes    int
+	IndexScans     int
+	IndexFallbacks int
 }
 
 type dependentRef struct {
@@ -146,6 +160,9 @@ type table struct {
 	order  []*row // insertion-ordered; dead rows skipped
 	hist   map[string][]Interval
 	keyIdx map[string]*row // primary-key index, for tables with key columns
+	// indexes holds the secondary hash indexes (sig -> index) planned
+	// for this table; buckets mirror order (see index.go).
+	indexes map[string]*tableIndex
 }
 
 type row struct {
@@ -218,6 +235,16 @@ func WithDerivationLimit(n int) Option {
 	return func(e *Engine) { e.deriveLimit = n }
 }
 
+// WithIndexing enables or disables the secondary hash indexes that
+// accelerate rule-body joins (default on). Evaluation results are
+// identical either way — bucket rows keep appearance order, so the
+// derivation stream, provenance graph, and replay behavior are
+// byte-for-byte the same (asserted by TestIndexDifferential); the switch
+// exists for that differential test and for debugging index maintenance.
+func WithIndexing(on bool) Option {
+	return func(e *Engine) { e.indexing = on }
+}
+
 // New creates an engine for the program. A nil observer is allowed.
 func New(prog *Program, obs Observer, opts ...Option) *Engine {
 	if obs == nil {
@@ -232,9 +259,15 @@ func New(prog *Program, obs Observer, opts ...Option) *Engine {
 		immutable:   map[string]bool{},
 		aggGroups:   map[string]*aggGroup{},
 		deriveLimit: 10_000_000,
+		indexing:    true,
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.indexing {
+		// One-time static analysis; rules added to the program after this
+		// point are evaluated with scans (no plan entry).
+		e.plans, e.tableSpecs = buildJoinPlans(prog)
 	}
 	return e
 }
@@ -258,12 +291,21 @@ func (e *Engine) nodeFor(name string) *node {
 	return n
 }
 
-func (n *node) tableFor(decl *TableDecl) *table {
+func (e *Engine) tableFor(n *node, decl *TableDecl) *table {
 	t, ok := n.tables[decl.Name]
 	if !ok {
 		t = &table{decl: decl, live: map[string]*row{}, hist: map[string][]Interval{}}
 		if len(decl.Key) > 0 {
 			t.keyIdx = map[string]*row{}
+		}
+		// Attach the planned secondary indexes up front: the table is
+		// empty here, so incremental maintenance in appear suffices and
+		// query-time reads never have to build (or lock) anything.
+		if len(e.tableSpecs[decl.Name]) > 0 {
+			t.indexes = map[string]*tableIndex{}
+			for _, spec := range e.tableSpecs[decl.Name] {
+				t.indexes[spec.sig] = &tableIndex{spec: spec, buckets: map[string][]*row{}}
+			}
 		}
 		n.tables[decl.Name] = t
 	}
@@ -382,11 +424,11 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 		e.obs.OnAppear(at, deriveID)
 		// Record the instantaneous occurrence in history for temporal
 		// queries (zero-length closed interval).
-		tb := n.tableFor(decl)
+		tb := e.tableFor(n, decl)
 		tb.hist[t.Key()] = append(tb.hist[t.Key()], Interval{From: st, To: st})
 		return e.trigger(nodeName, t, st)
 	}
-	tb := n.tableFor(decl)
+	tb := e.tableFor(n, decl)
 	key := t.Key()
 	if r, ok := tb.live[key]; ok {
 		// Additional support for an existing tuple.
@@ -415,6 +457,12 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 	r := &row{tuple: t.Clone(), key: key, appearedAt: st, supports: []support{sup}}
 	tb.live[key] = r
 	tb.order = append(tb.order, r)
+	// Secondary indexes mirror order: a re-appearance after death is a
+	// fresh row and is appended again; dead rows stay behind the probe's
+	// liveness filter (and serve temporal as-of lookups).
+	for _, ix := range tb.indexes {
+		ix.insert(r)
+	}
 	if tb.keyIdx != nil {
 		tb.keyIdx[primaryKey(decl, t)] = r
 	}
@@ -433,6 +481,31 @@ func (e *Engine) indexSupport(nodeName, key string, sup support) {
 	}
 }
 
+// unindexSupport removes a retracted support's dependent refs from every
+// body row it referenced. Without this, a dependent retracted through one
+// body tuple would leave stale refs under all its other body tuples —
+// leaking memory under churn and making later retractions scan dead refs.
+func (e *Engine) unindexSupport(nodeName, key string, sup support) {
+	for _, b := range sup.body {
+		ref := b.node + "|" + b.key
+		deps, ok := e.dependents[ref]
+		if !ok {
+			continue // the body row itself is being retracted; its refs went wholesale
+		}
+		for i, d := range deps {
+			if d.node == nodeName && d.key == key && d.deriveID == sup.deriveID {
+				deps = append(deps[:i], deps[i+1:]...)
+				break
+			}
+		}
+		if len(deps) == 0 {
+			delete(e.dependents, ref)
+		} else {
+			e.dependents[ref] = deps
+		}
+	}
+}
+
 // deleteBase removes one base support from a stored tuple and cascades.
 func (e *Engine) deleteBase(nodeName string, t Tuple, st Stamp) error {
 	decl := e.prog.Decl(t.Table)
@@ -443,7 +516,7 @@ func (e *Engine) deleteBase(nodeName string, t Tuple, st Stamp) error {
 		return fmt.Errorf("ndlog: cannot delete event tuple %s", t)
 	}
 	n := e.nodeFor(nodeName)
-	tb := n.tableFor(decl)
+	tb := e.tableFor(n, decl)
 	key := t.Key()
 	r, ok := tb.live[key]
 	if !ok {
@@ -538,6 +611,7 @@ func (e *Engine) retractSupport(dep dependentRef, cause At, st Stamp) {
 	}
 	s := r.supports[idx]
 	r.supports = append(r.supports[:idx], r.supports[idx+1:]...)
+	e.unindexSupport(dep.node, dep.key, s)
 	e.deriveID++
 	uid := e.deriveID
 	ust := e.nextStamp(st.T)
@@ -652,8 +726,11 @@ func BindingKey(env Env) string {
 	return string(out)
 }
 
-// joinRest extends the binding over the remaining body atoms (nested-loop
-// join in atom order, skipping the delta atom).
+// joinRest extends the binding over the remaining body atoms (hash join
+// in atom order, skipping the delta atom; atoms with no bound columns
+// fall back to a nested-loop scan). On error it returns (nil, err) —
+// never partially accumulated bindings — and leaves the caller's binding
+// untouched.
 func (e *Engine) joinRest(r *Rule, deltaAtom int, evalNode string, b binding, next int, st Stamp) ([]binding, error) {
 	if next == len(r.Body) {
 		return []binding{b}, nil
@@ -676,54 +753,79 @@ func (e *Engine) joinRest(r *Rule, deltaAtom int, evalNode string, b binding, ne
 	if err != nil {
 		return nil, fmt.Errorf("ndlog: rule %s: %v", r.Name, err)
 	}
-	var out []binding
-	scan := func(nodeName string) {
-		n := e.nodes[nodeName]
-		if n == nil {
-			return
-		}
-		tb := n.tables[atom.Table]
-		if tb == nil {
-			return
-		}
-		for _, rw := range tb.order {
-			if rw.dead || st.Before(rw.appearedAt) {
-				continue
-			}
-			if !quickMatch(atom, b.env, rw.tuple) {
-				continue
-			}
-			env2 := b.env.Clone()
-			if !unifyAtom(atom, nodeName, rw.tuple, env2) {
-				continue
-			}
-			b2 := binding{env: env2, body: make([]At, len(b.body))}
-			copy(b2.body, b.body)
-			b2.body[next] = At{Node: nodeName, Tuple: rw.tuple, Stamp: rw.appearedAt}
-			rest, err2 := e.joinRest(r, deltaAtom, evalNode, b2, next+1, st)
-			if err2 != nil {
-				err = err2
-				return
-			}
-			out = append(out, rest...)
-		}
-	}
 	if locKnown {
-		scan(locNode)
-	} else {
-		// Unbound location variable: scan every node deterministically,
-		// binding the variable per node.
-		v := atom.Loc.(Var)
-		for _, nn := range e.nodeOrder {
-			b.env[string(v)] = Str(nn)
-			scan(nn)
-			delete(b.env, string(v))
-			if err != nil {
-				break
-			}
-		}
+		return e.joinAtom(r, deltaAtom, evalNode, b, next, st, locNode)
 	}
-	return out, err
+	// Unbound location variable: try every node deterministically. The
+	// location is bound in a per-node clone of the environment, so no
+	// binding can leak into the caller's environment or into sibling
+	// bindings — on any exit path, including errors.
+	v := atom.Loc.(Var)
+	var out []binding
+	for _, nn := range e.nodeOrder {
+		bn := binding{env: b.env.Clone(), body: b.body}
+		bn.env[string(v)] = Str(nn)
+		sub, err := e.joinAtom(r, deltaAtom, evalNode, bn, next, st, nn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// joinAtom matches body atom next against one node's table, extending the
+// binding per matching row and recursing over the remaining atoms. When
+// the join plan has bound columns for this atom it probes the table's
+// hash index — the bucket holds rows in appearance order, so results are
+// identical to (a subsequence of) the full scan.
+func (e *Engine) joinAtom(r *Rule, deltaAtom int, evalNode string, b binding, next int, st Stamp, nodeName string) ([]binding, error) {
+	atom := r.Body[next]
+	n := e.nodes[nodeName]
+	if n == nil {
+		return nil, nil
+	}
+	tb := n.tables[atom.Table]
+	if tb == nil {
+		return nil, nil
+	}
+	rows := tb.order
+	if spec := e.planFor(r, deltaAtom, next); spec != nil {
+		if key, ok := probeKey(atom, spec, b.env); ok {
+			if ix := tb.indexes[spec.sig]; ix != nil {
+				rows = ix.buckets[key]
+				e.stats.IndexProbes++
+			} else {
+				e.stats.IndexFallbacks++
+			}
+		} else {
+			e.stats.IndexFallbacks++
+		}
+	} else {
+		e.stats.IndexScans++
+	}
+	var out []binding
+	for _, rw := range rows {
+		if rw.dead || st.Before(rw.appearedAt) {
+			continue
+		}
+		if !quickMatch(atom, b.env, rw.tuple) {
+			continue
+		}
+		env2 := b.env.Clone()
+		if !unifyAtom(atom, nodeName, rw.tuple, env2) {
+			continue
+		}
+		b2 := binding{env: env2, body: make([]At, len(b.body))}
+		copy(b2.body, b.body)
+		b2.body[next] = At{Node: nodeName, Tuple: rw.tuple, Stamp: rw.appearedAt}
+		rest, err := e.joinRest(r, deltaAtom, evalNode, b2, next+1, st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rest...)
+	}
+	return out, nil
 }
 
 // resolveLoc resolves a body atom's location term. Returns the node name

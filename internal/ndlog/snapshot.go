@@ -43,18 +43,17 @@ func (e *Engine) CaptureState() Snapshot {
 }
 
 // Lookup reports whether the snapshot contains the tuple on the node.
+// Rows are stored sorted by canonical key, so the lookup is a binary
+// search.
 func (s Snapshot) Lookup(node string, t Tuple) bool {
 	tbls, ok := s.State[node]
 	if !ok {
 		return false
 	}
+	rows := tbls[t.Table]
 	key := t.Key()
-	for _, row := range tbls[t.Table] {
-		if row.Key() == key {
-			return true
-		}
-	}
-	return false
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].Key() >= key })
+	return i < len(rows) && rows[i].Key() == key
 }
 
 // NumTuples returns the total number of tuples in the snapshot.

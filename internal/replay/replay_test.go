@@ -589,3 +589,38 @@ func TestReplayWithContextCancelled(t *testing.T) {
 		t.Errorf("cancelled replay error = %v, want context.Canceled", err)
 	}
 }
+
+func TestReplayIndexingOffMatchesDefault(t *testing.T) {
+	sDef := NewSession(fwdProg)
+	sOff := NewSession(fwdProg, WithEngineOptions(ndlog.WithIndexing(false)))
+	driveScenario(t, sDef)
+	driveScenario(t, sOff)
+
+	eDef, gDef, err := sDef.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eOff, gOff, err := sOff.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gDef.NumVertexes() != gOff.NumVertexes() {
+		t.Fatalf("graphs differ: %d vs %d vertexes", gDef.NumVertexes(), gOff.NumVertexes())
+	}
+	for i := 0; i < gDef.NumVertexes(); i++ {
+		vd, vo := gDef.Vertex(i), gOff.Vertex(i)
+		if vd.Label() != vo.Label() || vd.At != vo.At {
+			t.Fatalf("vertex %d differs: %s vs %s", i, vd, vo)
+		}
+	}
+	snapDef, snapOff := eDef.CaptureState(), eOff.CaptureState()
+	if snapDef.NumTuples() != snapOff.NumTuples() {
+		t.Fatalf("states differ: %d vs %d tuples", snapDef.NumTuples(), snapOff.NumTuples())
+	}
+	// The fwd rule's flowEntry atom binds no columns from the packet
+	// delta (Prio, M, Nxt are all free), so even the indexed engine
+	// falls back to scans here — and the off engine must never probe.
+	if st := eOff.Stats(); st.IndexProbes != 0 {
+		t.Errorf("indexing-off replay probed an index: %+v", st)
+	}
+}

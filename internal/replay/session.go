@@ -133,6 +133,12 @@ func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, erro
 //
 // The live engine is shared read-only; driving the execution further
 // (Insert/Delete/Run) must happen on the original session, not a clone.
+// That sharing extends to the engines' join indexes: indexes are built
+// eagerly while an engine runs and are never created or mutated by
+// queries (TuplesAt/TuplesMatchingAt/Exists), so concurrent clones can
+// probe the shared live or memoized-replay engine without locking, and
+// every counterfactual roll-forward (ReplayWith) builds a fresh engine —
+// and fresh indexes — of its own.
 func (s *Session) Clone() *Session {
 	return &Session{
 		prog:        s.prog,
