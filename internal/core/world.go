@@ -17,7 +17,7 @@ import (
 // the temporal state store behind it, and the ability to clone the
 // execution with counterfactual changes applied (§4.6). Declarative
 // systems implement it with the replay engine; instrumented systems (the
-// simulated Hadoud MapReduce) implement it by re-running the job.
+// simulated Hadoop MapReduce) implement it by re-running the job.
 type World interface {
 	// Program returns the derivation rules (or the external
 	// specification) governing the world.

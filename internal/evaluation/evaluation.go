@@ -88,6 +88,11 @@ type Fig7Row struct {
 	// DiffProvReason is the reasoning portion (seed finding, divergence
 	// detection, making tuples appear).
 	DiffProvReason time.Duration
+	// Replay reports the incremental roll-forward activity of the
+	// differential query: prefix cache hits/misses, fork time, and the
+	// logged base events the forked replays skipped (zero for the
+	// imperative scenarios, which have no replay session).
+	Replay replay.ReplayStats
 }
 
 // Figure7 measures query turnaround for every scenario.
@@ -134,6 +139,9 @@ func Figure7(scale scenarios.Scale) ([]Fig7Row, error) {
 		row.DiffProv = time.Since(start) + row.YBang
 		row.DiffProvReplay = res.Timings.UpdateTree + row.YBang
 		row.DiffProvReason = res.Timings.FindSeed + res.Timings.Divergence + res.Timings.MakeAppear
+		if s.BadSession != nil {
+			row.Replay = s.BadSession.Stats
+		}
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -101,9 +101,18 @@ type Engine struct {
 	nodeOrder []string
 	queue     workHeap
 	seq       uint64
-	now       Stamp
-	deriveID  int64
-	delay     int64 // cross-node transit delay in ticks
+	// seqBand splits the stamp sequence space when non-zero: externally
+	// scheduled base events draw from baseSeq (1..seqBand-1, in schedule
+	// order) while engine-internal stamps (derived arrivals, retractions,
+	// aggregate updates) draw from seqBand+seq. The split makes execution
+	// order a function of the event schedule alone — independent of how
+	// scheduling interleaves with Run calls — which is what lets a forked
+	// prefix engine reproduce a from-scratch replay stamp-for-stamp.
+	seqBand uint64
+	baseSeq uint64
+	now     Stamp
+	deriveID int64
+	delay    int64 // cross-node transit delay in ticks
 	// dependents maps a row reference (node|key) to the derived rows it
 	// supports, for the deletion cascade. Refs are pruned when a support
 	// is retracted through any cause (see unindexSupport), so the map
@@ -235,6 +244,25 @@ func WithDerivationLimit(n int) Option {
 	return func(e *Engine) { e.deriveLimit = n }
 }
 
+// WithSeqBand splits the stamp sequence space at start: externally
+// scheduled base events take sequence numbers 1..start-1 in schedule
+// order, and engine-internal events (derived arrivals, retractions) take
+// start+1, start+2, ... in processing order. Within one tick every base
+// event therefore sorts before every internal event, and a stamp depends
+// only on the schedule position (base) or processing position (internal)
+// — never on how scheduling interleaves with Run calls. Replay sessions
+// rely on this to make a forked prefix engine byte-identical to a
+// from-scratch replay. Zero (the default) keeps the single shared
+// counter.
+func WithSeqBand(start uint64) Option {
+	return func(e *Engine) { e.seqBand = start }
+}
+
+// SeqBandDefault is the band start replay sessions use: large enough that
+// no realistic schedule exhausts the base band, small enough that the
+// internal band cannot overflow uint64.
+const SeqBandDefault = uint64(1) << 32
+
 // WithIndexing enables or disables the secondary hash indexes that
 // accelerate rule-body joins (default on). Evaluation results are
 // identical either way — bucket rows keep appearance order, so the
@@ -312,13 +340,35 @@ func (e *Engine) tableFor(n *node, decl *TableDecl) *table {
 	return t
 }
 
+// nextStamp allocates a stamp for an engine-internal event (derived
+// arrival, retraction, aggregate update). With a sequence band configured
+// these sort after every base event of the same tick.
 func (e *Engine) nextStamp(tick int64) Stamp {
 	e.seq++
-	st := Stamp{T: tick, Seq: e.seq}
+	st := Stamp{T: tick, Seq: e.seqBand + e.seq}
 	if e.now.Before(st) {
 		e.now = st
 	}
 	return st
+}
+
+// scheduleStamp allocates a stamp for an externally scheduled base event.
+// With a sequence band configured, base events draw from the low band in
+// schedule order, so the stamp depends only on the event's position in the
+// schedule — not on how many internal events the engine has processed.
+func (e *Engine) scheduleStamp(tick int64) (Stamp, error) {
+	if e.seqBand == 0 {
+		return e.nextStamp(tick), nil
+	}
+	e.baseSeq++
+	if e.baseSeq >= e.seqBand {
+		return Stamp{}, fmt.Errorf("ndlog: base-event sequence band exhausted after %d events", e.baseSeq-1)
+	}
+	st := Stamp{T: tick, Seq: e.baseSeq}
+	if e.now.Before(st) {
+		e.now = st
+	}
+	return st, nil
 }
 
 // ScheduleInsert schedules a base-tuple insertion at the given tick.
@@ -333,7 +383,11 @@ func (e *Engine) ScheduleInsert(nodeName string, t Tuple, tick int64) error {
 	if len(t.Args) != d.Arity {
 		return fmt.Errorf("ndlog: %s has arity %d, got %d args", t.Table, d.Arity, len(t.Args))
 	}
-	heap.Push(&e.queue, &workItem{stamp: e.nextStamp(tick), kind: wkInsertBase, node: nodeName, tuple: t})
+	st, err := e.scheduleStamp(tick)
+	if err != nil {
+		return err
+	}
+	heap.Push(&e.queue, &workItem{stamp: st, kind: wkInsertBase, node: nodeName, tuple: t})
 	return nil
 }
 
@@ -346,7 +400,11 @@ func (e *Engine) ScheduleDelete(nodeName string, t Tuple, tick int64) error {
 	if !d.Base {
 		return fmt.Errorf("ndlog: table %s is not a base table", t.Table)
 	}
-	heap.Push(&e.queue, &workItem{stamp: e.nextStamp(tick), kind: wkDeleteBase, node: nodeName, tuple: t})
+	st, err := e.scheduleStamp(tick)
+	if err != nil {
+		return err
+	}
+	heap.Push(&e.queue, &workItem{stamp: st, kind: wkDeleteBase, node: nodeName, tuple: t})
 	return nil
 }
 
@@ -378,6 +436,58 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// RunUntil evaluates scheduled events and their consequences while the
+// earliest pending work item's tick is <= maxTick, then stops. Work at
+// later ticks — including derived arrivals spilled past maxTick by the
+// transit delay — stays pending, so a later Run (or a Fork followed by
+// Run) continues exactly where this call left off.
+func (e *Engine) RunUntil(maxTick int64) error {
+	for e.queue.Len() > 0 && e.queue[0].stamp.T <= maxTick {
+		it := heap.Pop(&e.queue).(*workItem)
+		if e.now.Before(it.stamp) {
+			e.now = it.stamp
+		}
+		if err := e.process(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextPendingTick reports the tick of the earliest pending work item, or
+// false if the queue is empty.
+func (e *Engine) NextPendingTick() (int64, bool) {
+	if e.queue.Len() == 0 {
+		return 0, false
+	}
+	return e.queue[0].stamp.T, true
+}
+
+// DropPendingBaseAfter removes pending base-event work (inserts and
+// deletes) scheduled strictly after tick, returning the number removed.
+// Pending derived arrivals are kept regardless of tick: truncated replay
+// (ReplayUntil) includes the full consequences of every event up to the
+// horizon, even when the transit delay carries them past it.
+func (e *Engine) DropPendingBaseAfter(tick int64) int {
+	kept := e.queue[:0]
+	dropped := 0
+	for _, it := range e.queue {
+		if (it.kind == wkInsertBase || it.kind == wkDeleteBase) && it.stamp.T > tick {
+			dropped++
+			continue
+		}
+		kept = append(kept, it)
+	}
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = kept
+	if dropped > 0 {
+		heap.Init(&e.queue)
+	}
+	return dropped
 }
 
 func (e *Engine) process(it *workItem) error {

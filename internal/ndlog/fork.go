@@ -1,0 +1,146 @@
+package ndlog
+
+// Fork deep-copies the engine's runnable mid-execution state — tables and
+// rows with their appearance order, supports and dependents, the pending
+// work queue, the clock, sequence counters, and the secondary hash
+// indexes — into a new engine observed by obs. The fork and the original
+// evolve independently afterwards: scheduling and running either engine
+// never affects the other.
+//
+// Fork never mutates the receiver, so many goroutines may fork the same
+// engine concurrently (replay sessions fork a shared cached prefix engine
+// from concurrent clones). Immutable structure is shared rather than
+// copied: the program, join plans, tuple argument slices, derivation body
+// slices, and support body references are all written once before they
+// become reachable and only read afterwards.
+//
+// A nil obs discards observer callbacks (like New). To reproduce a
+// from-scratch run stamp-for-stamp, the original engine must use a
+// sequence band (WithSeqBand) so base-event stamps depend only on
+// schedule positions; Fork copies the band configuration and counters.
+func (e *Engine) Fork(obs Observer) *Engine {
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	f := &Engine{
+		prog:        e.prog,
+		obs:         obs,
+		nodes:       make(map[string]*node, len(e.nodes)),
+		nodeOrder:   append([]string(nil), e.nodeOrder...),
+		seq:         e.seq,
+		seqBand:     e.seqBand,
+		baseSeq:     e.baseSeq,
+		now:         e.now,
+		deriveID:    e.deriveID,
+		delay:       e.delay,
+		dependents:  make(map[string][]dependentRef, len(e.dependents)),
+		immutable:   make(map[string]bool, len(e.immutable)),
+		aggGroups:   make(map[string]*aggGroup, len(e.aggGroups)),
+		deriveLimit: e.deriveLimit,
+		stats:       e.stats,
+		indexing:    e.indexing,
+		plans:       e.plans,
+		tableSpecs:  e.tableSpecs,
+	}
+	for name, n := range e.nodes {
+		fn := &node{name: n.name, tables: make(map[string]*table, len(n.tables))}
+		for tn, tb := range n.tables {
+			fn.tables[tn] = forkTable(tb)
+		}
+		f.nodes[name] = fn
+	}
+	for ref, deps := range e.dependents {
+		f.dependents[ref] = append([]dependentRef(nil), deps...)
+	}
+	for k, v := range e.immutable {
+		f.immutable[k] = v
+	}
+	for gk, g := range e.aggGroups {
+		fg := *g
+		fg.contribs = append([]At(nil), g.contribs...)
+		f.aggGroups[gk] = &fg
+	}
+	// The queue is a heap laid out in a slice; copying the slice (with
+	// fresh work items) preserves the heap shape and hence the pop order.
+	f.queue = make(workHeap, len(e.queue))
+	for i, it := range e.queue {
+		fit := *it
+		if it.deriv != nil {
+			// Head.Stamp is filled in on delivery, so the Derivation must
+			// be private to the fork; its Body slice is write-once and
+			// stays shared.
+			d := *it.deriv
+			fit.deriv = &d
+		}
+		f.queue[i] = &fit
+	}
+	return f
+}
+
+// forkTable copies one table. Rows are remapped pointer-for-pointer so
+// the copies of live, order, keyIdx, and the index buckets all reference
+// the same fresh row structs; remapping is cheaper than re-deriving
+// bucket keys from tuples.
+func forkTable(tb *table) *table {
+	remap := make(map[*row]*row, len(tb.order))
+	// Row copies come out of one backing array (every row the table has
+	// ever held is in order, so the capacity never grows — but if a row
+	// somehow reaches us outside order, fall back to a fresh allocation
+	// rather than let append move the array under earlier pointers).
+	backing := make([]row, 0, len(tb.order))
+	rowOf := func(r *row) *row {
+		fr, ok := remap[r]
+		if !ok {
+			if len(backing) < cap(backing) {
+				backing = append(backing, *r)
+				fr = &backing[len(backing)-1]
+			} else {
+				cp := *r
+				fr = &cp
+			}
+			// supports is spliced in place on retraction; each support's
+			// body refs are write-once and shared.
+			fr.supports = append([]support(nil), r.supports...)
+			remap[r] = fr
+		}
+		return fr
+	}
+	ft := &table{
+		decl: tb.decl,
+		live: make(map[string]*row, len(tb.live)),
+		hist: make(map[string][]Interval, len(tb.hist)),
+	}
+	ft.order = make([]*row, len(tb.order))
+	for i, r := range tb.order {
+		ft.order[i] = rowOf(r)
+	}
+	for k, r := range tb.live {
+		ft.live[k] = rowOf(r)
+	}
+	// The final interval of a history is closed in place when the row
+	// dies, so interval slices are copied.
+	for k, ivs := range tb.hist {
+		ft.hist[k] = append([]Interval(nil), ivs...)
+	}
+	if tb.keyIdx != nil {
+		ft.keyIdx = make(map[string]*row, len(tb.keyIdx))
+		for k, r := range tb.keyIdx {
+			ft.keyIdx[k] = rowOf(r)
+		}
+	}
+	if tb.indexes != nil {
+		ft.indexes = make(map[string]*tableIndex, len(tb.indexes))
+		for sig, ix := range tb.indexes {
+			fix := &tableIndex{spec: ix.spec, buckets: make(map[string][]*row, len(ix.buckets))}
+			for k, rows := range ix.buckets {
+				frows := make([]*row, len(rows))
+				for i, r := range rows {
+					frows[i] = rowOf(r)
+				}
+				fix.buckets[k] = frows
+			}
+			ft.indexes[sig] = fix
+		}
+	}
+	return ft
+}

@@ -1,0 +1,170 @@
+package ndlog_test
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+)
+
+// forkProg exercises the structures Fork must copy faithfully: transitive
+// derivations across nodes (supports, dependents, the work queue's
+// in-flight arrivals), deletions (retraction cascades, closed history
+// intervals, dead rows), and keyed tables (primary-key index).
+var forkProg = ndlog.MustParse(`
+table link/2 base mutable;
+table reach/2;
+rule direct reach(@S, S, D) :- link(@S, S, D).
+rule trans reach(@S, S, D) :- link(@S, S, M), reach(@M, M, D).
+`)
+
+type forkEvent struct {
+	insert bool
+	node   string
+	a, b   string
+	tick   int64
+}
+
+// forkSchedule drives a little network through growth and churn: links
+// appear across ticks, reach spreads transitively, then links die and
+// the cascade retracts.
+var forkSchedule = []forkEvent{
+	{true, "a", "a", "b", 0},
+	{true, "b", "b", "c", 0},
+	{true, "c", "c", "d", 1},
+	{true, "a", "a", "c", 2},
+	{true, "d", "d", "e", 3},
+	{false, "b", "b", "c", 5},
+	{true, "b", "b", "e", 6},
+	{false, "a", "a", "b", 8},
+	{true, "a", "a", "d", 9},
+	{false, "c", "c", "d", 11},
+}
+
+func scheduleFork(t *testing.T, e *ndlog.Engine) {
+	t.Helper()
+	for _, ev := range forkSchedule {
+		tu := ndlog.NewTuple("link", ndlog.Str(ev.a), ndlog.Str(ev.b))
+		var err error
+		if ev.insert {
+			err = e.ScheduleInsert(ev.node, tu, ev.tick)
+		} else {
+			err = e.ScheduleDelete(ev.node, tu, ev.tick)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestForkHalfRunEqualsStraightThrough is the fork layer's property test:
+// for every cut tick, scheduling the whole event sequence, evaluating up
+// to the cut, forking (engine and recorder), and running the fork to
+// completion must produce exactly the graph and state of an uncut run —
+// and so must the original engine when it resumes after the fork,
+// proving the fork did not perturb it.
+func TestForkHalfRunEqualsStraightThrough(t *testing.T) {
+	band := ndlog.WithSeqBand(ndlog.SeqBandDefault)
+
+	// The reference: one straight-through run.
+	recRef := provenance.NewRecorder(forkProg)
+	ref := ndlog.New(forkProg, recRef, band)
+	scheduleFork(t, ref)
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantGraph := serializeGraph(recRef.Graph())
+	wantState := serializeSnapshot(ref.CaptureState())
+
+	lastTick := forkSchedule[len(forkSchedule)-1].tick
+	for cut := int64(0); cut <= lastTick+1; cut++ {
+		rec := provenance.NewRecorder(forkProg)
+		e := ndlog.New(forkProg, rec, band)
+		scheduleFork(t, e)
+		if err := e.RunUntil(cut); err != nil {
+			t.Fatal(err)
+		}
+
+		frec := rec.Fork()
+		f := e.Fork(frec)
+		if err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := serializeGraph(frec.Graph()); got != wantGraph {
+			t.Fatalf("cut %d: forked run's graph differs from straight-through:\nfork:\n%s\nwant:\n%s", cut, got, wantGraph)
+		}
+		if got := serializeSnapshot(f.CaptureStateAt(ref.Now().T)); got != wantState {
+			t.Fatalf("cut %d: forked run's state differs from straight-through:\nfork:\n%s\nwant:\n%s", cut, got, wantState)
+		}
+
+		// The original resumes as if the fork never happened.
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := serializeGraph(rec.Graph()); got != wantGraph {
+			t.Fatalf("cut %d: original engine perturbed by fork:\ngot:\n%s\nwant:\n%s", cut, got, wantGraph)
+		}
+		if got := serializeSnapshot(e.CaptureStateAt(ref.Now().T)); got != wantState {
+			t.Fatalf("cut %d: original engine's state perturbed by fork", cut)
+		}
+	}
+}
+
+// TestForkIsolation: after a fork, events applied to one side must not
+// leak into the other — in either direction.
+func TestForkIsolation(t *testing.T) {
+	e := ndlog.New(forkProg, nil, ndlog.WithSeqBand(ndlog.SeqBandDefault))
+	scheduleFork(t, e)
+	if err := e.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	f := e.Fork(nil)
+
+	onlyFork := ndlog.NewTuple("link", ndlog.Str("x"), ndlog.Str("y"))
+	if err := f.ScheduleInsert("x", onlyFork, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	onlyOrig := ndlog.NewTuple("link", ndlog.Str("p"), ndlog.Str("q"))
+	if err := e.ScheduleInsert("p", onlyOrig, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if e.ExistsEver("x", onlyFork) {
+		t.Error("fork-only event leaked into the original")
+	}
+	if f.ExistsEver("p", onlyOrig) {
+		t.Error("original-only event leaked into the fork")
+	}
+	reach := ndlog.NewTuple("reach", ndlog.Str("x"), ndlog.Str("y"))
+	if !f.ExistsEver("x", reach) {
+		t.Error("fork failed to derive from its own event")
+	}
+	if e.ExistsEver("x", reach) {
+		t.Error("fork derivation leaked into the original")
+	}
+}
+
+// TestSeqBandExhaustion: the base band is guarded — scheduling more base
+// events than the band holds fails instead of colliding with internal
+// stamps.
+func TestSeqBandExhaustion(t *testing.T) {
+	e := ndlog.New(forkProg, nil, ndlog.WithSeqBand(3))
+	tu := func(i int) ndlog.Tuple {
+		return ndlog.NewTuple("link", ndlog.Str("n"), ndlog.Str(string(rune('a'+i))))
+	}
+	if err := e.ScheduleInsert("n", tu(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleInsert("n", tu(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleInsert("n", tu(2), 0); err == nil {
+		t.Fatal("scheduling past the sequence band must fail")
+	}
+}

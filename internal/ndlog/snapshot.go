@@ -13,7 +13,15 @@ type Snapshot struct {
 // (tuples sorted by canonical key). Used by the checkpointing logging
 // engine.
 func (e *Engine) CaptureState() Snapshot {
-	s := Snapshot{Tick: e.now.T, State: map[string]map[string][]Tuple{}}
+	return e.CaptureStateAt(e.now.T)
+}
+
+// CaptureStateAt snapshots the engine's current live state, labeling the
+// snapshot with an explicit tick. Checkpointing sessions use it because
+// e.now.T can run ahead of the last processed event: scheduling a future
+// event bumps the clock immediately.
+func (e *Engine) CaptureStateAt(tick int64) Snapshot {
+	s := Snapshot{Tick: tick, State: map[string]map[string][]Tuple{}}
 	for _, name := range e.nodeOrder {
 		n := e.nodes[name]
 		tbls := map[string][]Tuple{}

@@ -1,0 +1,83 @@
+package provenance
+
+// Fork deep-copies the graph so the fork can keep growing independently
+// of the original. Vertex structs are copied — an EXIST vertex's Span is
+// closed in place when its tuple dies — but Children slices are shared:
+// children are appended only while a vertex is being built, before add()
+// publishes it, and never afterwards. Maps whose values are slices
+// (appearsByTuple, appearsByTable, triggerParents) copy the slices, since
+// those are appended to as the execution continues.
+//
+// Fork never mutates the receiver, so concurrent forks of a shared graph
+// are safe as long as the original has stopped recording.
+func (g *Graph) Fork() *Graph {
+	f := &Graph{
+		vertexes:       make([]*Vertex, len(g.vertexes)),
+		appearByRef:    copyIntMap(g.appearByRef),
+		openExist:      copyIntMap(g.openExist),
+		existByRef:     copyIntMap(g.existByRef),
+		byDerive:       make(map[int64]int, len(g.byDerive)),
+		appearsByTuple: copySliceMap(g.appearsByTuple),
+		lastDisappear:  copyIntMap(g.lastDisappear),
+		appearsByTable: copySliceMap(g.appearsByTable),
+		triggerParents: make(map[int][]int, len(g.triggerParents)),
+		headAppear:     make(map[int]int, len(g.headAppear)),
+		existOf:        make(map[int]int, len(g.existOf)),
+	}
+	// One backing array for all vertex copies: forking a long prefix
+	// copies tens of thousands of vertexes, and per-vertex allocations
+	// dominate the fork's cost.
+	backing := make([]Vertex, len(g.vertexes))
+	for i, v := range g.vertexes {
+		backing[i] = *v
+		f.vertexes[i] = &backing[i]
+	}
+	for k, v := range g.byDerive {
+		f.byDerive[k] = v
+	}
+	for k, ids := range g.triggerParents {
+		f.triggerParents[k] = append([]int(nil), ids...)
+	}
+	for k, v := range g.headAppear {
+		f.headAppear[k] = v
+	}
+	for k, v := range g.existOf {
+		f.existOf[k] = v
+	}
+	return f
+}
+
+func copyIntMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copySliceMap(m map[string][]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, ids := range m {
+		out[k] = append([]int(nil), ids...)
+	}
+	return out
+}
+
+// Fork copies the recorder and its graph so the fork can observe a forked
+// engine independently. The original recorder must be quiescent (its
+// engine paused between work items); the bookkeeping that spans observer
+// callbacks within one work item (pendingInsert/pendingDelete) is copied
+// as-is, and is -1 between work items.
+func (r *Recorder) Fork() *Recorder {
+	f := &Recorder{
+		prog:           r.prog,
+		graph:          r.graph.Fork(),
+		pendingInsert:  r.pendingInsert,
+		pendingDelete:  r.pendingDelete,
+		underiveVertex: make(map[int64]int, len(r.underiveVertex)),
+	}
+	for k, v := range r.underiveVertex {
+		f.underiveVertex[k] = v
+	}
+	return f
+}

@@ -1,0 +1,156 @@
+package replay_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+	"repro/internal/scenarios"
+)
+
+func forkSerializeGraph(g *provenance.Graph) string {
+	var sb strings.Builder
+	g.Vertexes(func(v *provenance.Vertex) {
+		fmt.Fprintf(&sb, "%d %s trig=%d kids=%v\n", v.ID, v.String(), v.Trigger, v.Children)
+	})
+	return sb.String()
+}
+
+func forkSerializeSnapshot(s ndlog.Snapshot) string {
+	var sb strings.Builder
+	nodes := make([]string, 0, len(s.State))
+	for n := range s.State {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintf(&sb, "tick=%d\n", s.Tick)
+	for _, n := range nodes {
+		tables := make([]string, 0, len(s.State[n]))
+		for tn := range s.State[n] {
+			tables = append(tables, tn)
+		}
+		sort.Strings(tables)
+		for _, tn := range tables {
+			for _, tp := range s.State[n][tn] {
+				fmt.Fprintf(&sb, "%s %s\n", n, tp)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestForkDifferential replays every Table 1 scenario's captured bad
+// execution twice — checkpoint-anchored incremental roll-forward on and
+// off — and requires the two runs to be byte-identical: the same
+// provenance graph (same derivations, same order, same vertex IDs and
+// stamps), the same final state, and the same diagnosis with the same
+// number of rounds. This is the determinism guarantee of the fork layer:
+// forking a half-evaluated prefix engine and rolling the suffix forward
+// produces exactly the execution a from-scratch replay would.
+func TestForkDifferential(t *testing.T) {
+	for _, name := range scenarios.Names() {
+		t.Run(name, func(t *testing.T) {
+			s, err := scenarios.Build(name, scenarios.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.BadSession == nil {
+				t.Skipf("%s is imperative (no replay session)", name)
+			}
+			prog := s.BadSession.Program()
+			log := s.BadSession.Log()
+
+			// A late counterfactual change exercised directly through
+			// ReplayWith, in addition to the full diagnosis below.
+			events := log.Events()
+			last := events[len(events)-1]
+			directChange := []replay.Change{{Insert: true, Node: last.Node, Tuple: last.Tuple, Tick: last.Tick + 1}}
+
+			type run struct {
+				graph    string
+				state    string
+				direct   string
+				diagnose string
+				rounds   int
+			}
+			runs := map[bool]run{}
+			for _, incremental := range []bool{true, false} {
+				sess, err := replay.FromLog(prog, log,
+					replay.WithIncrementalReplay(incremental),
+					replay.WithCheckpointEvery(4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				de, dg, err := sess.ReplayWith(directChange)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct := forkSerializeGraph(dg) + forkSerializeSnapshot(de.CaptureState())
+
+				eng, g, err := sess.Graph()
+				if err != nil {
+					t.Fatal(err)
+				}
+				badTree := g.Tree(s.Bad.Vertex.ID)
+				if badTree == nil {
+					t.Fatalf("bad vertex %d missing from replayed graph", s.Bad.Vertex.ID)
+				}
+				world, err := core.NewWorld(sess)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Diagnose(context.Background(), s.Good, badTree, world, core.Options{})
+				if err != nil {
+					t.Fatalf("diagnose (incremental=%v): %v", incremental, err)
+				}
+				if s.Check != nil {
+					if err := s.Check(res); err != nil {
+						t.Fatalf("check (incremental=%v): %v", incremental, err)
+					}
+				}
+				if incremental {
+					if sess.Stats.PrefixHits+sess.Stats.PrefixMisses == 0 {
+						t.Error("incremental session never touched the prefix cache")
+					}
+				} else if sess.Stats != (replay.ReplayStats{}) {
+					t.Errorf("scratch session accumulated incremental stats: %+v", sess.Stats)
+				}
+				var ch []string
+				for _, c := range res.Changes {
+					ch = append(ch, c.String())
+				}
+				runs[incremental] = run{
+					graph:    forkSerializeGraph(g),
+					state:    forkSerializeSnapshot(eng.CaptureState()),
+					direct:   direct,
+					diagnose: strings.Join(ch, "\n"),
+					rounds:   res.Iterations,
+				}
+			}
+			on, off := runs[true], runs[false]
+			if on.direct != off.direct {
+				t.Errorf("direct ReplayWith differs between incremental on and off:\non (%d bytes):\n%.2000s\noff (%d bytes):\n%.2000s",
+					len(on.direct), on.direct, len(off.direct), off.direct)
+			}
+			if on.graph != off.graph {
+				t.Errorf("provenance graphs differ:\non (%d bytes):\n%.2000s\noff (%d bytes):\n%.2000s",
+					len(on.graph), on.graph, len(off.graph), off.graph)
+			}
+			if on.state != off.state {
+				t.Errorf("final states differ:\non:\n%s\noff:\n%s", on.state, off.state)
+			}
+			if on.diagnose != off.diagnose {
+				t.Errorf("diagnoses differ:\non:\n%s\noff:\n%s", on.diagnose, off.diagnose)
+			}
+			if on.rounds != off.rounds {
+				t.Errorf("iteration counts differ: on=%d off=%d", on.rounds, off.rounds)
+			}
+		})
+	}
+}

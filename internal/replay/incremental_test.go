@@ -1,0 +1,357 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/provenance"
+)
+
+// graphString renders every vertex of a graph (ID, full string with
+// stamps, trigger, children) so two graphs compare byte-identical exactly
+// when the executions behind them were identical.
+func graphString(g *provenance.Graph) string {
+	var sb strings.Builder
+	g.Vertexes(func(v *provenance.Vertex) {
+		fmt.Fprintf(&sb, "%d %s trig=%d kids=%v\n", v.ID, v.String(), v.Trigger, v.Children)
+	})
+	return sb.String()
+}
+
+func mustReplayWith(t *testing.T, s *Session, ch []Change) (*ndlog.Engine, *provenance.Graph) {
+	t.Helper()
+	e, g, err := s.ReplayWith(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, g
+}
+
+// TestIncrementalReplayMatchesScratch pins the core guarantee of
+// checkpoint-anchored roll-forward: a replay that forks a cached prefix
+// is byte-identical — same provenance graph including every stamp, same
+// engine state — to the from-scratch replay, and actually engages the
+// prefix cache.
+func TestIncrementalReplayMatchesScratch(t *testing.T) {
+	rec := NewSession(fwdProg)
+	driveScenario(t, rec)
+	changes := []Change{
+		{Insert: true, Node: "s1", Tuple: ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.7")), Tick: 11},
+		{Node: "s1", Tuple: ndlog.NewTuple("flowEntry", ndlog.Int(10), ndlog.MustParsePrefix("4.3.2.0/24"), ndlog.Str("s6")), Tick: 12},
+	}
+
+	inc, err := FromLog(fwdProg, rec.Log(), WithCheckpointEvery(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := FromLog(fwdProg, rec.Log(), WithIncrementalReplay(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eS, gS := mustReplayWith(t, scratch, changes)
+	for round := 0; round < 3; round++ {
+		eI, gI := mustReplayWith(t, inc, changes)
+		if got, want := graphString(gI), graphString(gS); got != want {
+			t.Fatalf("round %d: incremental graph differs from scratch:\nincremental:\n%s\nscratch:\n%s", round, got, want)
+		}
+		if !reflect.DeepEqual(eI.CaptureState(), eS.CaptureState()) {
+			t.Fatalf("round %d: incremental state differs from scratch", round)
+		}
+	}
+	if inc.Stats.PrefixMisses != 1 {
+		t.Errorf("incremental session: PrefixMisses = %d, want 1 (first replay builds the prefix)", inc.Stats.PrefixMisses)
+	}
+	if inc.Stats.PrefixHits != 2 {
+		t.Errorf("incremental session: PrefixHits = %d, want 2 (later replays fork the cached prefix)", inc.Stats.PrefixHits)
+	}
+	if inc.Stats.EventsSkipped == 0 {
+		t.Error("incremental session skipped no events")
+	}
+	if inc.Stats.ForkNanos <= 0 {
+		t.Error("ForkNanos not accounted")
+	}
+	if scratch.Stats != (ReplayStats{}) {
+		t.Errorf("scratch session accumulated incremental stats: %+v", scratch.Stats)
+	}
+}
+
+// TestReplayUntilIncrementalMatchesScratch pins ReplayUntil to the same
+// guarantee: the truncated replay forks a prefix and still produces the
+// identical graph and state.
+func TestReplayUntilIncrementalMatchesScratch(t *testing.T) {
+	rec := NewSession(fwdProg)
+	driveScenario(t, rec)
+	for _, horizon := range []int64{0, 5, 10, 11, 50} {
+		inc, err := FromLog(fwdProg, rec.Log(), WithCheckpointEvery(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := FromLog(fwdProg, rec.Log(), WithIncrementalReplay(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eI, gI, err := inc.ReplayUntil(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eS, gS, err := scratch.ReplayUntil(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := graphString(gI), graphString(gS); got != want {
+			t.Fatalf("horizon %d: graphs differ:\nincremental:\n%s\nscratch:\n%s", horizon, got, want)
+		}
+		if !reflect.DeepEqual(eI.CaptureStateAt(horizon), eS.CaptureStateAt(horizon)) {
+			t.Fatalf("horizon %d: states differ", horizon)
+		}
+	}
+}
+
+// TestReplayUntilContextCancelled: a cancelled context aborts the
+// truncated replay (ReplayUntil used to ignore cancellation entirely).
+func TestReplayUntilContextCancelled(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.ReplayUntilContext(ctx, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReplayUntilContext with cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPrefixCacheInvalidatedWhenLogGrows: replays after the live
+// execution (and hence the log) advanced must not reuse prefixes built
+// from the shorter log.
+func TestPrefixCacheInvalidatedWhenLogGrows(t *testing.T) {
+	s := NewSession(fwdProg)
+	driveScenario(t, s)
+	change := []Change{{Insert: true, Node: "s1", Tuple: ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.9")), Tick: 11}}
+	mustReplayWith(t, s, change) // populates the cache
+	mustReplayWith(t, s, change)
+	if s.Stats.PrefixHits == 0 {
+		t.Fatal("expected a prefix hit before the log grew")
+	}
+
+	// Grow the execution: a new packet the earlier prefixes know nothing
+	// about.
+	late := ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.200"))
+	if err := s.Insert("s1", late, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	eI, gI := mustReplayWith(t, s, []Change{{Insert: true, Node: "s1", Tuple: ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.10")), Tick: 21}})
+	if !eI.ExistsEver("s6", late) {
+		t.Error("replay after log growth lost the late packet (stale prefix reused?)")
+	}
+	scratch, err := FromLog(fwdProg, s.Log(), WithIncrementalReplay(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gS, err := scratch.ReplayWith([]Change{{Insert: true, Node: "s1", Tuple: ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.10")), Tick: 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphString(gI) != graphString(gS) {
+		t.Error("post-growth incremental replay differs from scratch")
+	}
+}
+
+// TestCheckpointPerIntervalCrossed: a single Run spanning many checkpoint
+// intervals captures one checkpoint per interval crossed, not one per
+// call (the old behavior).
+func TestCheckpointPerIntervalCrossed(t *testing.T) {
+	s := NewSession(fwdProg, WithCheckpointEvery(4))
+	for tick := int64(0); tick < 20; tick++ {
+		tu := ndlog.NewTuple("flowEntry", ndlog.Int(tick), ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str("x"))
+		if err := s.Insert("s1", tu, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil { // one call, ~5 intervals
+		t.Fatal(err)
+	}
+	cks := s.Checkpoints()
+	if len(cks) < 4 {
+		t.Fatalf("one Run over 20 ticks at interval 4 captured %d checkpoints, want one per interval (>= 4)", len(cks))
+	}
+	for i := 1; i < len(cks); i++ {
+		if cks[i].Tick <= cks[i-1].Tick {
+			t.Fatalf("checkpoints out of order: %d then %d", cks[i-1].Tick, cks[i].Tick)
+		}
+		if cks[i].Tick-cks[i-1].Tick < 4 {
+			t.Fatalf("checkpoints %d and %d closer than the interval", cks[i-1].Tick, cks[i].Tick)
+		}
+	}
+}
+
+// TestFromLogCheckpointsIdentical: a session rebuilt from the log with a
+// single Run reproduces the exact checkpoint set of the live session that
+// recorded it, regardless of how the live drive batched its Run calls.
+func TestFromLogCheckpointsIdentical(t *testing.T) {
+	live := NewSession(fwdProg, WithCheckpointEvery(3))
+	mp := ndlog.MustParsePrefix
+	// Irregular batching: some Run calls cover one tick, one covers many.
+	batches := [][]int64{{0, 1}, {2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, {15}, {22, 23}}
+	for _, batch := range batches {
+		for _, tick := range batch {
+			tu := ndlog.NewTuple("flowEntry", ndlog.Int(tick), mp("0.0.0.0/0"), ndlog.Str("x"))
+			if err := live.Insert("s1", tu, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := live.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt, err := FromLog(fwdProg, live.Log(), WithCheckpointEvery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := live.Checkpoints(), rebuilt.Checkpoints()
+	if len(a) == 0 {
+		t.Fatal("live session captured no checkpoints")
+	}
+	if !reflect.DeepEqual(a, b) {
+		ticks := func(cks []ndlog.Snapshot) []int64 {
+			var out []int64
+			for _, c := range cks {
+				out = append(out, c.Tick)
+			}
+			return out
+		}
+		t.Fatalf("rebuilt checkpoints differ from live: live ticks %v, rebuilt %v", ticks(a), ticks(b))
+	}
+}
+
+// TestCheckpointsReturnsCopy: mutating the returned slice must not
+// perturb the session.
+func TestCheckpointsReturnsCopy(t *testing.T) {
+	s := NewSession(fwdProg, WithCheckpointEvery(5))
+	driveScenario(t, s)
+	cks := s.Checkpoints()
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	want := cks[0].Tick
+	cks[0] = ndlog.Snapshot{Tick: -999}
+	if got := s.Checkpoints()[0].Tick; got != want {
+		t.Fatalf("Checkpoints exposed internal state: first tick became %d, want %d", got, want)
+	}
+}
+
+// TestStateAtBinarySearch probes the boundaries of the checkpoint search.
+func TestStateAtBinarySearch(t *testing.T) {
+	s := NewSession(fwdProg, WithCheckpointEvery(3))
+	for tick := int64(0); tick < 12; tick++ {
+		tu := ndlog.NewTuple("flowEntry", ndlog.Int(tick), ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str("x"))
+		if err := s.Insert("s1", tu, tick); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cks := s.Checkpoints()
+	if len(cks) < 2 {
+		t.Fatalf("want >= 2 checkpoints, got %d", len(cks))
+	}
+	if _, ok := s.StateAt(cks[0].Tick - 1); ok {
+		t.Error("StateAt before the first checkpoint must report none")
+	}
+	for _, ck := range cks {
+		got, ok := s.StateAt(ck.Tick)
+		if !ok || got.Tick != ck.Tick {
+			t.Fatalf("StateAt(%d) = (tick %d, %v), want the exact checkpoint", ck.Tick, got.Tick, ok)
+		}
+	}
+	last := cks[len(cks)-1]
+	if got, ok := s.StateAt(last.Tick + 1000); !ok || got.Tick != last.Tick {
+		t.Fatalf("StateAt far past the end = (tick %d, %v), want last checkpoint %d", got.Tick, ok, last.Tick)
+	}
+}
+
+// TestConcurrentClonesShareAndIsolatePrefixCache exercises the prefix
+// cache under -race: clones of one session replay concurrently through
+// the shared cache (hits and misses interleaving with builds), while
+// sessions rebuilt from the same log replay through private caches. All
+// replays must agree with a from-scratch baseline.
+func TestConcurrentClonesShareAndIsolatePrefixCache(t *testing.T) {
+	rec := NewSession(fwdProg)
+	driveScenario(t, rec)
+	parent, err := FromLog(fwdProg, rec.Log(), WithCheckpointEvery(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changeAt := func(tick int64) []Change {
+		return []Change{{Insert: true, Node: "s1", Tuple: ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.77")), Tick: tick}}
+	}
+	baseline := map[int64]string{}
+	for _, tick := range []int64{11, 12, 13} {
+		sc, err := FromLog(fwdProg, rec.Log(), WithIncrementalReplay(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, g, err := sc.ReplayWith(changeAt(tick))
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[tick] = graphString(g)
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sess *Session
+			if w%3 == 0 {
+				// Private cache: an independent session over the same log.
+				var err error
+				sess, err = FromLog(fwdProg, rec.Log(), WithCheckpointEvery(5))
+				if err != nil {
+					errs <- err
+					return
+				}
+			} else {
+				// Shared cache: a clone of the parent.
+				sess = parent.Clone()
+			}
+			for i := 0; i < 4; i++ {
+				tick := int64(11 + (w+i)%3)
+				_, g, err := sess.ReplayWith(changeAt(tick))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := graphString(g); got != baseline[tick] {
+					errs <- fmt.Errorf("worker %d: replay at tick %d differs from scratch baseline", w, tick)
+					return
+				}
+				if _, _, err := sess.ReplayUntil(10); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if parent.Stats != (ReplayStats{}) {
+		t.Errorf("parent session accumulated clone stats: %+v", parent.Stats)
+	}
+}

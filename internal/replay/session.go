@@ -3,6 +3,8 @@ package replay
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ndlog"
@@ -38,6 +40,53 @@ func (c Change) String() string {
 	return fmt.Sprintf("%s %s on %s at t=%d", op, c.Tuple, c.Node, c.Tick)
 }
 
+// ReplayStats counts incremental roll-forward activity. The evaluation
+// harness and the server report them alongside the replay timings.
+type ReplayStats struct {
+	// PrefixHits counts replays that forked an already-materialized
+	// prefix engine; PrefixMisses counts replays that had to build one.
+	PrefixHits   int64
+	PrefixMisses int64
+	// ForkNanos is the total wall-clock time spent deep-copying prefix
+	// engines and their provenance graphs.
+	ForkNanos int64
+	// EventsSkipped is the total number of logged base events that
+	// incremental replays did not re-execute (they were already evaluated
+	// inside the forked prefix).
+	EventsSkipped int64
+}
+
+// prefixSlack is how many ticks before the earliest injected change the
+// roll-forward prefix must stop, so the change still lands in unevaluated
+// territory.
+const prefixSlack = 1
+
+// maxPrefixEntries bounds the number of materialized prefix engines a
+// session (and its clones) keep alive; the oldest entry is evicted first.
+const maxPrefixEntries = 8
+
+// prefixEntry is one materialized prefix: a recorder-attached engine that
+// has every log event scheduled but has only evaluated those at ticks
+// <= tick. Entries are immutable once published — replays Fork them, they
+// never run them — so readers need no lock after acquire returns.
+type prefixEntry struct {
+	tick      int64
+	processed int // log events evaluated (tick <= anchor)
+	eng       *ndlog.Engine
+	rec       *provenance.Recorder
+}
+
+// prefixCache holds the materialized prefixes, keyed by anchor tick. It
+// is shared by pointer across Clone(), so concurrent diagnoses over the
+// same execution reuse each other's prefixes; the mutex serializes
+// lookups and builds, while forking happens outside the lock.
+type prefixCache struct {
+	mu      sync.Mutex
+	logLen  int // log length the entries were built from
+	entries map[int64]*prefixEntry
+	order   []int64 // insertion order, for eviction
+}
+
 // Session couples a live engine with the logging engine, and provides the
 // replay operations DiffProv needs. It is the embodiment of the paper's
 // five-component architecture minus the reasoning engine (which lives in
@@ -54,16 +103,23 @@ type Session struct {
 	lastCkpt  int64
 	ckpts     []ndlog.Snapshot
 
+	// incremental enables checkpoint-anchored roll-forward: ReplayWith
+	// forks a cached prefix engine instead of re-executing the whole log.
+	incremental bool
+	prefix      *prefixCache
+
 	// memoized full replay for query-time provenance
 	replayed    *ndlog.Engine
 	replayedG   *provenance.Graph
 	replayedLen int // log length the memo was built from
 
-	// ReplayTime accumulates wall-clock time spent replaying, and
-	// ReplayCount the number of replays; the turnaround experiments
-	// (Figure 7) read these.
+	// ReplayTime accumulates wall-clock time spent replaying (including
+	// prefix materialization), and ReplayCount the number of replays; the
+	// turnaround experiments (Figure 7) read these.
 	ReplayTime  time.Duration
 	ReplayCount int
+	// Stats counts incremental roll-forward activity.
+	Stats ReplayStats
 
 	engineOpts []ndlog.Option
 }
@@ -85,25 +141,53 @@ func WithEngineOptions(opts ...ndlog.Option) SessionOption {
 	return func(s *Session) { s.engineOpts = opts }
 }
 
+// WithIncrementalReplay enables or disables checkpoint-anchored
+// incremental roll-forward (default on). Replay results are identical
+// either way — a forked prefix reproduces the from-scratch execution
+// stamp-for-stamp (asserted by TestForkDifferential); the switch exists
+// for that differential test and as an escape hatch.
+func WithIncrementalReplay(on bool) SessionOption {
+	return func(s *Session) { s.incremental = on }
+}
+
 // NewSession creates a session for the given program.
 func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
-	s := &Session{prog: prog, log: NewLog()}
+	s := &Session{
+		prog:        prog,
+		log:         NewLog(),
+		incremental: true,
+		prefix:      &prefixCache{entries: map[int64]*prefixEntry{}},
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	if s.mode == Runtime {
 		s.liveRec = provenance.NewRecorder(prog)
-		s.live = ndlog.New(prog, s.liveRec, s.engineOpts...)
+		s.live = ndlog.New(prog, s.liveRec, s.newEngineOpts()...)
 	} else {
-		s.live = ndlog.New(prog, nil, s.engineOpts...)
+		s.live = ndlog.New(prog, nil, s.newEngineOpts()...)
 	}
 	return s
 }
 
+// newEngineOpts returns the option set for a session-created engine.
+// Every engine gets a sequence band: base-event stamps then depend only
+// on schedule positions and internal stamps only on processing positions,
+// which (a) makes live execution independent of how scheduling
+// interleaves with Run calls, and (b) is what lets a forked prefix engine
+// reproduce a from-scratch replay byte-for-byte. User options follow, so
+// they win on conflict.
+func (s *Session) newEngineOpts() []ndlog.Option {
+	opts := make([]ndlog.Option, 0, len(s.engineOpts)+1)
+	opts = append(opts, ndlog.WithSeqBand(ndlog.SeqBandDefault))
+	return append(opts, s.engineOpts...)
+}
+
 // FromLog reconstructs a session from a previously captured base-event
 // log: the log is re-driven through a fresh live engine, after which the
-// session is indistinguishable from the one that recorded it. This is how
-// a diagnosis is run offline against saved logs.
+// session is indistinguishable from the one that recorded it — including
+// its checkpoint set, which depends only on the event schedule (see Run).
+// This is how a diagnosis is run offline against saved logs.
 func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, error) {
 	s := NewSession(prog, opts...)
 	for _, ev := range l.Events() {
@@ -125,20 +209,22 @@ func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, erro
 
 // Clone returns an independent session over the same captured execution.
 // It reuses the copy-on-write structure of counterfactual roll-forward
-// (§4.6): the immutable program, engine options, and memoized replay are
-// shared, the base-event log is copied, and the replay statistics start
-// at zero. Clones are how concurrent diagnoses isolate their mutable
-// state — each one replays and accounts time privately, so a completed
-// session can serve any number of clones in parallel.
+// (§4.6): the immutable program, engine options, memoized replay, and the
+// prefix cache are shared, the base-event log is copied, and the replay
+// statistics start at zero. Clones are how concurrent diagnoses isolate
+// their mutable state — each one replays and accounts time privately, so
+// a completed session can serve any number of clones in parallel.
 //
 // The live engine is shared read-only; driving the execution further
 // (Insert/Delete/Run) must happen on the original session, not a clone.
 // That sharing extends to the engines' join indexes: indexes are built
 // eagerly while an engine runs and are never created or mutated by
 // queries (TuplesAt/TuplesMatchingAt/Exists), so concurrent clones can
-// probe the shared live or memoized-replay engine without locking, and
-// every counterfactual roll-forward (ReplayWith) builds a fresh engine —
-// and fresh indexes — of its own.
+// probe the shared live or memoized-replay engine without locking. The
+// prefix cache is shared by pointer and internally synchronized: each
+// materialized prefix is immutable once published, and every
+// counterfactual roll-forward (ReplayWith) Forks it into a private
+// engine of its own.
 func (s *Session) Clone() *Session {
 	return &Session{
 		prog:        s.prog,
@@ -149,6 +235,8 @@ func (s *Session) Clone() *Session {
 		ckptEvery:   s.ckptEvery,
 		lastCkpt:    s.lastCkpt,
 		ckpts:       append([]ndlog.Snapshot(nil), s.ckpts...),
+		incremental: s.incremental,
+		prefix:      s.prefix,
 		replayed:    s.replayed,
 		replayedG:   s.replayedG,
 		replayedLen: s.replayedLen,
@@ -161,6 +249,7 @@ func (s *Session) Clone() *Session {
 func (s *Session) ResetStats() {
 	s.ReplayTime = 0
 	s.ReplayCount = 0
+	s.Stats = ReplayStats{}
 }
 
 // Program returns the session's program.
@@ -175,8 +264,12 @@ func (s *Session) Log() *Log { return s.log }
 // Mode returns the capture mode.
 func (s *Session) Mode() Mode { return s.mode }
 
-// Checkpoints returns the state checkpoints captured so far.
-func (s *Session) Checkpoints() []ndlog.Snapshot { return s.ckpts }
+// Checkpoints returns a copy of the state checkpoints captured so far.
+// (A copy, so callers cannot perturb the session's checkpoint sequence —
+// StateAt and the prefix-anchor search rely on it being tick-sorted.)
+func (s *Session) Checkpoints() []ndlog.Snapshot {
+	return append([]ndlog.Snapshot(nil), s.ckpts...)
+}
 
 // Insert logs and schedules a base-tuple insertion on the live system.
 func (s *Session) Insert(node string, t ndlog.Tuple, tick int64) error {
@@ -196,28 +289,42 @@ func (s *Session) Delete(node string, t ndlog.Tuple, tick int64) error {
 	return nil
 }
 
-// Run drains the live engine and takes due checkpoints.
+// Run drains the live engine and takes due checkpoints — one per
+// checkpoint interval crossed, not one per call. The capture rule depends
+// only on the event schedule (a checkpoint lands on the first
+// event-bearing tick at or past each interval boundary), so a session
+// rebuilt from the log with a single Run (FromLog) reproduces the
+// checkpoint set of the live session that recorded it, no matter how the
+// live drive batched its Run calls.
 func (s *Session) Run() error {
-	if err := s.live.Run(); err != nil {
-		return err
+	if s.ckptEvery <= 0 {
+		return s.live.Run()
 	}
-	if s.ckptEvery > 0 && s.live.Now().T >= s.lastCkpt+s.ckptEvery {
-		s.ckpts = append(s.ckpts, s.live.CaptureState())
-		s.lastCkpt = s.live.Now().T
+	for {
+		t, ok := s.live.NextPendingTick()
+		if !ok {
+			return nil
+		}
+		if err := s.live.RunUntil(t); err != nil {
+			return err
+		}
+		if t >= s.lastCkpt+s.ckptEvery {
+			s.ckpts = append(s.ckpts, s.live.CaptureStateAt(t))
+			s.lastCkpt = t
+		}
 	}
-	return nil
 }
 
 // StateAt returns the most recent checkpoint at or before the tick, if
-// one exists. This is the fast path for state inspection; provenance
-// queries replay instead.
+// one exists. Checkpoints are tick-sorted (Run appends them in order), so
+// this is a binary search. This is the fast path for state inspection;
+// provenance queries replay instead.
 func (s *Session) StateAt(tick int64) (ndlog.Snapshot, bool) {
-	for i := len(s.ckpts) - 1; i >= 0; i-- {
-		if s.ckpts[i].Tick <= tick {
-			return s.ckpts[i], true
-		}
+	i := sort.Search(len(s.ckpts), func(i int) bool { return s.ckpts[i].Tick > tick })
+	if i == 0 {
+		return ndlog.Snapshot{}, false
 	}
-	return ndlog.Snapshot{}, false
+	return s.ckpts[i-1], true
 }
 
 // Graph returns the provenance graph of the execution so far: directly in
@@ -259,6 +366,15 @@ const ctxCheckEvery = 4096
 // ReplayWithContext is ReplayWith honoring cancellation and deadlines:
 // the replay aborts with the context's error as soon as the cancellation
 // is observed (between scheduled events).
+//
+// With incremental roll-forward enabled (the default) and at least one
+// change to inject, the replay forks a cached prefix engine — the log
+// evaluated up to an anchor tick shortly before the earliest change — and
+// pays only for the suffix. The result is byte-identical to the
+// from-scratch path: base-event stamps are schedule positions (the prefix
+// had the whole log scheduled before it ran), internal stamps are
+// processing positions, and the fork copies the mid-execution state
+// exactly.
 func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndlog.Engine, *provenance.Graph, error) {
 	start := time.Now()
 	defer func() {
@@ -268,34 +384,31 @@ func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndl
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("replay: %w", err)
 	}
-	rec := provenance.NewRecorder(s.prog)
-	e := ndlog.New(s.prog, rec, s.engineOpts...)
-	scheduled := 0
-	schedule := func(kind EventKind, node string, t ndlog.Tuple, tick int64) error {
-		scheduled++
-		if scheduled%ctxCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+	if s.incremental && len(changes) > 0 {
+		if anchor, ok := s.anchorFor(changes); ok {
+			e, rec, err := s.forkPrefix(ctx, anchor)
+			if err != nil {
+				return nil, nil, err
 			}
+			if e != nil {
+				if err := s.scheduleChanges(ctx, e, changes); err != nil {
+					return nil, nil, err
+				}
+				if err := e.Run(); err != nil {
+					return nil, nil, fmt.Errorf("replay: %v", err)
+				}
+				return e, rec.Graph(), nil
+			}
+			// No log events at or before the anchor: fall through to the
+			// (equally cheap) from-scratch path.
 		}
-		if kind == EvInsert {
-			return e.ScheduleInsert(node, t, tick)
-		}
-		return e.ScheduleDelete(node, t, tick)
 	}
-	for _, ev := range s.log.events {
-		if err := schedule(ev.Kind, ev.Node, ev.Tuple, ev.Tick); err != nil {
-			return nil, nil, fmt.Errorf("replay: %w", err)
-		}
+	e, rec, err := s.scheduleScratch(ctx)
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, c := range changes {
-		kind := EvDelete
-		if c.Insert {
-			kind = EvInsert
-		}
-		if err := schedule(kind, c.Node, c.Tuple, c.Tick); err != nil {
-			return nil, nil, fmt.Errorf("replay: injecting %s: %w", c, err)
-		}
+	if err := s.scheduleChanges(ctx, e, changes); err != nil {
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, fmt.Errorf("replay: %w", err)
@@ -306,20 +419,211 @@ func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndl
 	return e, rec.Graph(), nil
 }
 
-// ReplayUntil replays only the log prefix up to and including the given
-// tick — the "selective reconstruction" optimization for queries about
-// past events.
+// ReplayUntil replays the execution truncated at the given tick — the
+// "selective reconstruction" optimization for queries about past events.
+// Base events after the tick are excluded; consequences of events at or
+// before it are fully evaluated, even when the transit delay carries them
+// past the horizon. It delegates to ReplayUntilContext.
 func (s *Session) ReplayUntil(tick int64) (*ndlog.Engine, *provenance.Graph, error) {
+	return s.ReplayUntilContext(context.Background(), tick)
+}
+
+// ReplayUntilContext is ReplayUntil honoring cancellation and deadlines.
+// It shares the scheduling and incremental roll-forward machinery of
+// ReplayWithContext: with incremental replay on, the truncated replay
+// forks a cached prefix anchored at or before the horizon and only
+// evaluates the remainder.
+func (s *Session) ReplayUntilContext(ctx context.Context, tick int64) (*ndlog.Engine, *provenance.Graph, error) {
 	start := time.Now()
 	defer func() {
 		s.ReplayTime += time.Since(start)
 		s.ReplayCount++
 	}()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %w", err)
+	}
+	var e *ndlog.Engine
+	var rec *provenance.Recorder
+	if s.incremental && tick >= 0 {
+		fe, frec, err := s.forkPrefix(ctx, tick)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, rec = fe, frec
+	}
+	if e == nil {
+		se, srec, err := s.scheduleScratch(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, rec = se, srec
+	}
+	e.DropPendingBaseAfter(tick)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %w", err)
+	}
+	if err := e.Run(); err != nil {
+		return nil, nil, fmt.Errorf("replay: %v", err)
+	}
+	return e, rec.Graph(), nil
+}
+
+// anchorFor picks the prefix anchor tick for a set of changes: the
+// earliest injection tick minus the slack, snapped down to a checkpoint
+// when one covers it. Returns false when the changes leave no room for a
+// prefix.
+func (s *Session) anchorFor(changes []Change) (int64, bool) {
+	minTick := changes[0].Tick
+	for _, c := range changes[1:] {
+		if c.Tick < minTick {
+			minTick = c.Tick
+		}
+	}
+	target := minTick - prefixSlack
+	if target < 0 {
+		return 0, false
+	}
+	return target, true
+}
+
+// snapToCheckpoint rounds an anchor target down to the latest checkpoint
+// tick at or before it, when one exists. The checkpoint grid coarsens
+// the cache's base layer — injections at nearby ticks roll forward from
+// one shared checkpoint-anchored prefix instead of each paying a full
+// from-scratch materialization. Without checkpoints the target itself
+// anchors the base.
+func (s *Session) snapToCheckpoint(target int64) int64 {
+	i := sort.Search(len(s.ckpts), func(i int) bool { return s.ckpts[i].Tick > target })
+	if i > 0 {
+		return s.ckpts[i-1].Tick
+	}
+	return target
+}
+
+// forkPrefix returns a private fork of the materialized prefix anchored
+// at the tick, building (and caching) the prefix on a miss. A nil engine
+// with nil error means no prefix is worthwhile (no log events at or
+// before the anchor) and the caller should run from scratch.
+func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, *provenance.Recorder, error) {
+	entry, hit, err := s.prefix.acquire(ctx, s, anchor)
+	if err != nil {
+		return nil, nil, err
+	}
+	if entry == nil {
+		return nil, nil, nil
+	}
+	if hit {
+		s.Stats.PrefixHits++
+	} else {
+		s.Stats.PrefixMisses++
+	}
+	forkStart := time.Now()
+	rec := entry.rec.Fork()
+	e := entry.eng.Fork(rec)
+	s.Stats.ForkNanos += time.Since(forkStart).Nanoseconds()
+	s.Stats.EventsSkipped += int64(entry.processed)
+	return e, rec, nil
+}
+
+// acquire returns the prefix entry for the anchor, building it under the
+// cache lock on a miss. Entries are immutable once published; callers
+// Fork them outside the lock. A stale cache (the log grew since the
+// entries were built) is invalidated wholesale.
+//
+// The cache is two-layered. The base layer is checkpoint-anchored: a
+// miss with no usable cached entry materializes a from-scratch prefix
+// run to the latest checkpoint at or before the anchor, so nearby
+// anchors share one expensive build. On top of it, exact-anchor entries
+// are refined incrementally — fork the closest entry at or before the
+// anchor and roll it forward the few remaining ticks — so steady-state
+// replays (minimize's candidate subsets, repeated counterfactuals at one
+// tick) fork an engine that has already evaluated everything up to the
+// slack window and pay only for the change itself.
+func (c *prefixCache) acquire(ctx context.Context, s *Session, anchor int64) (*prefixEntry, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.logLen != s.log.Len() {
+		c.entries = map[int64]*prefixEntry{}
+		c.order = c.order[:0]
+		c.logLen = s.log.Len()
+	}
+	if e, ok := c.entries[anchor]; ok {
+		return e, true, nil
+	}
+	countUpTo := func(tick int64) int {
+		n := 0
+		for _, ev := range s.log.events {
+			if ev.Tick <= tick {
+				n++
+			}
+		}
+		return n
+	}
+	processed := countUpTo(anchor)
+	if processed == 0 {
+		return nil, false, nil // an empty prefix saves nothing
+	}
+
+	// The closest cached entry at or before the anchor is the cheapest
+	// starting point; failing that, materialize the checkpoint-anchored
+	// base from scratch.
+	var base *prefixEntry
+	for t, e := range c.entries {
+		if t <= anchor && (base == nil || t > base.tick) {
+			base = e
+		}
+	}
+	if base == nil {
+		ck := s.snapToCheckpoint(anchor)
+		e, rec, err := s.scheduleScratch(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := e.RunUntil(ck); err != nil {
+			return nil, false, fmt.Errorf("replay: materializing prefix: %v", err)
+		}
+		base = &prefixEntry{tick: ck, processed: countUpTo(ck), eng: e, rec: rec}
+		c.publish(base)
+		if ck == anchor {
+			return base, false, nil
+		}
+	}
+
+	// Refine: roll a fork of the base forward to the exact anchor.
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("replay: %w", err)
+	}
+	rec := base.rec.Fork()
+	e := base.eng.Fork(rec)
+	if err := e.RunUntil(anchor); err != nil {
+		return nil, false, fmt.Errorf("replay: refining prefix: %v", err)
+	}
+	entry := &prefixEntry{tick: anchor, processed: processed, eng: e, rec: rec}
+	c.publish(entry)
+	return entry, false, nil
+}
+
+// publish inserts an entry, evicting the oldest beyond capacity. Callers
+// hold c.mu.
+func (c *prefixCache) publish(e *prefixEntry) {
+	if len(c.order) >= maxPrefixEntries {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[e.tick] = e
+	c.order = append(c.order, e.tick)
+}
+
+// scheduleScratch builds a fresh recorder-attached engine with the whole
+// log scheduled but nothing evaluated.
+func (s *Session) scheduleScratch(ctx context.Context) (*ndlog.Engine, *provenance.Recorder, error) {
 	rec := provenance.NewRecorder(s.prog)
-	e := ndlog.New(s.prog, rec, s.engineOpts...)
-	for _, ev := range s.log.events {
-		if ev.Tick > tick {
-			continue
+	e := ndlog.New(s.prog, rec, s.newEngineOpts()...)
+	for i, ev := range s.log.events {
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("replay: %w", err)
+			}
 		}
 		var err error
 		if ev.Kind == EvInsert {
@@ -331,8 +635,28 @@ func (s *Session) ReplayUntil(tick int64) (*ndlog.Engine, *provenance.Graph, err
 			return nil, nil, fmt.Errorf("replay: %v", err)
 		}
 	}
-	if err := e.Run(); err != nil {
-		return nil, nil, fmt.Errorf("replay: %v", err)
+	return e, rec, nil
+}
+
+// scheduleChanges schedules the injected counterfactual changes; the
+// engine already has the log scheduled (or evaluated, in a fork), so the
+// changes take the next base sequence numbers either way.
+func (s *Session) scheduleChanges(ctx context.Context, e *ndlog.Engine, changes []Change) error {
+	for i, c := range changes {
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("replay: %w", err)
+			}
+		}
+		var err error
+		if c.Insert {
+			err = e.ScheduleInsert(c.Node, c.Tuple, c.Tick)
+		} else {
+			err = e.ScheduleDelete(c.Node, c.Tuple, c.Tick)
+		}
+		if err != nil {
+			return fmt.Errorf("replay: injecting %s: %w", c, err)
+		}
 	}
-	return e, rec.Graph(), nil
+	return nil
 }

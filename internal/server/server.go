@@ -252,6 +252,14 @@ type diagnosis struct {
 	ReplayNs int64  `json:"replayNs,omitempty"`
 	Replay   string `json:"replay,omitempty"`
 
+	// Incremental roll-forward activity for this request: how many
+	// replays forked a cached prefix vs built one, the time spent
+	// forking, and how many logged base events the forks skipped.
+	PrefixHits    int64 `json:"prefixHits,omitempty"`
+	PrefixMisses  int64 `json:"prefixMisses,omitempty"`
+	ForkNs        int64 `json:"forkNs,omitempty"`
+	EventsSkipped int64 `json:"eventsSkipped,omitempty"`
+
 	Reference string `json:"reference,omitempty"`
 }
 
@@ -323,6 +331,10 @@ func runDiagnosis(ctx context.Context, sc *scenarios.Scenario,
 		d.Replays = iso.BadSession.ReplayCount
 		d.ReplayNs = iso.BadSession.ReplayTime.Nanoseconds()
 		d.Replay = iso.BadSession.ReplayTime.String()
+		d.PrefixHits = iso.BadSession.Stats.PrefixHits
+		d.PrefixMisses = iso.BadSession.Stats.PrefixMisses
+		d.ForkNs = iso.BadSession.Stats.ForkNanos
+		d.EventsSkipped = iso.BadSession.Stats.EventsSkipped
 	}
 	return d, nil
 }
