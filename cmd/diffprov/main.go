@@ -9,6 +9,7 @@
 //	diffprov tree <scenario> good|bad  print a provenance tree
 //	diffprov stanford [flags]          run the §6.7 complex-network case
 //	diffprov refcheck                  run the unsuitable-reference checks
+//	diffprov vet [file.ndlog ...]      statically check NDlog programs
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		err = explainTree(os.Args[2:])
 	case "failures":
 		err = runFailures()
+	case "vet":
+		err = runVet(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -74,6 +77,7 @@ func usage() {
   diffprov dot <scenario> good|bad   render a provenance tree in Graphviz DOT
   diffprov explain <scenario> good|bad  narrate a tree's trigger chain
   diffprov failures                  diagnose the §2.3 failure taxonomy
+  diffprov vet [-strict] [file...]   check NDlog programs (built-ins when no files)
 `)
 }
 

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/evaluation"
+	"repro/internal/mapreduce"
+	"repro/internal/ndlog"
+	"repro/internal/ndlog/analysis"
+	"repro/internal/sdn"
+)
+
+// builtinPrograms lists the embedded NDlog models `diffprov vet` checks
+// when no files are given (alongside any files, with -builtin). Every
+// Table 1 scenario runs over one of these.
+var builtinPrograms = []struct {
+	name string
+	prog func() *ndlog.Program
+}{
+	{"builtin:sdn", sdn.Program},
+	{"builtin:mapreduce", mapreduce.Program},
+	{"builtin:evaluation-forward", evaluation.ForwardProgram},
+}
+
+// runVet implements `diffprov vet [-strict] [-builtin] [file.ndlog ...]`:
+// the NDlog program checker. With file arguments it analyzes those
+// sources; without, it analyzes the built-in scenario models. Exit
+// status is nonzero when any error (or, with -strict, any diagnostic at
+// all) is reported.
+func runVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	strict := fs.Bool("strict", false, "treat warnings as errors")
+	builtin := fs.Bool("builtin", false, "also check the built-in scenario programs")
+	quiet := fs.Bool("q", false, "suppress per-file OK lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+
+	var results []*analysis.Result
+	if len(files) == 0 || *builtin {
+		for _, b := range builtinPrograms {
+			results = append(results, analysis.AnalyzeProgram(b.name, b.prog()))
+		}
+	}
+	for _, f := range files {
+		res, err := analysis.AnalyzeFile(f)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+
+	errors, warnings := 0, 0
+	for _, res := range results {
+		res.Format(os.Stdout)
+		errors += res.Errors()
+		warnings += res.Warnings()
+		if !*quiet && len(res.Diags) == 0 {
+			fmt.Printf("%s: ok\n", res.Name)
+		}
+	}
+	if errors > 0 || (*strict && warnings > 0) {
+		return fmt.Errorf("vet: %d error(s), %d warning(s)", errors, warnings)
+	}
+	return nil
+}

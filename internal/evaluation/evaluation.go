@@ -197,6 +197,11 @@ func buildStanford(cfg StanfordConfig) (*stanford.Backbone, error) {
 	return stanford.Build(cfg)
 }
 
+// ForwardProgram returns the minimal forwarding model the latency
+// benchmarks use; exported so `diffprov vet` can check it alongside the
+// full scenario models.
+func ForwardProgram() *ndlog.Program { return sdnForwardProgram }
+
 // sdnForwardProgram is a minimal forwarding model used to isolate the
 // per-packet cost.
 var sdnForwardProgram = ndlog.MustParse(`

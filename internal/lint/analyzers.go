@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// All returns the repo's determinism analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetNow, MapRange, AppendOnly}
+}
+
+// prefixMatch matches a package path equal to, or nested under, any of
+// the given import paths.
+func prefixMatch(paths ...string) func(string) bool {
+	return func(p string) bool {
+		for _, base := range paths {
+			if p == base || strings.HasPrefix(p, base+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// DetNow forbids wall-clock and PRNG use inside the deterministic core.
+//
+// Replay correctness (replay.md) hinges on a run being a pure function of
+// its inputs: the engine orders work by logical timestamps, and the replay
+// layer re-executes prefixes expecting byte-identical provenance. A stray
+// time.Now or math/rand call breaks that silently. The only sanctioned
+// wall-clock reads are the stats timings in internal/replay's session,
+// which never influence tuple derivation; those carry
+// //diffprov:allow detnow directives.
+var DetNow = &Analyzer{
+	Name:  "detnow",
+	Doc:   "forbid time.Now/time.Since and math/rand in deterministic packages",
+	Match: prefixMatch("repro/internal/ndlog", "repro/internal/provenance", "repro/internal/replay"),
+	Run:   runDetNow,
+}
+
+func runDetNow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s in deterministic package %s", path, pass.Pkg.Path())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				pass.Reportf(id.Pos(), "time.%s in deterministic package %s (use logical timestamps)",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// MapRange forbids accumulating results while ranging over a map unless
+// the accumulator is sorted afterwards in the same function.
+//
+// Go randomizes map iteration order per run, so a slice built inside
+// `for k := range m` carries a nondeterministic order into whatever
+// consumes it — in this engine that means provenance trees and diagnoses
+// that differ between identical runs. The canonical fix (collect keys,
+// sort, then iterate) is recognized: an append is fine if a sort.* call
+// naming the same variable appears after the loop.
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "forbid unsorted accumulation from map iteration",
+	Match: prefixMatch("repro/internal/ndlog", "repro/internal/provenance"),
+	Run:   runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for obj, pos := range outerAppends(pass, rs) {
+			if !sortedAfter(pass, body, rs.End(), obj) {
+				pass.Reportf(pos, "append to %s while ranging over a map without sorting it afterwards (iteration order is random)", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// outerAppends finds `v = append(v, ...)` statements inside the range body
+// whose target v is declared outside the range statement.
+func outerAppends(pass *Pass, rs *ast.RangeStmt) map[types.Object]token.Pos {
+	found := map[types.Object]token.Pos{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" {
+				continue
+			}
+			if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+				continue // loop-local accumulator; its order dies with the loop
+			}
+			if _, dup := found[obj]; !dup {
+				found[obj] = id.Pos()
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedAfter reports whether a sort.* call mentioning obj occurs after
+// pos within fn.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || callee.Pkg() == nil || callee.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// AppendOnly confines provenance-graph mutation to the recording layer.
+//
+// The provenance graph is the system of record for diagnosis: DiffProv's
+// guarantees (and the replay layer's checkpoints) assume vertexes are
+// appended by the Recorder machinery and never rewritten. This analyzer
+// flags writes to Graph.vertexes outside graph.go/fork.go and writes to
+// Vertex.Children outside graph.go/recorder.go/distributed.go/fork.go.
+var AppendOnly = &Analyzer{
+	Name:  "appendonly",
+	Doc:   "confine Graph.vertexes and Vertex.Children writes to the recording layer",
+	Match: prefixMatch("repro/internal/provenance"),
+	Run:   runAppendOnly,
+}
+
+// guardedFields maps (owner type, field) to the base filenames allowed to
+// write it.
+var guardedFields = map[[2]string][]string{
+	{"Graph", "vertexes"}:  {"graph.go", "fork.go"},
+	{"Vertex", "Children"}: {"graph.go", "recorder.go", "distributed.go", "fork.go"},
+}
+
+func runAppendOnly(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var lhs []ast.Expr
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				lhs = st.Lhs
+			case *ast.IncDecStmt:
+				lhs = []ast.Expr{st.X}
+			default:
+				return true
+			}
+			for _, e := range lhs {
+				checkGuardedWrite(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGuardedWrite(pass *Pass, e ast.Expr) {
+	// v.Children[i] = x mutates the field as surely as v.Children = x.
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	se, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel := pass.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	key := [2]string{namedOf(sel.Recv()), sel.Obj().Name()}
+	allowed, guarded := guardedFields[key]
+	if !guarded {
+		return
+	}
+	file := filepath.Base(pass.Fset.Position(se.Pos()).Filename)
+	for _, ok := range allowed {
+		if file == ok {
+			return
+		}
+	}
+	pass.Reportf(se.Pos(), "write to %s.%s outside the recording layer (allowed: %s)",
+		key[0], key[1], strings.Join(allowed, ", "))
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// loadSrc type-checks one synthetic file as a package with the given
+// import path (which determines which analyzers apply) and filename
+// (which appendonly's allowlist keys on).
+func loadSrc(t *testing.T, path, filename, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Path: path, Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+}
+
+func runOn(t *testing.T, pkg *Package, a *Analyzer) []Diagnostic {
+	t.Helper()
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, fragments ...string) {
+	t.Helper()
+	if len(diags) != len(fragments) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(fragments), diags)
+	}
+	for i, frag := range fragments {
+		if !strings.Contains(diags[i].String(), frag) {
+			t.Errorf("finding %d = %q, want fragment %q", i, diags[i], frag)
+		}
+	}
+}
+
+func TestDetNowFlagsWallClock(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "x.go", `package ndlog
+import "time"
+func f() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+`)
+	wantFindings(t, runOn(t, pkg, DetNow),
+		"x.go:4:16: detnow: time.Now",
+		"x.go:5:14: detnow: time.Since")
+}
+
+func TestDetNowFlagsMathRand(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/provenance", "x.go", `package provenance
+import "math/rand"
+func f() int { return rand.Int() }
+`)
+	wantFindings(t, runOn(t, pkg, DetNow), "x.go:2:8: detnow: import of math/rand")
+}
+
+func TestDetNowIgnoresOutOfScopePackages(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/core", "x.go", `package core
+import "time"
+var now = time.Now
+`)
+	wantFindings(t, runOn(t, pkg, DetNow))
+}
+
+func TestDetNowAllowsOtherTimeUse(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/replay", "x.go", `package replay
+import "time"
+var d = 3 * time.Second
+func f(d time.Duration) string { return d.String() }
+`)
+	wantFindings(t, runOn(t, pkg, DetNow))
+}
+
+func TestMapRangeFlagsUnsortedAccumulation(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "x.go", `package ndlog
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+	wantFindings(t, runOn(t, pkg, MapRange), "x.go:5:3: maprange: append to out")
+}
+
+func TestMapRangeAcceptsSortAfterLoop(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "x.go", `package ndlog
+import "sort"
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`)
+	wantFindings(t, runOn(t, pkg, MapRange))
+}
+
+func TestMapRangeSortMustNameTheAccumulator(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "x.go", `package ndlog
+import "sort"
+func keys(m map[string]int, other []string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(other)
+	return out
+}
+`)
+	wantFindings(t, runOn(t, pkg, MapRange), "maprange: append to out")
+}
+
+func TestMapRangeIgnoresLoopLocalAndSliceRanges(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/provenance", "x.go", `package provenance
+func f(m map[string][]int, s []string) []string {
+	var out []string
+	for _, v := range m {
+		local := []int{}
+		local = append(local, v...) // loop-local: order dies with the loop
+		_ = local
+	}
+	for _, k := range s {
+		out = append(out, k) // slice range: order is deterministic
+	}
+	return out
+}
+`)
+	wantFindings(t, runOn(t, pkg, MapRange))
+}
+
+const appendOnlySrc = `package provenance
+type Vertex struct{ Children []int }
+type Graph struct{ vertexes []*Vertex }
+type shard struct{ vertexes []*Vertex } // distinct type: not guarded
+func f(g *Graph, v *Vertex, s *shard) {
+	g.vertexes = append(g.vertexes, v)
+	v.Children[0] = 7
+	s.vertexes = nil
+}
+`
+
+func TestAppendOnlyFlagsWritesOutsideRecorder(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/provenance", "other.go", appendOnlySrc)
+	wantFindings(t, runOn(t, pkg, AppendOnly),
+		"other.go:6:2: appendonly: write to Graph.vertexes",
+		"other.go:7:2: appendonly: write to Vertex.Children")
+}
+
+func TestAppendOnlyAllowsRecordingLayerFiles(t *testing.T) {
+	// In graph.go both fields may be written; the shard write stays legal.
+	pkg := loadSrc(t, "repro/internal/provenance", "graph.go", appendOnlySrc)
+	wantFindings(t, runOn(t, pkg, AppendOnly))
+}
+
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "x.go", `package ndlog
+import "time"
+func f() (int64, int64) {
+	a := time.Now().UnixNano() //diffprov:allow detnow
+	//diffprov:allow detnow
+	b := time.Now().UnixNano()
+	c := time.Now().UnixNano()
+	return a + b, c
+}
+`)
+	wantFindings(t, runOn(t, pkg, DetNow), "x.go:7:12: detnow: time.Now")
+}
+
+func TestAllowDirectiveIsPerAnalyzer(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "x.go", `package ndlog
+import "time"
+func f() int64 {
+	return time.Now().UnixNano() //diffprov:allow maprange
+}
+`)
+	wantFindings(t, runOn(t, pkg, DetNow), "detnow: time.Now")
+}
+
+// TestRepoIsClean loads the real scope packages and asserts the analyzers
+// run clean — the same gate CI applies via cmd/diffprovlint.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the tree from source")
+	}
+	pkgs, err := Load("../..",
+		"./internal/ndlog/...", "./internal/provenance", "./internal/replay")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 4 {
+		t.Fatalf("loaded %d packages, want >= 4", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestLoadRejectsUnknownDir(t *testing.T) {
+	if _, err := Load("../..", "./internal/nosuchpkg"); err == nil {
+		t.Fatal("want error for missing package dir")
+	}
+}

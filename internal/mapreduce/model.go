@@ -128,6 +128,8 @@ func init() {
 		}
 		return ndlog.Str(ReducerName(int64(i))), nil
 	})
+	ndlog.SetBuiltinKinds("mapperEmits", ndlog.KindBool, ndlog.KindID, ndlog.KindInt)
+	ndlog.SetBuiltinKinds("reducer", ndlog.KindStr, ndlog.KindInt)
 }
 
 // InputFile is a tokenized text input ("the RecordReader's output"): each

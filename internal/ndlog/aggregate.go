@@ -23,24 +23,41 @@ type aggGroup struct {
 	prevSet  bool
 }
 
-// validateAggregate checks the restrictions on counting rules.
+// validateAggregate checks the restrictions on counting rules, reporting
+// the first violation as an error.
 func validateAggregate(r *Rule, p *Program) error {
+	return firstError(analyzeAggregate(p, r))
+}
+
+// analyzeAggregate reports every counting-rule restriction violated by
+// the rule as a CodeAggregate diagnostic.
+func analyzeAggregate(p *Program, r *Rule) []Diag {
 	if r.CountVar == "" {
 		return nil
 	}
+	var ds []Diag
+	bad := func(format string, args ...interface{}) {
+		ds = append(ds, Diag{
+			Pos:      r.Pos,
+			Severity: Error,
+			Code:     CodeAggregate,
+			Msg:      fmt.Sprintf("rule %s: ", r.Name) + fmt.Sprintf(format, args...),
+		})
+	}
 	if r.ArgMax != "" {
-		return fmt.Errorf("ndlog: rule %s: count() and argmax cannot be combined", r.Name)
+		bad("count() and argmax cannot be combined")
 	}
 	if len(r.Body) != 1 {
-		return fmt.Errorf("ndlog: rule %s: counting rules must have exactly one body atom", r.Name)
+		bad("counting rules must have exactly one body atom")
+		return ds
 	}
 	d := p.Decl(r.Body[0].Table)
 	if d == nil || !d.Event {
-		return fmt.Errorf("ndlog: rule %s: counting rules must be triggered by an event table", r.Name)
+		bad("counting rules must be triggered by an event table")
 	}
 	hd := p.Decl(r.Head.Table)
 	if hd != nil && hd.Event {
-		return fmt.Errorf("ndlog: rule %s: counting rules must derive state, not events", r.Name)
+		bad("counting rules must derive state, not events")
 	}
 	if r.Head.Loc != nil {
 		// The head location must coincide with the body atom's location
@@ -58,7 +75,7 @@ func validateAggregate(r *Rule, p *Program) error {
 			}
 		}
 		if !local {
-			return fmt.Errorf("ndlog: rule %s: counting rules must derive locally", r.Name)
+			bad("counting rules must derive locally")
 		}
 	}
 	uses := false
@@ -70,9 +87,9 @@ func validateAggregate(r *Rule, p *Program) error {
 		}
 	}
 	if !uses {
-		return fmt.Errorf("ndlog: rule %s: head does not use count variable %s", r.Name, r.CountVar)
+		bad("head does not use count variable %s", r.CountVar)
 	}
-	return nil
+	return ds
 }
 
 // groupKey computes the aggregation group for a binding: the values of

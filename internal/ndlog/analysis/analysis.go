@@ -1,0 +1,80 @@
+// Package analysis is the source-level front end of the NDlog program
+// checker: it parses program text with error recovery (ndlog.ParseLoose),
+// merges the parse diagnostics with the whole-program analysis
+// (ndlog.AnalyzeProgram), and renders file:line:col reports. It backs the
+// `diffprov vet` subcommand; doc/analysis.md documents the diagnostic
+// codes.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ndlog"
+)
+
+// Result holds the diagnostics for one source unit (a .ndlog file or a
+// built-in scenario program).
+type Result struct {
+	// Name identifies the unit in reports: a file path, or a built-in
+	// program name like "builtin:sdn".
+	Name string
+	// Program is what parsed; in loose mode it contains every
+	// declaration and rule that survived error recovery.
+	Program *ndlog.Program
+	// Diags is the merged, sorted diagnostic list.
+	Diags []ndlog.Diag
+}
+
+// Errors counts Error-severity diagnostics.
+func (r *Result) Errors() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == ndlog.Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Warnings counts Warning-severity diagnostics.
+func (r *Result) Warnings() int { return len(r.Diags) - r.Errors() }
+
+// Format writes one line per diagnostic as
+// "name:line:col: severity[CODE]: message" (the position part is omitted
+// for diagnostics with no source position).
+func (r *Result) Format(w io.Writer) {
+	for _, d := range r.Diags {
+		if d.Pos.IsValid() {
+			fmt.Fprintf(w, "%s:%s: %s[%s]: %s\n", r.Name, d.Pos, d.Severity, d.Code, d.Msg)
+		} else {
+			fmt.Fprintf(w, "%s: %s[%s]: %s\n", r.Name, d.Severity, d.Code, d.Msg)
+		}
+	}
+}
+
+// AnalyzeSource parses NDlog source with error recovery and analyzes
+// whatever parsed, returning every diagnostic found.
+func AnalyzeSource(name, src string) *Result {
+	prog, diags := ndlog.ParseLoose(src)
+	diags = append(diags, ndlog.AnalyzeProgram(prog)...)
+	ndlog.SortDiags(diags)
+	return &Result{Name: name, Program: prog, Diags: diags}
+}
+
+// AnalyzeProgram analyzes an already-constructed program (e.g. one of the
+// built-in scenario models).
+func AnalyzeProgram(name string, p *ndlog.Program) *Result {
+	diags := ndlog.AnalyzeProgram(p)
+	return &Result{Name: name, Program: p, Diags: diags}
+}
+
+// AnalyzeFile reads and analyzes one .ndlog source file.
+func AnalyzeFile(path string) (*Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeSource(path, string(src)), nil
+}

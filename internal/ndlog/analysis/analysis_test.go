@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+// badProgram is one checker test case: a source, the diagnostic code it
+// must produce, and the exact position the diagnostic must cite.
+type badProgram struct {
+	name string
+	src  string
+	code string
+	line int
+	col  int
+}
+
+var badPrograms = []badProgram{
+	{
+		name: "syntax-missing-arity",
+		src:  `table t/;`,
+		code: ndlog.CodeSyntax, line: 1, col: 9,
+	},
+	{
+		name: "syntax-unexpected-char",
+		src:  "table t/1 $;",
+		code: ndlog.CodeSyntax, line: 1, col: 11,
+	},
+	{
+		name: "syntax-unterminated-string",
+		src:  "table t/1 base;\ntable h/0 event;\nrule r h() :- t(A), A == \"oops.",
+		code: ndlog.CodeSyntax, line: 3, col: 26,
+	},
+	{
+		name: "undefined-body-table",
+		src:  "table h/1;\nrule r h(@n, X) :- ghost(@n, X).",
+		code: ndlog.CodeUndefined, line: 2, col: 20,
+	},
+	{
+		name: "undefined-head-table",
+		src:  "table b/1 base;\nrule r ghost(@n, X) :- b(@n, X).",
+		code: ndlog.CodeUndefined, line: 2, col: 8,
+	},
+	{
+		name: "body-arity",
+		src:  "table b/2 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X).",
+		code: ndlog.CodeArity, line: 3, col: 20,
+	},
+	{
+		name: "head-arity",
+		src:  "table b/1 base;\ntable h/2;\nrule r h(@n, X) :- b(@n, X).",
+		code: ndlog.CodeArity, line: 3, col: 8,
+	},
+	{
+		name: "unsafe-head-var",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@n, Y) :- b(@n, X).",
+		code: ndlog.CodeUnsafe, line: 3, col: 8,
+	},
+	{
+		name: "unsafe-head-loc",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@L, X) :- b(@n, X).",
+		code: ndlog.CodeUnsafe, line: 3, col: 8,
+	},
+	{
+		name: "unsafe-where-var",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X), Y == 3.",
+		code: ndlog.CodeUnsafe, line: 3, col: 6,
+	},
+	{
+		name: "unsafe-assign-var",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X), Z := Y + 1.",
+		code: ndlog.CodeUnsafe, line: 3, col: 6,
+	},
+	{
+		name: "unsafe-argmax",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X), argmax P.",
+		code: ndlog.CodeUnsafe, line: 3, col: 6,
+	},
+	{
+		name: "unknown-function",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X), X == nosuch(X).",
+		code: ndlog.CodeBuiltin, line: 3, col: 6,
+	},
+	{
+		name: "builtin-arity",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X), matches(X).",
+		code: ndlog.CodeBuiltin, line: 3, col: 6,
+	},
+	{
+		name: "bad-location-kind",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(@7, X) :- b(@n, X).",
+		code: ndlog.CodeLocation, line: 3, col: 8,
+	},
+	{
+		name: "non-stratified-aggregation",
+		src: "table ev/1 event;\ntable agg/1;\n" +
+			"rule c agg(@N, C) :- ev(@N, X), C := count().\n" +
+			"rule f ev(@N, C) :- agg(@N, C).",
+		code: ndlog.CodeStratify, line: 3, col: 6,
+	},
+	{
+		name: "duplicate-decl",
+		src:  "table a/1 base;\ntable a/2;",
+		code: ndlog.CodeDuplicateDecl, line: 2, col: 7,
+	},
+	{
+		name: "duplicate-rule",
+		src: "table b/1 base;\ntable h/1;\n" +
+			"rule r h(@n, X) :- b(@n, X).\nrule r h(@n, X) :- b(@n, X).",
+		code: ndlog.CodeDuplicateRule, line: 4, col: 6,
+	},
+	{
+		name: "aggregate-over-state",
+		src: "table st/1 base;\ntable agg/1;\n" +
+			"rule c agg(@N, C) :- st(@N, X), C := count().",
+		code: ndlog.CodeAggregate, line: 3, col: 6,
+	},
+	{
+		name: "unused-table",
+		src:  "table b/1 base;\ntable lone/2;\ntable h/1;\nrule r h(@n, X) :- b(@n, X).",
+		code: ndlog.CodeUnusedTable, line: 2, col: 7,
+	},
+	{
+		name: "underived-table",
+		src:  "table b/1 base;\ntable mid/1;\ntable h/1;\nrule r h(@n, X) :- b(@n, X), mid(@n, X).",
+		code: ndlog.CodeUnderivedTable, line: 4, col: 30,
+	},
+	{
+		name: "type-conflict",
+		src: "table b/1 base;\ntable h/1;\n" +
+			"rule r1 h(@n, 5) :- b(@n, X).\nrule r2 h(@n, \"s\") :- b(@n, X).",
+		code: ndlog.CodeTypeConflict, line: 2, col: 7,
+	},
+	{
+		name: "shadowed-rule",
+		src: "table b/1 base;\ntable h/1;\n" +
+			"rule r1 h(@n, X) :- b(@n, X).\nrule r2 h(@n, X) :- b(@n, X).",
+		code: ndlog.CodeShadowedRule, line: 4, col: 6,
+	},
+	{
+		name: "implicit-head-loc",
+		src:  "table b/1 base;\ntable h/1;\nrule r h(X) :- b(@n, X).",
+		code: ndlog.CodeImplicitLoc, line: 3, col: 8,
+	},
+}
+
+func TestBadPrograms(t *testing.T) {
+	for _, tc := range badPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			res := AnalyzeSource(tc.name+".ndlog", tc.src)
+			want := ndlog.Pos{Line: tc.line, Col: tc.col}
+			for _, d := range res.Diags {
+				if d.Code == tc.code && d.Pos == want {
+					return
+				}
+			}
+			t.Errorf("no %s at %s; got:\n%s", tc.code, want, formatAll(res))
+		})
+	}
+}
+
+// TestBadProgramSeverities checks that ND0xx codes are errors and ND1xx
+// codes warnings, matching the documented scheme.
+func TestBadProgramSeverities(t *testing.T) {
+	for _, tc := range badPrograms {
+		res := AnalyzeSource(tc.name+".ndlog", tc.src)
+		for _, d := range res.Diags {
+			wantErr := strings.HasPrefix(d.Code, "ND0")
+			if (d.Severity == ndlog.Error) != wantErr {
+				t.Errorf("%s: %s has severity %s", tc.name, d.Code, d.Severity)
+			}
+		}
+	}
+}
+
+func TestCleanProgram(t *testing.T) {
+	res := AnalyzeSource("clean.ndlog", "table b/1 base;\ntable h/1;\nrule r h(@n, X) :- b(@n, X).")
+	if len(res.Diags) != 0 {
+		t.Errorf("clean program reported:\n%s", formatAll(res))
+	}
+	if res.Errors() != 0 || res.Warnings() != 0 {
+		t.Errorf("counts = %d errors, %d warnings", res.Errors(), res.Warnings())
+	}
+}
+
+// TestLooseRecovery checks that a syntax error in one statement does not
+// hide the statements after it: the second rule still parses and its
+// problems are still reported.
+func TestLooseRecovery(t *testing.T) {
+	src := "table b/1 base;\ntable h/1;\n" +
+		"rule broken h(@n, X) :- ;\n" +
+		"rule ok h(@n, Y) :- b(@n, X)."
+	res := AnalyzeSource("recover.ndlog", src)
+	if res.Program.Rule("ok") == nil {
+		t.Fatalf("rule after syntax error was dropped; diags:\n%s", formatAll(res))
+	}
+	var haveSyntax, haveUnsafe bool
+	for _, d := range res.Diags {
+		haveSyntax = haveSyntax || d.Code == ndlog.CodeSyntax
+		haveUnsafe = haveUnsafe || d.Code == ndlog.CodeUnsafe
+	}
+	if !haveSyntax || !haveUnsafe {
+		t.Errorf("want ND000 and ND003, got:\n%s", formatAll(res))
+	}
+}
+
+// TestEmptyBodyViaAPI covers CodeEmptyBody, which the grammar cannot
+// produce (an empty body fails to parse) but the rule API can: AddRule's
+// validation error must cite the code.
+func TestEmptyBodyViaAPI(t *testing.T) {
+	p := ndlog.NewProgram()
+	if err := p.Declare(ndlog.TableDecl{Name: "h", Arity: 0}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.AddRule(ndlog.Rule{Name: "r", Head: ndlog.Atom{Table: "h"}})
+	if err == nil {
+		t.Fatal("AddRule accepted an empty body")
+	}
+	if !strings.Contains(err.Error(), ndlog.CodeEmptyBody) {
+		t.Errorf("error %v does not cite %s", err, ndlog.CodeEmptyBody)
+	}
+}
+
+// TestDiagOrdering checks that diagnostics come out sorted by position.
+func TestDiagOrdering(t *testing.T) {
+	src := "table b/1 base;\ntable lone/2;\ntable h/1;\n" +
+		"rule r h(@n, Y) :- b(@n, X), matches(X)."
+	res := AnalyzeSource("order.ndlog", src)
+	for i := 1; i < len(res.Diags); i++ {
+		if res.Diags[i].Pos.Before(res.Diags[i-1].Pos) {
+			t.Fatalf("diags out of order:\n%s", formatAll(res))
+		}
+	}
+}
+
+func formatAll(r *Result) string {
+	var sb strings.Builder
+	r.Format(&sb)
+	return sb.String()
+}

@@ -15,7 +15,18 @@ type builtin struct {
 	// values. A nil return with nil error means "no preimage"; an
 	// ErrNonInvertible error means inversion is not supported.
 	invert func(out Value, args []Value, arg int) ([]Value, error)
+	// argKinds/resKind, when hasKinds is set, record the value kinds of
+	// the builtin's parameters and result for static analysis (AnyKind
+	// marks unconstrained slots). Purely advisory: evaluation still
+	// type-checks dynamically.
+	argKinds []Kind
+	resKind  Kind
+	hasKinds bool
 }
+
+// AnyKind marks an unconstrained builtin parameter or result in a kind
+// signature registered with SetBuiltinKinds.
+const AnyKind Kind = 0xFF
 
 // ErrNonInvertible is returned when a computation cannot be inverted while
 // propagating taints (e.g., a hash). Per §4.9 of the paper, DiffProv
@@ -42,6 +53,43 @@ func RegisterInvertibleBuiltin(name string, arity int,
 func HasBuiltin(name string) bool {
 	_, ok := builtins[name]
 	return ok
+}
+
+// BuiltinArity returns the registered arity of a builtin (-1 = variadic)
+// and whether the builtin exists.
+func BuiltinArity(name string) (int, bool) {
+	b, ok := builtins[name]
+	if !ok {
+		return 0, false
+	}
+	return b.arity, true
+}
+
+// SetBuiltinKinds records the kind signature of an already-registered
+// builtin for static analysis (doc/analysis.md, code ND103). Use AnyKind
+// for unconstrained slots. Like registration itself, this is expected to
+// happen during package initialization.
+func SetBuiltinKinds(name string, result Kind, args ...Kind) {
+	b, ok := builtins[name]
+	if !ok {
+		panic("ndlog: SetBuiltinKinds on unregistered builtin " + name)
+	}
+	if b.arity >= 0 && len(args) != b.arity {
+		panic("ndlog: SetBuiltinKinds arity mismatch for " + name)
+	}
+	b.argKinds = append([]Kind(nil), args...)
+	b.resKind = result
+	b.hasKinds = true
+}
+
+// BuiltinKinds returns the kind signature registered for a builtin, or
+// ok=false when none was declared.
+func BuiltinKinds(name string) (args []Kind, result Kind, ok bool) {
+	b, found := builtins[name]
+	if !found || !b.hasKinds {
+		return nil, AnyKind, false
+	}
+	return b.argKinds, b.resKind, true
 }
 
 // Hash64 is the deterministic hash used by hash builtins (and by the
@@ -157,4 +205,15 @@ func init() {
 		}
 		return args[0], nil
 	})
+
+	// Kind signatures for static analysis (see analyze.go).
+	SetBuiltinKinds("matches", KindBool, KindIP, KindPrefix)
+	SetBuiltinKinds("covers", KindBool, KindPrefix, KindPrefix)
+	SetBuiltinKinds("octet", KindInt, KindIP, KindInt)
+	SetBuiltinKinds("prefix", KindPrefix, KindIP, KindInt)
+	SetBuiltinKinds("mask", KindIP, KindIP, KindInt)
+	SetBuiltinKinds("hash", KindID, AnyKind)
+	SetBuiltinKinds("hashmod", KindInt, AnyKind, KindInt)
+	SetBuiltinKinds("min2", AnyKind, AnyKind, AnyKind)
+	SetBuiltinKinds("max2", AnyKind, AnyKind, AnyKind)
 }

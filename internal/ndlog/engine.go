@@ -108,9 +108,9 @@ type Engine struct {
 	// order a function of the event schedule alone — independent of how
 	// scheduling interleaves with Run calls — which is what lets a forked
 	// prefix engine reproduce a from-scratch replay stamp-for-stamp.
-	seqBand uint64
-	baseSeq uint64
-	now     Stamp
+	seqBand  uint64
+	baseSeq  uint64
+	now      Stamp
 	deriveID int64
 	delay    int64 // cross-node transit delay in ticks
 	// dependents maps a row reference (node|key) to the derived rows it
@@ -133,6 +133,12 @@ type Engine struct {
 	indexing   bool
 	plans      map[planKey][]*indexSpec
 	tableSpecs map[string][]*indexSpec
+	// analysis enables the static program analysis in New (default on);
+	// analysisDiags holds its result and analysisErr the first
+	// Error-severity diagnostic, which makes Run refuse the program.
+	analysis      bool
+	analysisDiags []Diag
+	analysisErr   error
 }
 
 // Stats counts engine activity, used by the evaluation harness.
@@ -273,7 +279,20 @@ func WithIndexing(on bool) Option {
 	return func(e *Engine) { e.indexing = on }
 }
 
+// WithAnalysis enables or disables the static program analysis New runs
+// (default on). Programs built through Declare/AddRule are validated
+// rule-by-rule already, so the analysis mainly adds whole-program checks
+// (stratification, usage, kind conflicts); disabling it skips that work
+// for engines constructed in tight loops over known-good programs.
+func WithAnalysis(on bool) Option {
+	return func(e *Engine) { e.analysis = on }
+}
+
 // New creates an engine for the program. A nil observer is allowed.
+//
+// Unless disabled with WithAnalysis(false), New statically analyzes the
+// program (cached per program); Error-severity findings make Run refuse
+// to evaluate, and AnalysisDiags exposes the full report.
 func New(prog *Program, obs Observer, opts ...Option) *Engine {
 	if obs == nil {
 		obs = NopObserver{}
@@ -288,9 +307,14 @@ func New(prog *Program, obs Observer, opts ...Option) *Engine {
 		aggGroups:   map[string]*aggGroup{},
 		deriveLimit: 10_000_000,
 		indexing:    true,
+		analysis:    true,
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.analysis {
+		e.analysisDiags = prog.Analyze()
+		e.analysisErr = firstError(e.analysisDiags)
 	}
 	if e.indexing {
 		// One-time static analysis; rules added to the program after this
@@ -298,6 +322,12 @@ func New(prog *Program, obs Observer, opts ...Option) *Engine {
 		e.plans, e.tableSpecs = buildJoinPlans(prog)
 	}
 	return e
+}
+
+// AnalysisDiags returns the diagnostics the static analysis reported for
+// the engine's program (nil when analysis was disabled).
+func (e *Engine) AnalysisDiags() []Diag {
+	return append([]Diag(nil), e.analysisDiags...)
 }
 
 // Program returns the program the engine evaluates.
@@ -424,8 +454,12 @@ func (e *Engine) IsMutable(nodeName string, t Tuple) bool {
 }
 
 // Run drains the work queue, evaluating all scheduled events and their
-// consequences in deterministic order.
+// consequences in deterministic order. A program the static analysis
+// found erroneous is refused outright.
 func (e *Engine) Run() error {
+	if e.analysisErr != nil {
+		return e.analysisErr
+	}
 	for e.queue.Len() > 0 {
 		it := heap.Pop(&e.queue).(*workItem)
 		if e.now.Before(it.stamp) {
@@ -444,6 +478,9 @@ func (e *Engine) Run() error {
 // transit delay — stays pending, so a later Run (or a Fork followed by
 // Run) continues exactly where this call left off.
 func (e *Engine) RunUntil(maxTick int64) error {
+	if e.analysisErr != nil {
+		return e.analysisErr
+	}
 	for e.queue.Len() > 0 && e.queue[0].stamp.T <= maxTick {
 		it := heap.Pop(&e.queue).(*workItem)
 		if e.now.Before(it.stamp) {

@@ -41,7 +41,10 @@ func (e *Engine) Fork(obs Observer) *Engine {
 		indexing:    e.indexing,
 		plans:       e.plans,
 		tableSpecs:  e.tableSpecs,
+		analysis:    e.analysis,
+		analysisErr: e.analysisErr,
 	}
+	f.analysisDiags = append([]Diag(nil), e.analysisDiags...)
 	for name, n := range e.nodes {
 		fn := &node{name: n.name, tables: make(map[string]*table, len(n.tables))}
 		for tn, tb := range n.tables {

@@ -50,5 +50,36 @@ func FuzzParse(f *testing.F) {
 		if _, err := Parse(rendered); err != nil {
 			t.Fatalf("accepted program does not re-parse: %v\ninput: %q\nrendered: %q", err, src, rendered)
 		}
+		// An accepted program must analyze without panicking. (Errors are
+		// still possible: Parse validates rule-by-rule, while whole-program
+		// checks like stratification only run here.)
+		for _, d := range AnalyzeProgram(p) {
+			if d.String() == "" {
+				t.Fatalf("empty diagnostic rendering for %q", src)
+			}
+		}
+	})
+}
+
+// FuzzParseLoose: loose parsing plus analysis must never panic, whatever
+// the input; every diagnostic must render, and errors recorded by the
+// loose parser must not corrupt the recovered program so badly that
+// analysis panics on it.
+func FuzzParseLoose(f *testing.F) {
+	f.Add("table t/1 base;\nrule r t2(X) :- t(X).")
+	f.Add("rule broken h( :- .")
+	f.Add("table a/1; table a/2; rule r a() :- a(X, Y), Z := nosuch(W).")
+	f.Add("table ev/1 event; table agg/1; rule c agg(@N, C) :- ev(@N, X), C := count(). rule f ev(@N, C) :- agg(@N, C).")
+	f.Add("\"")
+	f.Add("#")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, diags := ParseLoose(src)
+		diags = append(diags, AnalyzeProgram(prog)...)
+		SortDiags(diags)
+		for _, d := range diags {
+			if d.String() == "" {
+				t.Fatal("empty diagnostic rendering")
+			}
+		}
 	})
 }

@@ -192,7 +192,9 @@ func progWithGhostAtom(t *testing.T, midLoc Expr) *Program {
 
 func TestJoinRestErrorReturnsNoBindings(t *testing.T) {
 	p := progWithGhostAtom(t, nil)
-	e := New(p, nil)
+	// Analysis off: the ghost atom is the point of the test, and it must
+	// reach the runtime join path rather than being refused up front.
+	e := New(p, nil, WithAnalysis(false))
 	// Two mid rows would each recurse into the ghost atom; the first
 	// recursion errors, and joinRest must return (nil, err) rather than
 	// the partially accumulated bindings.
@@ -222,7 +224,7 @@ func TestJoinRestErrorReturnsNoBindings(t *testing.T) {
 
 func TestJoinRestUnboundLocationDoesNotLeakOnError(t *testing.T) {
 	p := progWithGhostAtom(t, Var("L"))
-	e := New(p, nil)
+	e := New(p, nil, WithAnalysis(false))
 	if err := e.ScheduleInsert("n1", NewTuple("mid", Int(1)), 0); err != nil {
 		t.Fatal(err)
 	}

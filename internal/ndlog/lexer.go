@@ -23,6 +23,7 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int
 }
 
 func (t token) String() string {
@@ -32,11 +33,15 @@ func (t token) String() string {
 	return fmt.Sprintf("%q", t.text)
 }
 
+// pos returns the token's source position.
+func (t token) pos() Pos { return Pos{Line: t.line, Col: t.col} }
+
 type lexer struct {
-	src  string
-	pos  int
-	line int
-	toks []token
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first character
+	toks      []token
 }
 
 // lex tokenizes NDlog source. Line comments start with //.
@@ -63,6 +68,7 @@ func (l *lexer) next() (token, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
@@ -73,10 +79,11 @@ func (l *lexer) next() (token, error) {
 			goto body
 		}
 	}
-	return token{kind: tokEOF, line: l.line}, nil
+	return token{kind: tokEOF, line: l.line, col: l.pos - l.lineStart + 1}, nil
 
 body:
 	start := l.pos
+	col := start - l.lineStart + 1
 	c := l.src[l.pos]
 
 	// Two-character operators.
@@ -85,7 +92,7 @@ body:
 		for _, s := range twoCharSyms {
 			if two == s {
 				l.pos += 2
-				return token{kind: tokSym, text: two, line: l.line}, nil
+				return token{kind: tokSym, text: two, line: l.line, col: col}, nil
 			}
 		}
 	}
@@ -100,14 +107,14 @@ body:
 			}
 			if l.src[l.pos] == '"' {
 				l.pos++
-				return token{kind: tokString, text: l.src[start:l.pos], line: l.line}, nil
+				return token{kind: tokString, text: l.src[start:l.pos], line: l.line, col: col}, nil
 			}
 			if l.src[l.pos] == '\n' {
 				break
 			}
 			l.pos++
 		}
-		return token{}, fmt.Errorf("ndlog: line %d: unterminated string", l.line)
+		return token{}, &parseError{pos: Pos{Line: l.line, Col: col}, msg: "unterminated string"}
 
 	case c == '#':
 		l.pos++
@@ -115,9 +122,9 @@ body:
 			l.pos++
 		}
 		if l.pos == start+1 {
-			return token{}, fmt.Errorf("ndlog: line %d: expected hex digits after #", l.line)
+			return token{}, &parseError{pos: Pos{Line: l.line, Col: col}, msg: "expected hex digits after #"}
 		}
-		return token{kind: tokHashID, text: l.src[start:l.pos], line: l.line}, nil
+		return token{kind: tokHashID, text: l.src[start:l.pos], line: l.line, col: col}, nil
 
 	case isDigit(c):
 		dots := 0
@@ -142,7 +149,7 @@ body:
 			}
 			break
 		}
-		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line, col: col}, nil
 
 	case isIdentStart(c):
 		l.pos++
@@ -151,16 +158,16 @@ body:
 		}
 		text := l.src[start:l.pos]
 		if unicode.IsUpper(rune(text[0])) || text[0] == '_' {
-			return token{kind: tokVar, text: text, line: l.line}, nil
+			return token{kind: tokVar, text: text, line: l.line, col: col}, nil
 		}
-		return token{kind: tokIdent, text: text, line: l.line}, nil
+		return token{kind: tokIdent, text: text, line: l.line, col: col}, nil
 
 	case strings.ContainsRune("()@,.;+-*/%&|^<>!=", rune(c)):
 		l.pos++
-		return token{kind: tokSym, text: string(c), line: l.line}, nil
+		return token{kind: tokSym, text: string(c), line: l.line, col: col}, nil
 
 	default:
-		return token{}, fmt.Errorf("ndlog: line %d: unexpected character %q", l.line, string(c))
+		return token{}, &parseError{pos: Pos{Line: l.line, Col: col}, msg: fmt.Sprintf("unexpected character %q", string(c))}
 	}
 }
 

@@ -6,6 +6,23 @@ import (
 	"strings"
 )
 
+// parseError is a positioned syntax error. Strict parsing (Parse) returns
+// it as an error; loose parsing (ParseLoose) converts it into a
+// CodeSyntax diagnostic.
+type parseError struct {
+	pos Pos
+	msg string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("ndlog: %d:%d: %s", e.pos.Line, e.pos.Col, e.msg)
+}
+
+// errAt builds a parseError at a token's position.
+func errAt(t token, format string, args ...interface{}) *parseError {
+	return &parseError{pos: t.pos(), msg: fmt.Sprintf(format, args...)}
+}
+
 // Parse parses an NDlog program from source text. The syntax:
 //
 //	// declarations come first
@@ -23,6 +40,8 @@ import (
 // Body items are atoms, assignments (X := expr), boolean constraint
 // expressions, "argmax Var" clauses, and "inverse X := expr" clauses
 // (hand-written inverse rules per §4.5 of the paper).
+//
+// Syntax and validation errors cite their source position as line:col.
 func Parse(src string) (*Program, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -33,6 +52,30 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	return p.prog, nil
+}
+
+// ParseLoose parses with error recovery for static analysis: instead of
+// stopping at the first problem it records a CodeSyntax diagnostic,
+// resynchronizes at the next ';' or '.', and keeps going. Rules are added
+// without validation (AnalyzeProgram reports their problems with
+// positions), and duplicate declarations or rule names become
+// CodeDuplicateDecl / CodeDuplicateRule diagnostics instead of errors.
+// The returned program contains everything that parsed; the diagnostics
+// are not sorted (callers typically append AnalyzeProgram output and sort
+// the union).
+func ParseLoose(src string) (*Program, []Diag) {
+	toks, err := lex(src)
+	if err != nil {
+		d := Diag{Severity: Error, Code: CodeSyntax, Msg: err.Error()}
+		if pe, ok := err.(*parseError); ok {
+			d.Pos, d.Msg = pe.pos, pe.msg
+		}
+		return NewProgram(), []Diag{d}
+	}
+	p := &parser{toks: toks, prog: NewProgram(), loose: true}
+	// parseProgram never returns an error in loose mode.
+	_ = p.parseProgram()
+	return p.prog, p.diags
 }
 
 // MustParse is Parse that panics on error; for embedded scenario sources.
@@ -48,6 +91,10 @@ type parser struct {
 	toks []token
 	pos  int
 	prog *Program
+	// loose enables error recovery: errors become diags and the parser
+	// resynchronizes at the next statement terminator.
+	loose bool
+	diags []Diag
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -63,7 +110,7 @@ func (p *parser) advance() token {
 func (p *parser) expectSym(s string) error {
 	t := p.advance()
 	if t.kind != tokSym || t.text != s {
-		return fmt.Errorf("ndlog: line %d: expected %q, got %s", t.line, s, t)
+		return errAt(t, "expected %q, got %s", s, t)
 	}
 	return nil
 }
@@ -78,22 +125,53 @@ func (p *parser) atIdent(s string) bool {
 	return t.kind == tokIdent && t.text == s
 }
 
+// recover converts a parse error into a CodeSyntax diagnostic and skips
+// ahead to the next statement start ('table' or 'rule', which cannot
+// occur inside a statement) so the declarations and rules after the
+// error still parse.
+func (p *parser) recover(err error) {
+	d := Diag{Severity: Error, Code: CodeSyntax, Msg: err.Error()}
+	if pe, ok := err.(*parseError); ok {
+		d.Pos, d.Msg = pe.pos, pe.msg
+	}
+	p.diags = append(p.diags, d)
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return
+		}
+		if t.kind == tokIdent && (t.text == "table" || t.text == "rule") {
+			return
+		}
+		p.advance()
+	}
+}
+
 func (p *parser) parseProgram() error {
 	for {
 		t := p.peek()
+		var err error
 		switch {
 		case t.kind == tokEOF:
 			return nil
 		case t.kind == tokIdent && t.text == "table":
-			if err := p.parseDecl(); err != nil {
-				return err
-			}
+			err = p.parseDecl()
 		case t.kind == tokIdent && t.text == "rule":
-			if err := p.parseRule(); err != nil {
-				return err
-			}
+			err = p.parseRule()
 		default:
-			return fmt.Errorf("ndlog: line %d: expected 'table' or 'rule', got %s", t.line, t)
+			err = errAt(t, "expected 'table' or 'rule', got %s", t)
+			if p.loose {
+				p.recover(err)
+				continue
+			}
+			return err
+		}
+		if err != nil {
+			if p.loose {
+				p.recover(err)
+				continue
+			}
+			return err
 		}
 	}
 }
@@ -102,20 +180,20 @@ func (p *parser) parseDecl() error {
 	p.advance() // "table"
 	name := p.advance()
 	if name.kind != tokIdent {
-		return fmt.Errorf("ndlog: line %d: expected table name, got %s", name.line, name)
+		return errAt(name, "expected table name, got %s", name)
 	}
 	if err := p.expectSym("/"); err != nil {
 		return err
 	}
 	ar := p.advance()
 	if ar.kind != tokNumber {
-		return fmt.Errorf("ndlog: line %d: expected arity, got %s", ar.line, ar)
+		return errAt(ar, "expected arity, got %s", ar)
 	}
 	arity, err := strconv.Atoi(ar.text)
 	if err != nil || arity < 0 {
-		return fmt.Errorf("ndlog: line %d: bad arity %q", ar.line, ar.text)
+		return errAt(ar, "bad arity %q", ar.text)
 	}
-	d := TableDecl{Name: name.text, Arity: arity}
+	d := TableDecl{Name: name.text, Arity: arity, Pos: name.pos()}
 	for {
 		t := p.peek()
 		if t.kind == tokIdent {
@@ -140,11 +218,11 @@ func (p *parser) parseDecl() error {
 				for !p.atSym(")") {
 					it := p.advance()
 					if it.kind != tokNumber {
-						return fmt.Errorf("ndlog: line %d: key() expects column indices", it.line)
+						return errAt(it, "key() expects column indices")
 					}
 					idx, err := strconv.Atoi(it.text)
 					if err != nil || idx < 0 || idx >= arity {
-						return fmt.Errorf("ndlog: line %d: key index %q out of range", it.line, it.text)
+						return errAt(it, "key index %q out of range", it.text)
 					}
 					d.Key = append(d.Key, idx)
 					if p.atSym(",") {
@@ -162,6 +240,11 @@ func (p *parser) parseDecl() error {
 	if err := p.expectSym(";"); err != nil {
 		return err
 	}
+	if p.loose && p.prog.Decl(d.Name) != nil {
+		p.diags = append(p.diags, Diag{Pos: d.Pos, Severity: Error, Code: CodeDuplicateDecl,
+			Msg: fmt.Sprintf("duplicate table declaration %s", d.Name)})
+		return nil
+	}
 	return p.prog.Declare(d)
 }
 
@@ -169,7 +252,7 @@ func (p *parser) parseRule() error {
 	p.advance() // "rule"
 	name := p.advance()
 	if name.kind != tokIdent {
-		return fmt.Errorf("ndlog: line %d: expected rule name, got %s", name.line, name)
+		return errAt(name, "expected rule name, got %s", name)
 	}
 	head, err := p.parseAtom()
 	if err != nil {
@@ -178,7 +261,7 @@ func (p *parser) parseRule() error {
 	if err := p.expectSym(":-"); err != nil {
 		return err
 	}
-	r := Rule{Name: name.text, Head: head}
+	r := Rule{Name: name.text, Head: head, Pos: name.pos()}
 	for {
 		if err := p.parseBodyItem(&r); err != nil {
 			return err
@@ -192,6 +275,15 @@ func (p *parser) parseRule() error {
 	if err := p.expectSym("."); err != nil {
 		return err
 	}
+	if p.loose {
+		if p.prog.Rule(r.Name) != nil {
+			p.diags = append(p.diags, Diag{Pos: r.Pos, Severity: Error, Code: CodeDuplicateRule,
+				Msg: fmt.Sprintf("duplicate rule name %s", r.Name)})
+			return nil
+		}
+		p.prog.addRuleUnchecked(r)
+		return nil
+	}
 	return p.prog.AddRule(r)
 }
 
@@ -202,10 +294,10 @@ func (p *parser) parseBodyItem(r *Rule) error {
 		p.advance()
 		v := p.advance()
 		if v.kind != tokVar {
-			return fmt.Errorf("ndlog: line %d: argmax expects a variable, got %s", v.line, v)
+			return errAt(v, "argmax expects a variable, got %s", v)
 		}
 		if r.ArgMax != "" {
-			return fmt.Errorf("ndlog: line %d: duplicate argmax clause", v.line)
+			return errAt(v, "duplicate argmax clause")
 		}
 		r.ArgMax = string(v.text)
 		return nil
@@ -214,7 +306,7 @@ func (p *parser) parseBodyItem(r *Rule) error {
 		p.advance()
 		v := p.advance()
 		if v.kind != tokVar {
-			return fmt.Errorf("ndlog: line %d: inverse expects a variable, got %s", v.line, v)
+			return errAt(v, "inverse expects a variable, got %s", v)
 		}
 		if err := p.expectSym(":="); err != nil {
 			return err
@@ -238,7 +330,7 @@ func (p *parser) parseBodyItem(r *Rule) error {
 				return err
 			}
 			if r.CountVar != "" {
-				return fmt.Errorf("ndlog: line %d: duplicate count() clause", t.line)
+				return errAt(t, "duplicate count() clause")
 			}
 			r.CountVar = t.text
 			return nil
@@ -250,7 +342,12 @@ func (p *parser) parseBodyItem(r *Rule) error {
 		r.Assigns = append(r.Assigns, Assign{Var: t.text, Expr: e})
 		return nil
 
-	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "(" && p.prog.Decl(t.text) != nil:
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "(" &&
+		(p.prog.Decl(t.text) != nil || !HasBuiltin(t.text)):
+		// A declared table is always an atom. An identifier that is
+		// neither a declared table nor a builtin is parsed as an atom too,
+		// so the analyzer can report "unknown table" with a position
+		// rather than the parser rejecting it as an unknown function.
 		a, err := p.parseAtom()
 		if err != nil {
 			return err
@@ -272,12 +369,12 @@ func (p *parser) parseBodyItem(r *Rule) error {
 func (p *parser) parseAtom() (Atom, error) {
 	name := p.advance()
 	if name.kind != tokIdent {
-		return Atom{}, fmt.Errorf("ndlog: line %d: expected predicate name, got %s", name.line, name)
+		return Atom{}, errAt(name, "expected predicate name, got %s", name)
 	}
 	if err := p.expectSym("("); err != nil {
 		return Atom{}, err
 	}
-	a := Atom{Table: name.text}
+	a := Atom{Table: name.text, Pos: name.pos()}
 	if p.atSym("@") {
 		p.advance()
 		loc, err := p.parsePrimary()
@@ -356,7 +453,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokNumber, tokString, tokHashID:
 		v, err := ParseValue(t.text)
 		if err != nil {
-			return nil, fmt.Errorf("ndlog: line %d: %v", t.line, err)
+			return nil, errAt(t, "%v", err)
 		}
 		return Const{V: v}, nil
 	case tokIdent:
@@ -384,9 +481,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err := p.expectSym(")"); err != nil {
 				return nil, err
 			}
-			if !HasBuiltin(t.text) {
-				return nil, fmt.Errorf("ndlog: line %d: unknown function %s", t.line, t.text)
-			}
+			// Unknown functions are reported by the analyzer (CodeBuiltin)
+			// with a position, not rejected here: Rule.Validate still makes
+			// strict Parse fail on them.
 			return c, nil
 		}
 		// Bare lowercase identifier: treat as a string constant (node
@@ -411,7 +508,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 			return Bin{Op: OpSub, L: Const{V: Int(0)}, R: e}, nil
 		}
 	}
-	return nil, fmt.Errorf("ndlog: line %d: unexpected token %s in expression", t.line, t)
+	return nil, errAt(t, "unexpected token %s in expression", t)
 }
 
 func contains(ss []string, s string) bool {

@@ -185,27 +185,38 @@ rule r h((A + 1) * -2) :- t(A).
 }
 
 func TestParseErrors(t *testing.T) {
-	bad := []string{
-		"table;",                              // missing name
-		"table t/x;",                          // bad arity
-		"table t/1",                           // missing semicolon
-		"rule r h() :- .",                     // empty body item
-		"table t/1 base; rule r x() :- t(A).", // unknown head table
-		"table t/1 base; table h/0 event; rule r h() :- u(A).",                     // unknown body table
-		"table t/1 base; table h/0 event; rule r h() :- t(A, B).",                  // body arity
-		"table t/1 base; table h/1 event; rule r h(B) :- t(A).",                    // unbound head var
-		"table t/1 base; table h/0 event; rule r h() :- t(A), B < 1.",              // unbound constraint var
-		"table t/1 base; table h/0 event; rule r h() :- t(A), argmax B.",           // unbound argmax
-		"table t/1 base; table h/0 event; rule r h() :- t(A), nosuchfn(A).",        // unknown fn
-		"table t/1 base; table t/1;",                                               // duplicate decl
-		"frobnicate t/1;",                                                          // unknown keyword
-		"table t/1 base; table h/0 event; rule r h() :- t(A). rule r h() :- t(A).", // dup rule
-		`table t/1 base; table h/0 event; rule r h() :- t(A), A == "unterminated.`, // bad string
-		"table t/1 base; table h/0 event; rule r h() :- t(A), A == #zz.",           // bad id
+	// Each case is a bad source and a fragment its error message must
+	// contain; position fragments (line:col) pin the reported location.
+	bad := []struct {
+		src  string
+		want string
+	}{
+		{"table;", "1:6: expected table name"},
+		{"table t/x;", "1:9: expected arity"},
+		{"table t/1", `1:10: expected ";"`},
+		{"rule r h() :- .", "1:15: unexpected token"},
+		{"table t/1 base; rule r x() :- t(A).", "1:24: "}, // unknown head table x
+		{"table t/1 base; table h/0 event; rule r h() :- u(A).", "unknown table u"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A, B).", "arity"},
+		{"table t/1 base; table h/1 event; rule r h(B) :- t(A).", "unbound variable B"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A), B < 1.", "unbound variable B"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A), argmax B.", "argmax variable B is unbound"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A), nosuchfn(A).", "unknown table nosuchfn"},
+		{"table t/1 base; table t/1;", "duplicate table declaration t"},
+		{"frobnicate t/1;", "1:1: expected 'table' or 'rule'"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A). rule r h() :- t(A).", "duplicate rule name r"},
+		{`table t/1 base; table h/0 event; rule r h() :- t(A), A == "unterminated.`, "1:59: unterminated string"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A), A == #zz.", "1:59: expected hex digits"},
+		{"table t/1 base; table h/0 event; rule r h() :- t(A), A == nope(A).", "unknown function nope"},
 	}
-	for _, src := range bad {
-		if _, err := Parse(src); err == nil {
-			t.Errorf("Parse(%q) should fail", src)
+	for _, tc := range bad {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) error = %q, want fragment %q", tc.src, err, tc.want)
 		}
 	}
 }

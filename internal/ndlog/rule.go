@@ -3,6 +3,7 @@ package ndlog
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Atom is a predicate occurrence in a rule head or body: a table name, an
@@ -13,6 +14,9 @@ type Atom struct {
 	Table string
 	Loc   Expr // nil means "local" (the node evaluating the rule)
 	Args  []Expr
+	// Pos is the source position of the predicate name, when the atom
+	// came from parsed text (zero for API-built atoms).
+	Pos Pos
 }
 
 func (a Atom) String() string {
@@ -67,6 +71,9 @@ type Rule struct {
 	// in the body, turning the rule into an incremental counting rule
 	// (see aggregate.go).
 	CountVar string
+	// Pos is the source position of the rule name (zero for API-built
+	// rules).
+	Pos Pos
 }
 
 func (r Rule) String() string {
@@ -105,68 +112,11 @@ func (r Rule) String() string {
 
 // Validate checks rule well-formedness: every head variable must be bound
 // by the body or an assignment, and the location terms must be variables
-// or constants.
+// or constants. It is a thin wrapper over the per-rule static analysis
+// (see analyze.go) that reports the first Error-severity diagnostic.
 func (r Rule) Validate(p *Program) error {
-	if len(r.Body) == 0 {
-		return fmt.Errorf("ndlog: rule %s has an empty body", r.Name)
-	}
-	bound := map[string]bool{}
-	for _, b := range r.Body {
-		if b.Loc != nil {
-			if v, ok := b.Loc.(Var); ok {
-				bound[string(v)] = true
-			}
-		}
-		for _, arg := range b.Args {
-			if v, ok := arg.(Var); ok {
-				bound[string(v)] = true
-			}
-		}
-		if d := p.Decl(b.Table); d == nil {
-			return fmt.Errorf("ndlog: rule %s: unknown table %s", r.Name, b.Table)
-		} else if len(b.Args) != d.Arity {
-			return fmt.Errorf("ndlog: rule %s: %s has arity %d, used with %d args", r.Name, b.Table, d.Arity, len(b.Args))
-		}
-	}
-	if r.CountVar != "" {
-		bound[r.CountVar] = true
-	}
-	for _, a := range r.Assigns {
-		for _, v := range FreeVars(a.Expr) {
-			if !bound[v] {
-				return fmt.Errorf("ndlog: rule %s: assignment %s uses unbound variable %s", r.Name, a, v)
-			}
-		}
-		bound[a.Var] = true
-	}
-	for _, w := range r.Where {
-		for _, v := range FreeVars(w) {
-			if !bound[v] {
-				return fmt.Errorf("ndlog: rule %s: constraint %s uses unbound variable %s", r.Name, w, v)
-			}
-		}
-	}
-	if d := p.Decl(r.Head.Table); d == nil {
-		return fmt.Errorf("ndlog: rule %s: unknown head table %s", r.Name, r.Head.Table)
-	} else if len(r.Head.Args) != d.Arity {
-		return fmt.Errorf("ndlog: rule %s: head %s has arity %d, used with %d args", r.Name, r.Head.Table, d.Arity, len(r.Head.Args))
-	}
-	for _, arg := range r.Head.Args {
-		for _, v := range FreeVars(arg) {
-			if !bound[v] {
-				return fmt.Errorf("ndlog: rule %s: head uses unbound variable %s", r.Name, v)
-			}
-		}
-	}
-	if r.Head.Loc != nil {
-		for _, v := range FreeVars(r.Head.Loc) {
-			if !bound[v] {
-				return fmt.Errorf("ndlog: rule %s: head location uses unbound variable %s", r.Name, v)
-			}
-		}
-	}
-	if r.ArgMax != "" && !bound[r.ArgMax] {
-		return fmt.Errorf("ndlog: rule %s: argmax variable %s is unbound", r.Name, r.ArgMax)
+	if err := firstError(analyzeRule(p, &r)); err != nil {
+		return err
 	}
 	return validateAggregate(&r, p)
 }
@@ -189,6 +139,9 @@ type TableDecl struct {
 	// Inserting a base tuple whose key matches a live row replaces that
 	// row (configuration-store semantics). Empty = whole tuple is the key.
 	Key []int
+	// Pos is the source position of the declaration (zero for API-built
+	// declarations).
+	Pos Pos
 }
 
 func (d TableDecl) String() string {
@@ -215,6 +168,11 @@ type Program struct {
 	// byBodyTable indexes rules by the tables appearing in their bodies
 	// for trigger dispatch.
 	byBodyTable map[string][]ruleAtomRef
+	// analyzeOnce/analyzed cache the whole-program analysis (see
+	// Program.Analyze in analyze.go): replay sessions rebuild engines over
+	// the same program many times and must not re-pay the analysis.
+	analyzeOnce sync.Once
+	analyzed    []Diag
 }
 
 type ruleAtomRef struct {
@@ -267,6 +225,18 @@ func (p *Program) AddRule(r Rule) error {
 		p.byBodyTable[b.Table] = append(p.byBodyTable[b.Table], ruleAtomRef{rule: &rr, atom: i})
 	}
 	return nil
+}
+
+// addRuleUnchecked adds a rule without validating it. The loose parser
+// uses it so AnalyzeProgram can report on malformed rules with positions;
+// the caller must have rejected duplicate names already.
+func (p *Program) addRuleUnchecked(r Rule) {
+	rr := r
+	p.rules = append(p.rules, &rr)
+	p.rulesByName[r.Name] = &rr
+	for i, b := range rr.Body {
+		p.byBodyTable[b.Table] = append(p.byBodyTable[b.Table], ruleAtomRef{rule: &rr, atom: i})
+	}
 }
 
 // Rule returns the rule with the given name, or nil.

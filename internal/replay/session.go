@@ -376,9 +376,9 @@ const ctxCheckEvery = 4096
 // processing positions, and the fork copies the mid-execution state
 // exactly.
 func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndlog.Engine, *provenance.Graph, error) {
-	start := time.Now()
+	start := time.Now() //diffprov:allow detnow (stats timing only; never feeds derivation)
 	defer func() {
-		s.ReplayTime += time.Since(start)
+		s.ReplayTime += time.Since(start) //diffprov:allow detnow
 		s.ReplayCount++
 	}()
 	if err := ctx.Err(); err != nil {
@@ -434,9 +434,9 @@ func (s *Session) ReplayUntil(tick int64) (*ndlog.Engine, *provenance.Graph, err
 // forks a cached prefix anchored at or before the horizon and only
 // evaluates the remainder.
 func (s *Session) ReplayUntilContext(ctx context.Context, tick int64) (*ndlog.Engine, *provenance.Graph, error) {
-	start := time.Now()
+	start := time.Now() //diffprov:allow detnow (stats timing only; never feeds derivation)
 	defer func() {
-		s.ReplayTime += time.Since(start)
+		s.ReplayTime += time.Since(start) //diffprov:allow detnow
 		s.ReplayCount++
 	}()
 	if err := ctx.Err(); err != nil {
@@ -517,10 +517,10 @@ func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, 
 	} else {
 		s.Stats.PrefixMisses++
 	}
-	forkStart := time.Now()
+	forkStart := time.Now() //diffprov:allow detnow (stats timing only; never feeds derivation)
 	rec := entry.rec.Fork()
 	e := entry.eng.Fork(rec)
-	s.Stats.ForkNanos += time.Since(forkStart).Nanoseconds()
+	s.Stats.ForkNanos += time.Since(forkStart).Nanoseconds() //diffprov:allow detnow
 	s.Stats.EventsSkipped += int64(entry.processed)
 	return e, rec, nil
 }
