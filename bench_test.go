@@ -459,6 +459,91 @@ rule j hit(S, D) :- probe(@r, S), edge(@r, S, D).
 	}
 }
 
+// BenchmarkDiagnosisCandidates measures counterfactual candidate
+// evaluation — the dominant cost of a diagnosis with minimization (§4.9)
+// over an aggregate: the bad collector is missing `missing` contributor
+// reports, so the diagnosis yields `missing` insert changes and the
+// minimization pass replays `missing` independent drop candidates (all of
+// which fail, since every insert is necessary). The variants isolate the
+// two tentpole optimizations: parallel evaluation of the candidates over
+// pooled session clones, and the fingerprint-keyed alignment memo that
+// answers each trial's O(contributors) aggregate prediction in O(1).
+// Results are byte-identical across all variants (see
+// TestParallelDifferential); only the wall clock moves.
+func BenchmarkDiagnosisCandidates(b *testing.B) {
+	const aggProgram = `
+table report/1 event base mutable;
+table tally/1;
+rule t tally(@C, N) :- report(@C, S), N := count().
+`
+	const (
+		contributors = 200 // reports at the good collector A
+		missing      = 16  // reports the bad collector B never saw
+	)
+	prog := diffprov.MustParse(aggProgram)
+	build := func(b *testing.B) (diffprov.World, *diffprov.Tree, *diffprov.Tree) {
+		b.Helper()
+		sess := diffprov.NewSession(prog, diffprov.WithCheckpointEvery(48))
+		tick := int64(0)
+		for i := 0; i < contributors; i++ {
+			if err := sess.Insert("A", diffprov.NewTuple("report", diffprov.Int(int64(i))), tick); err != nil {
+				b.Fatal(err)
+			}
+			tick++
+			if i < contributors-missing {
+				if err := sess.Insert("B", diffprov.NewTuple("report", diffprov.Int(int64(i))), tick); err != nil {
+					b.Fatal(err)
+				}
+				tick++
+			}
+		}
+		if err := sess.Run(); err != nil {
+			b.Fatal(err)
+		}
+		_, g, err := sess.Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		goodV := g.LastAppear("A", diffprov.NewTuple("tally", diffprov.Int(contributors)))
+		badV := g.LastAppear("B", diffprov.NewTuple("tally", diffprov.Int(contributors-missing)))
+		if goodV == nil || badV == nil {
+			b.Fatal("tally tuples not found")
+		}
+		world, err := diffprov.NewWorld(sess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return world, g.Tree(goodV.ID), g.Tree(badV.ID)
+	}
+	for _, variant := range []struct {
+		name string
+		opts diffprov.Options
+	}{
+		{"sequential", diffprov.Options{Parallelism: -1, Minimize: true}},
+		{"sequential-nofp", diffprov.Options{Parallelism: -1, Minimize: true, DisableFingerprints: true}},
+		{"parallel8", diffprov.Options{Parallelism: 8, Minimize: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			world, good, bad := build(b)
+			// Warm once: the first diagnosis materializes the replay
+			// prefix every later candidate evaluation forks.
+			if _, err := diffprov.Diagnose(good, bad, world, variant.opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := diffprov.Diagnose(good, bad, world, variant.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Changes) != missing {
+					b.Fatalf("Δ = %d changes, want %d", len(res.Changes), missing)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTreeDiffBaselines compares the §2.5 strawmen on real
 // provenance trees: label-multiset diff vs Zhang–Shasha edit distance.
 func BenchmarkTreeDiffBaselines(b *testing.B) {

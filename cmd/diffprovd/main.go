@@ -1,6 +1,6 @@
 // Command diffprovd serves the DiffProv debugger over HTTP.
 //
-//	diffprovd -addr :8080 -scale small -workers 8 -diagnose-timeout 30s
+//	diffprovd -addr :8080 -scale small -workers 8 -parallelism 4 -diagnose-timeout 30s
 //
 //	curl localhost:8080/scenarios
 //	curl localhost:8080/scenarios/SDN1
@@ -30,6 +30,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	scaleStr := flag.String("scale", "small", "workload scale: small or paper")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent diagnoses (default GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 1, "candidate-evaluation fan-out inside each diagnosis (results are identical at any value)")
 	diagTimeout := flag.Duration("diagnose-timeout", 0, "per-diagnosis deadline (0 = none)")
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	if *scaleStr == "paper" {
 		scale = scenarios.Paper
 	}
-	handler := server.New(scale, server.WithWorkers(*workers)).Handler()
+	handler := server.New(scale, server.WithWorkers(*workers), server.WithParallelism(*parallelism)).Handler()
 	if *diagTimeout > 0 {
 		handler = withTimeout(handler, *diagTimeout)
 	}
@@ -46,7 +47,7 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("diffprovd listening on %s (scale=%s, workers=%d)", *addr, *scaleStr, *workers)
+	log.Printf("diffprovd listening on %s (scale=%s, workers=%d, parallelism=%d)", *addr, *scaleStr, *workers, *parallelism)
 	log.Fatal(srv.ListenAndServe())
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ndlog"
 	"repro/internal/provenance"
@@ -59,31 +60,43 @@ func (d *diag) firstDivergence(chainG []gLevel, w World, seedB ndlog.At) (*diver
 		if rule == nil {
 			return nil, failf(NoProgress, "rule %s of the good tree is not in the program", lvl.derive.Vertex.Rule)
 		}
-		children, err := gChildrenOf(lvl.derive)
-		if err != nil {
-			return nil, err
-		}
-		s, err := newSolver(d.prog, rule, childAts(children))
-		if err != nil {
-			return nil, failf(NoProgress, "%v", err)
-		}
 		trigIdx := triggerAtomIndex(rule, lvl.derive)
-		if err := s.bindTrigger(trigIdx, cur); err != nil {
-			return nil, failf(NoProgress, "%v", err)
-		}
-		if rule.CountVar != "" {
-			// Aggregate level: the expected count is the good count.
-			if cv, ok := headCountValue(rule, lvl.headAt.Tuple); ok {
-				s.bind(rule.CountVar, cv, fromDefault)
+
+		// The forward prediction is a pure function of the good derive
+		// subtree, the trigger index, the head occurrence, and the bad
+		// cursor's node and tuple — never of timestamps or the bad world —
+		// so it memoizes under a fingerprint key across rounds, minimize
+		// trials, and concurrent pool workers (the equal-subtree fast
+		// path: an identical good subtree is never re-solved).
+		var expected ndlog.At
+		var key alignKey
+		hit := false
+		if d.align != nil {
+			key = alignKey{
+				deriveFP: lvl.derive.Fingerprint(),
+				trigIdx:  trigIdx,
+				headNode: lvl.headAt.Node,
+				headKey:  lvl.headAt.Tuple.Key(),
+				curNode:  cur.Node,
+				curKey:   cur.Tuple.Key(),
 			}
+			d.alignMu.Lock()
+			expected, hit = d.align[key]
+			d.alignMu.Unlock()
 		}
-		s.propagate(nil) // forward mode: defaults side variables to good values
-		if d.opts.FollowKeyedRows {
-			s.followKeyedRows(w, d.prog, trigIdx, true, cur.Stamp.T)
-		}
-		expected, err := s.expectedHead(cur.Node)
-		if err != nil {
-			return nil, err
+		if hit {
+			atomic.AddInt64(&d.stats.FingerprintHits, 1)
+		} else {
+			var err error
+			expected, err = d.expectedAtLevel(lvl, rule, trigIdx, w, cur)
+			if err != nil {
+				return nil, err
+			}
+			if d.align != nil {
+				d.alignMu.Lock()
+				d.align[key] = expected
+				d.alignMu.Unlock()
+			}
 		}
 
 		// Does the bad execution actually derive the expected tuple from
@@ -126,6 +139,51 @@ func (d *diag) firstDivergence(chainG []gLevel, w World, seedB ndlog.At) (*diver
 		cur = ndlog.At{Node: hv.Node, Tuple: hv.Tuple, Stamp: hv.At}
 	}
 	return nil, nil
+}
+
+// alignKey identifies one §4.4 forward-prediction instance. The good
+// derive subtree is named by its structural fingerprint, which covers the
+// rule name and every body occurrence's node and tuple; the trigger atom
+// index and the head occurrence are properties of the derive's position
+// in the chain (not covered by its own fingerprint), and the cursor is
+// the bad-world trigger the prediction binds from. Stamps are deliberately
+// absent: the solver never reads them, which is what lets predictions
+// memoize across minimize trials whose injected changes shift stamps.
+type alignKey struct {
+	deriveFP uint64
+	trigIdx  int
+	headNode string
+	headKey  string
+	curNode  string
+	curKey   string
+}
+
+// expectedAtLevel runs the §4.4 forward prediction for one chain level:
+// the head occurrence the bad world should derive from cur via the good
+// derivation's rule, with side variables defaulted to good values.
+func (d *diag) expectedAtLevel(lvl gLevel, rule *ndlog.Rule, trigIdx int, w World, cur ndlog.At) (ndlog.At, error) {
+	children, err := gChildrenOf(lvl.derive)
+	if err != nil {
+		return ndlog.At{}, err
+	}
+	s, err := newSolver(d.prog, rule, childAts(children))
+	if err != nil {
+		return ndlog.At{}, failf(NoProgress, "%v", err)
+	}
+	if err := s.bindTrigger(trigIdx, cur); err != nil {
+		return ndlog.At{}, failf(NoProgress, "%v", err)
+	}
+	if rule.CountVar != "" {
+		// Aggregate level: the expected count is the good count.
+		if cv, ok := headCountValue(rule, lvl.headAt.Tuple); ok {
+			s.bind(rule.CountVar, cv, fromDefault)
+		}
+	}
+	s.propagate(nil) // forward mode: defaults side variables to good values
+	if d.opts.FollowKeyedRows {
+		s.followKeyedRows(w, d.prog, trigIdx, true, cur.Stamp.T)
+	}
+	return s.expectedHead(cur.Node)
 }
 
 // triggerAtomIndex maps a DERIVE vertex's trigger back to the rule's body

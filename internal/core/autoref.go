@@ -113,31 +113,81 @@ func similarity(a, b ndlog.Tuple) int {
 // (DiagnosisError) are skipped. It returns the result and the reference
 // that produced it. Cancellation is honored between candidates (and
 // inside each candidate's diagnosis).
+//
+// When Options.Parallelism allows and the world can fork workers, the
+// candidate diagnoses are evaluated concurrently, each against a private
+// session clone with its own inner diagnosis forced sequential (one level
+// of fan-out only). The winner is the lowest-ranked candidate that
+// succeeds — every higher-ranked candidate is guaranteed evaluated — so
+// the outcome is identical to the sequential scan. All candidate
+// diagnoses against the same base world share one replay memo: two
+// references that need the same fix dedupe their counterfactual replays.
 func AutoDiagnose(ctx context.Context, badTree *provenance.Tree, w World, opts Options) (*Result, *provenance.Tree, error) {
 	cands, err := FindReferenceCandidates(badTree, w, 32)
 	if err != nil {
 		return nil, nil, err
 	}
-	var lastErr error
-	for _, c := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("diffprov: reference search interrupted: %w", err)
-		}
-		res, err := Diagnose(ctx, c.Tree, badTree, w, opts)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, nil, err
+	if !opts.DisableFingerprints && opts.sharedMemo == nil {
+		opts.sharedMemo = newReplayMemo()
+	}
+	var stats DiagStats
+	pool := newCandidatePool(w, opts.parallelism(), &stats)
+	if pool == nil {
+		var lastErr error
+		for _, c := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("diffprov: reference search interrupted: %w", err)
 			}
-			lastErr = err
-			continue
+			res, err := Diagnose(ctx, c.Tree, badTree, w, opts)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, err
+				}
+				lastErr = err
+				continue
+			}
+			if len(res.Changes) == 0 {
+				continue // same outcome as the bad event: not a useful reference
+			}
+			return res, c.Tree, nil
 		}
-		if len(res.Changes) == 0 {
-			continue // same outcome as the bad event: not a useful reference
-		}
-		return res, c.Tree, nil
+		return nil, nil, autoRefFailure(lastErr)
 	}
+	defer pool.drain()
+	inner := opts
+	inner.Parallelism = -1
+	type outcome struct {
+		res *Result
+		err error
+	}
+	vals, ran, best := runCandidates(ctx, pool, len(cands),
+		func(ww World, i int) (outcome, bool) {
+			res, err := Diagnose(ctx, cands[i].Tree, badTree, ww, inner)
+			return outcome{res: res, err: err}, err == nil && len(res.Changes) > 0
+		})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("diffprov: reference search interrupted: %w", err)
+	}
+	if best >= 0 {
+		res := vals[best].res
+		res.Stats.ParallelCandidates += stats.ParallelCandidates
+		return res, cands[best].Tree, nil
+	}
+	// No winner: with no cutoff ever applied, every candidate was
+	// evaluated, so the highest-indexed error is exactly the sequential
+	// scan's last error.
+	var lastErr error
+	for i := range vals {
+		if ran[i] && vals[i].err != nil {
+			lastErr = vals[i].err
+		}
+	}
+	return nil, nil, autoRefFailure(lastErr)
+}
+
+func autoRefFailure(lastErr error) error {
 	if lastErr != nil {
-		return nil, nil, failf(NoProgress, "no mined reference produced a diagnosis (last error: %v)", lastErr)
+		return failf(NoProgress, "no mined reference produced a diagnosis (last error: %v)", lastErr)
 	}
-	return nil, nil, failf(NoProgress, "no suitable reference event found in the execution")
+	return failf(NoProgress, "no suitable reference event found in the execution")
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ndlog"
@@ -34,6 +36,24 @@ type Options struct {
 	// so replica 0's record is what matters" — the diagnosis lands on
 	// the selected row's content rather than on re-aiming the selector.
 	FollowKeyedRows bool
+	// Parallelism bounds how many independent counterfactual candidate
+	// evaluations (minimize drop-subsets, AutoDiagnose references) run
+	// concurrently, each on a private replay-session clone. 0 means
+	// GOMAXPROCS; negative means sequential. Results are byte-identical
+	// at any setting: candidates are selected by their original
+	// enumeration index, never by completion order.
+	Parallelism int
+	// DisableFingerprints turns off the structural-fingerprint fast
+	// paths — the alignment memo over the good chain and the
+	// counterfactual replay deduplication — as an ablation for the
+	// differential tests and benchmarks. It never changes results, only
+	// how much work is repeated.
+	DisableFingerprints bool
+
+	// sharedMemo, when non-nil, is a replay memo shared across several
+	// Diagnose calls against the same base world; AutoDiagnose sets it so
+	// candidate references dedupe identical counterfactual replays.
+	sharedMemo *replayMemo
 }
 
 func (o *Options) defaults() {
@@ -63,6 +83,29 @@ func (t Timings) Total() time.Duration {
 	return t.FindSeed + t.Divergence + t.MakeAppear + t.UpdateTree
 }
 
+// DiagStats counts the fast-path and parallelism activity of one
+// diagnosis. The counters describe how the work was performed, never what
+// was concluded: diagnoses are byte-identical with the fast paths on or
+// off and at any parallelism.
+type DiagStats struct {
+	// FingerprintHits counts chain-alignment steps answered from the
+	// fingerprint-keyed memo instead of re-running the rule solver.
+	FingerprintHits int64
+	// CandidatesDeduped counts counterfactual replays skipped because an
+	// identical cumulative change list had already been replayed.
+	CandidatesDeduped int64
+	// ParallelCandidates counts candidate evaluations executed on pool
+	// workers.
+	ParallelCandidates int64
+}
+
+// add folds another stats record into the receiver.
+func (s *DiagStats) add(o DiagStats) {
+	s.FingerprintHits += o.FingerprintHits
+	s.CandidatesDeduped += o.CandidatesDeduped
+	s.ParallelCandidates += o.ParallelCandidates
+}
+
 // Round records the changes discovered in one iteration of the main loop.
 type Round struct {
 	Changes []replay.Change
@@ -85,6 +128,8 @@ type Result struct {
 	FinalWorld World
 	// GoodSeed and BadSeed are the seeds of the two trees.
 	GoodSeed, BadSeed ndlog.At
+	// Stats counts fingerprint fast-path hits and parallel evaluations.
+	Stats DiagStats
 }
 
 // diag carries the state of one diagnosis.
@@ -96,6 +141,30 @@ type diag struct {
 	pending []replay.Change
 	// applied are the changes of earlier rounds, already in the world.
 	applied []replay.Change
+
+	// stats fields are updated atomically: pool workers run
+	// firstDivergence and applyCached concurrently.
+	stats DiagStats
+	// replays dedupes counterfactual replays by cumulative change list
+	// (nil when fingerprints are disabled).
+	replays *replayMemo
+	// align memoizes the §4.4 forward prediction per chain level, keyed
+	// by the good derive vertex's structural fingerprint plus the bad
+	// cursor (see alignKey); nil when fingerprints are disabled or keyed
+	// rows are followed (the prediction then probes the live world).
+	alignMu sync.Mutex
+	align   map[alignKey]ndlog.At
+	// pool evaluates minimize candidates in parallel (nil = sequential).
+	pool *candidatePool
+}
+
+// statsSnapshot reads the counters after all workers have quiesced.
+func (d *diag) statsSnapshot() DiagStats {
+	return DiagStats{
+		FingerprintHits:    atomic.LoadInt64(&d.stats.FingerprintHits),
+		CandidatesDeduped:  atomic.LoadInt64(&d.stats.CandidatesDeduped),
+		ParallelCandidates: atomic.LoadInt64(&d.stats.ParallelCandidates),
+	}
 }
 
 // gLevel is one step of the good tree's trigger chain, seed to root.
@@ -117,6 +186,17 @@ func Diagnose(ctx context.Context, goodTree, badTree *provenance.Tree, world Wor
 	opts.defaults()
 	d := &diag{prog: world.Program(), opts: opts}
 	baseWorld := world
+	if !opts.DisableFingerprints {
+		d.replays = opts.sharedMemo
+		if d.replays == nil {
+			d.replays = newReplayMemo()
+		}
+		if !opts.FollowKeyedRows {
+			d.align = map[alignKey]ndlog.At{}
+		}
+	}
+	d.pool = newCandidatePool(baseWorld, opts.parallelism(), &d.stats)
+	defer d.pool.drain()
 
 	// Step 1: find the seeds and check comparability (§4.2-4.3).
 	t0 := time.Now()
@@ -169,6 +249,7 @@ func Diagnose(ctx context.Context, goodTree, badTree *provenance.Tree, world Wor
 					return nil, err
 				}
 			}
+			res.Stats = d.statsSnapshot()
 			return res, nil
 		}
 
@@ -194,7 +275,7 @@ func Diagnose(ctx context.Context, goodTree, badTree *provenance.Tree, world Wor
 
 		// Step 4: update T_B (§4.6) by rolling the clone forward.
 		t3 := time.Now()
-		newWorld, err := world.Apply(ctx, d.pending)
+		newWorld, err := d.applyCached(ctx, world, d.pending, true)
 		d.timings.UpdateTree += time.Since(t3)
 		if err != nil {
 			return nil, fmt.Errorf("diffprov: updating the bad tree: %w", err)
@@ -213,30 +294,100 @@ func Diagnose(ctx context.Context, goodTree, badTree *provenance.Tree, world Wor
 
 // minimize greedily drops changes whose removal keeps the trees aligned,
 // re-verifying each candidate subset against a fresh clone of the
-// original bad execution.
+// original bad execution. With a candidate pool, the remaining drop
+// candidates are evaluated wave by wave in parallel: the lowest
+// successful index of a wave is committed — exactly the candidate the
+// sequential greedy scan would have committed, since every lower index
+// provably failed against the same change list — and the trials beyond
+// it (which the sequential scan would never have run against the old
+// list) are discarded. A replay failure marks the candidate as
+// non-droppable, unless the context was cancelled, which aborts the
+// whole minimization.
 func (d *diag) minimize(ctx context.Context, res *Result, baseWorld World, chainG []gLevel, seedB ndlog.At) error {
 	changes := append([]replay.Change(nil), res.Changes...)
-	for i := 0; i < len(changes); {
+	dropped := func(i int) []replay.Change {
+		return append(append([]replay.Change(nil), changes[:i]...), changes[i+1:]...)
+	}
+	if d.pool == nil {
+		for i := 0; i < len(changes); {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("diffprov: minimization interrupted: %w", err)
+			}
+			candidate := dropped(i)
+			t0 := time.Now()
+			w, err := d.applyCached(ctx, baseWorld, candidate, false)
+			d.timings.UpdateTree += time.Since(t0)
+			if err != nil {
+				if ctx.Err() != nil {
+					return fmt.Errorf("diffprov: minimization interrupted: %w", err)
+				}
+				i++
+				continue
+			}
+			t1 := time.Now()
+			div, err := d.firstDivergence(chainG, w, seedB)
+			d.timings.Divergence += time.Since(t1)
+			if err == nil && div == nil {
+				changes = candidate // the dropped change was redundant
+				res.FinalWorld = w
+				continue
+			}
+			i++
+		}
+		res.Changes = changes
+		res.Timings = d.timings
+		return nil
+	}
+
+	type trial struct {
+		w       World
+		err     error
+		apply   time.Duration
+		diverge time.Duration
+	}
+	for start := 0; start < len(changes); {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("diffprov: minimization interrupted: %w", err)
 		}
-		candidate := append(append([]replay.Change(nil), changes[:i]...), changes[i+1:]...)
-		t0 := time.Now()
-		w, err := baseWorld.Apply(ctx, candidate)
-		d.timings.UpdateTree += time.Since(t0)
-		if err != nil {
-			i++
-			continue
+		vals, ran, best := runCandidates(ctx, d.pool, len(changes)-start,
+			func(w World, k int) (trial, bool) {
+				candidate := dropped(start + k)
+				var tr trial
+				t0 := time.Now()
+				cw, err := d.applyCached(ctx, w, candidate, false)
+				tr.apply = time.Since(t0)
+				if err != nil {
+					tr.err = err
+					return tr, false
+				}
+				t1 := time.Now()
+				div, derr := d.firstDivergence(chainG, cw, seedB)
+				tr.diverge = time.Since(t1)
+				tr.w = cw
+				return tr, derr == nil && div == nil
+			})
+		// Fold worker-local timings back in deterministically (index
+		// order) and surface replays aborted by cancellation.
+		for k := range vals {
+			if !ran[k] {
+				continue
+			}
+			d.timings.UpdateTree += vals[k].apply
+			d.timings.Divergence += vals[k].diverge
+			if vals[k].err != nil && ctx.Err() != nil {
+				return fmt.Errorf("diffprov: minimization interrupted: %w", vals[k].err)
+			}
 		}
-		t1 := time.Now()
-		div, err := d.firstDivergence(chainG, w, seedB)
-		d.timings.Divergence += time.Since(t1)
-		if err == nil && div == nil {
-			changes = candidate // the dropped change was redundant
-			res.FinalWorld = w
-			continue
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("diffprov: minimization interrupted: %w", err)
 		}
-		i++
+		if best < 0 {
+			break // no remaining change is redundant
+		}
+		j := start + best
+		changes = append(changes[:j], changes[j+1:]...)
+		res.FinalWorld = vals[best].w
+		start = j
 	}
 	res.Changes = changes
 	res.Timings = d.timings

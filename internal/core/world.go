@@ -48,6 +48,27 @@ type World interface {
 	Apply(ctx context.Context, changes []replay.Change) (World, error)
 }
 
+// ParallelWorld is implemented by worlds that can fan counterfactual
+// replays out over private workers. ForkWorker returns a world equivalent
+// to the receiver backed by its own replay-session clone (sharing the
+// base session's prefix cache), safe to Apply concurrently with the
+// receiver and with other workers; JoinWorker folds a quiescent worker's
+// replay statistics back into the receiver. The imperative substrates
+// (the simulated MapReduce jobs) deliberately do not implement it —
+// re-running a job concurrently with itself has no determinism guarantee
+// — so diagnoses over them fall back to sequential evaluation.
+type ParallelWorld interface {
+	World
+	ForkWorker() World
+	JoinWorker(worker World)
+}
+
+// cumulativeWorld exposes the counterfactual changes already folded into
+// a world, so the replay memo can key on the full cumulative list.
+type cumulativeWorld interface {
+	appliedChanges() []replay.Change
+}
+
 // ndlogWorld adapts a replay.Session (plus accumulated changes) to World.
 type ndlogWorld struct {
 	session *replay.Session
@@ -108,4 +129,20 @@ func (w *ndlogWorld) Apply(ctx context.Context, changes []replay.Change) (World,
 		return nil, err
 	}
 	return &ndlogWorld{session: w.session, changes: all, engine: e, graph: g}, nil
+}
+
+func (w *ndlogWorld) appliedChanges() []replay.Change { return w.changes }
+
+// ForkWorker clones the session (sharing the log contents, the memoized
+// query-time replay, and the prefix cache) so the worker's counterfactual
+// replays are isolated from the receiver's. Replay statistics accumulate
+// on the clone until JoinWorker.
+func (w *ndlogWorld) ForkWorker() World {
+	return &ndlogWorld{session: w.session.Clone(), changes: w.changes, engine: w.engine, graph: w.graph}
+}
+
+func (w *ndlogWorld) JoinWorker(worker World) {
+	if nw, ok := worker.(*ndlogWorld); ok {
+		w.session.AbsorbStats(nw.session)
+	}
 }

@@ -93,6 +93,10 @@ type Fig7Row struct {
 	// logged base events the forked replays skipped (zero for the
 	// imperative scenarios, which have no replay session).
 	Replay replay.ReplayStats
+	// Diag reports the fingerprint and parallel-evaluation activity of
+	// the differential query (alignment memo hits, deduplicated
+	// counterfactual replays, pool dispatches).
+	Diag core.DiagStats
 }
 
 // Figure7 measures query turnaround for every scenario.
@@ -139,6 +143,7 @@ func Figure7(scale scenarios.Scale) ([]Fig7Row, error) {
 		row.DiffProv = time.Since(start) + row.YBang
 		row.DiffProvReplay = res.Timings.UpdateTree + row.YBang
 		row.DiffProvReason = res.Timings.FindSeed + res.Timings.Divergence + res.Timings.MakeAppear
+		row.Diag = res.Stats
 		if s.BadSession != nil {
 			row.Replay = s.BadSession.Stats
 		}

@@ -1,0 +1,100 @@
+package provenance
+
+// Structural fingerprints: every vertex recorded through a Graph carries a
+// Merkle-style hash of the provenance tree hanging below it — an FNV-1a
+// digest of the vertex's label fields (type, node, tuple, rule; never
+// timestamps or IDs, matching Label() semantics) mixed with the ordered
+// fingerprints of its children. Children are always fully populated before
+// add() publishes a vertex, so a single bottom-up computation at add()
+// time suffices; and because the graph is append-only (only an EXIST
+// vertex's Span is ever mutated after publication, and Span is excluded),
+// the cached value never needs invalidating.
+//
+// Two trees with equal fingerprints are structurally identical modulo
+// 2^-64 hash collisions; DiffProv uses this to prune identical subtrees
+// from tree diffs in O(1) and to dedupe counterfactual replays whose
+// injected change-sets hash identically.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// fingerprintOf computes v's structural hash from its label fields and the
+// already-cached fingerprints of its children. Must be called before v is
+// appended to g.vertexes (children strictly precede parents).
+func (g *Graph) fingerprintOf(v *Vertex) uint64 {
+	h := fnvLabel(v)
+	for _, c := range v.Children {
+		var cf uint64
+		if c >= 0 && c < len(g.vertexes) {
+			cf = g.vertexes[c].fp
+		}
+		h = fnvUint64(h, cf)
+	}
+	if h == 0 {
+		h = 1 // 0 is reserved for "no fingerprint" (shard-reported vertexes)
+	}
+	return h
+}
+
+// fnvLabel digests the fields Label() renders, with separators so that
+// field boundaries cannot alias.
+func fnvLabel(v *Vertex) uint64 {
+	h := fnvByte(fnvOffset, byte(v.Type))
+	h = fnvString(h, v.Node)
+	h = fnvByte(h, 0)
+	h = fnvString(h, v.Tuple.Key())
+	h = fnvByte(h, 0)
+	h = fnvString(h, v.Rule)
+	h = fnvByte(h, 0)
+	return h
+}
+
+// Fingerprint returns the vertex's cached structural hash: the hash of the
+// provenance subtree rooted at it. It is 0 only for vertexes recorded
+// outside a Graph (distributed shard recorders), which carry none.
+func (v *Vertex) Fingerprint() uint64 { return v.fp }
+
+// Fingerprint returns the tree's structural hash. For trees projected from
+// a Graph this is the root vertex's cached fingerprint; trees materialized
+// from shard recorders (whose vertexes carry none) are hashed recursively
+// on every call — never cached, because trees are shared read-only across
+// concurrent diagnoses.
+func (t *Tree) Fingerprint() uint64 {
+	if t == nil {
+		return 0
+	}
+	if t.Vertex.fp != 0 {
+		return t.Vertex.fp
+	}
+	h := fnvLabel(t.Vertex)
+	for _, c := range t.Children {
+		h = fnvUint64(h, c.Fingerprint())
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

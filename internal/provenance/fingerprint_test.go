@@ -1,0 +1,103 @@
+package provenance
+
+import (
+	"testing"
+
+	"repro/internal/ndlog"
+)
+
+func TestFingerprintsNonZeroAndCached(t *testing.T) {
+	_, g := runFwd(t)
+	g.Vertexes(func(v *Vertex) {
+		if v.Fingerprint() == 0 {
+			t.Errorf("vertex %d (%s) has no fingerprint", v.ID, v)
+		}
+	})
+	arr := g.LastAppear("h1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1")))
+	tree := g.Tree(arr.ID)
+	if tree.Fingerprint() != arr.Fingerprint() {
+		t.Error("tree fingerprint must be the root vertex's cached fingerprint")
+	}
+	var nilTree *Tree
+	if nilTree.Fingerprint() != 0 {
+		t.Error("nil tree fingerprints to 0")
+	}
+}
+
+// TestFingerprintIgnoresTimestamps runs the same execution at shifted
+// ticks: the provenance trees have different stamps but identical
+// structure, so they must hash identically — that is what lets a
+// fingerprint comparison stand in for a full structural walk.
+func TestFingerprintIgnoresTimestamps(t *testing.T) {
+	build := func(pktTick int64) *Graph {
+		prog := ndlog.MustParse(`
+table flowEntry/3 base mutable;
+table packet/1 event base;
+rule fw packet(@Nxt, Dst) :-
+    packet(@Sw, Dst), flowEntry(@Sw, Prio, M, Nxt), matches(Dst, M), argmax Prio.
+`)
+		rec := NewRecorder(prog)
+		e := ndlog.New(prog, rec)
+		e.ScheduleInsert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(1), ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str("h1")), 0)
+		e.ScheduleInsert("s1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1")), pktTick)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Graph()
+	}
+	gA, gB := build(10), build(500)
+	tup := ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1"))
+	ta := gA.Tree(gA.LastAppear("h1", tup).ID)
+	tb := gB.Tree(gB.LastAppear("h1", tup).ID)
+	if ta.Vertex.At == tb.Vertex.At {
+		t.Fatal("test expects the arrivals to carry different stamps")
+	}
+	if ta.Fingerprint() != tb.Fingerprint() {
+		t.Errorf("structurally identical trees hash differently: %x vs %x\n%s\nvs\n%s",
+			ta.Fingerprint(), tb.Fingerprint(), ta, tb)
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	_, g := runFwd(t)
+	t1 := g.Tree(g.LastAppear("h1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1"))).ID)
+	t2 := g.Tree(g.LastAppear("h2", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.3.1"))).ID)
+	if t1.Fingerprint() == t2.Fingerprint() {
+		t.Error("different trees must hash differently")
+	}
+	// Sibling subtrees under one derive (packet APPEAR vs flow-entry
+	// EXIST) differ too.
+	d := t1.Children[0]
+	if d.Children[0].Fingerprint() == d.Children[1].Fingerprint() {
+		t.Error("distinct derive children must hash differently")
+	}
+}
+
+// TestTreeFingerprintFallback mirrors a recorded tree into vertexes with
+// no cached fingerprint (the shape distributed shard recorders produce)
+// and checks the recursive fallback computes the exact same hash as the
+// cached bottom-up path.
+func TestTreeFingerprintFallback(t *testing.T) {
+	_, g := runFwd(t)
+	tree := g.Tree(g.LastAppear("h1", ndlog.NewTuple("packet", ndlog.MustParseIP("4.3.2.1"))).ID)
+
+	var mirror func(src *Tree) *Tree
+	mirror = func(src *Tree) *Tree {
+		v := *src.Vertex
+		v.fp = 0
+		m := &Tree{Vertex: &v}
+		for _, c := range src.Children {
+			cm := mirror(c)
+			cm.Parent = m
+			m.Children = append(m.Children, cm)
+		}
+		return m
+	}
+	m := mirror(tree)
+	if m.Vertex.Fingerprint() != 0 {
+		t.Fatal("mirror must carry no cached fingerprints")
+	}
+	if m.Fingerprint() != tree.Fingerprint() {
+		t.Errorf("fallback hash %x != cached hash %x", m.Fingerprint(), tree.Fingerprint())
+	}
+}

@@ -60,6 +60,11 @@ type Vertex struct {
 	// precondition that appeared last and thus triggered the rule
 	// (-1 elsewhere). The seed-finding procedure of §4.2 follows these.
 	Trigger int
+
+	// fp is the Merkle-style structural hash of the subtree rooted here,
+	// computed once by add() (see fingerprint.go); 0 means "none" (vertexes
+	// reported by distributed shard recorders, which bypass add).
+	fp uint64
 }
 
 // Label renders the vertex without timestamps; the naive tree diff
@@ -153,6 +158,9 @@ func (g *Graph) add(v *Vertex) *Vertex {
 	if v.Type != Derive {
 		v.Trigger = -1
 	}
+	// Children are complete before a vertex is published and strictly
+	// precede it, so the structural hash is final here.
+	v.fp = g.fingerprintOf(v)
 	g.vertexes = append(g.vertexes, v)
 	return v
 }

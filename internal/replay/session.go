@@ -252,6 +252,22 @@ func (s *Session) ResetStats() {
 	s.Stats = ReplayStats{}
 }
 
+// AbsorbStats folds the replay statistics accumulated by another session
+// (typically a worker Clone that ran counterfactual replays on behalf of
+// this one) into the receiver. The caller must ensure the other session is
+// quiescent.
+func (s *Session) AbsorbStats(other *Session) {
+	if other == nil {
+		return
+	}
+	s.ReplayTime += other.ReplayTime
+	s.ReplayCount += other.ReplayCount
+	s.Stats.PrefixHits += other.Stats.PrefixHits
+	s.Stats.PrefixMisses += other.Stats.PrefixMisses
+	s.Stats.ForkNanos += other.Stats.ForkNanos
+	s.Stats.EventsSkipped += other.Stats.EventsSkipped
+}
+
 // Program returns the session's program.
 func (s *Session) Program() *ndlog.Program { return s.prog }
 

@@ -55,7 +55,13 @@ func (s *Scenario) Diagnose() (*core.Result, error) {
 // DiagnoseContext runs DiffProv on the scenario, honoring the context's
 // cancellation and deadline.
 func (s *Scenario) DiagnoseContext(ctx context.Context) (*core.Result, error) {
-	return core.Diagnose(ctx, s.Good, s.Bad, s.World, core.Options{})
+	return s.DiagnoseOptions(ctx, core.Options{})
+}
+
+// DiagnoseOptions is DiagnoseContext with explicit DiffProv options (e.g.
+// parallel candidate evaluation or the minimization pass).
+func (s *Scenario) DiagnoseOptions(ctx context.Context, opts core.Options) (*core.Result, error) {
+	return core.Diagnose(ctx, s.Good, s.Bad, s.World, opts)
 }
 
 // Isolated returns a shallow copy of the scenario whose World (and

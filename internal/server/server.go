@@ -56,6 +56,13 @@ type Server struct {
 	workers int
 	sem     chan struct{}
 
+	// parallelism is the per-diagnosis fan-out (core.Options.Parallelism)
+	// for candidate evaluation inside a single request. The default of 1
+	// keeps each diagnosis sequential — cross-request concurrency is
+	// already provided by the worker pool — so raising it trades
+	// per-request latency against aggregate throughput.
+	parallelism int
+
 	// build constructs a scenario; replaceable in tests.
 	build func(name string, scale scenarios.Scale) (*scenarios.Scenario, error)
 
@@ -90,13 +97,26 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithParallelism sets the per-diagnosis candidate-evaluation fan-out
+// (default 1: sequential within a request). Values < 1 are treated as 1.
+// The result of a diagnosis is byte-identical at any setting.
+func WithParallelism(n int) Option {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.parallelism = n
+	}
+}
+
 // New creates a server at the given workload scale.
 func New(scale scenarios.Scale, opts ...Option) *Server {
 	s := &Server{
-		scale:   scale,
-		workers: runtime.GOMAXPROCS(0),
-		build:   scenarios.Build,
-		cache:   map[string]*scenarioEntry{},
+		scale:       scale,
+		workers:     runtime.GOMAXPROCS(0),
+		parallelism: 1,
+		build:       scenarios.Build,
+		cache:       map[string]*scenarioEntry{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -260,6 +280,14 @@ type diagnosis struct {
 	ForkNs        int64 `json:"forkNs,omitempty"`
 	EventsSkipped int64 `json:"eventsSkipped,omitempty"`
 
+	// Fingerprint and parallel-evaluation activity for this request:
+	// divergence alignments answered from the fingerprint memo,
+	// counterfactual replays deduplicated by change-set hash, and
+	// candidate evaluations dispatched to pool workers.
+	FingerprintHits    int64 `json:"fingerprintHits,omitempty"`
+	CandidatesDeduped  int64 `json:"candidatesDeduped,omitempty"`
+	ParallelCandidates int64 `json:"parallelCandidates,omitempty"`
+
 	Reference string `json:"reference,omitempty"`
 }
 
@@ -276,6 +304,10 @@ func diagnosisOf(name string, res *core.Result, elapsed time.Duration) diagnosis
 		UpdateTree:   res.Timings.UpdateTree.String(),
 		ElapsedNs:    elapsed.Nanoseconds(),
 		Elapsed:      elapsed.String(),
+
+		FingerprintHits:    res.Stats.FingerprintHits,
+		CandidatesDeduped:  res.Stats.CandidatesDeduped,
+		ParallelCandidates: res.Stats.ParallelCandidates,
 	}
 	for _, c := range res.Changes {
 		d.Changes = append(d.Changes, c.String())
@@ -356,7 +388,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	d, err := runDiagnosis(r.Context(), sc,
 		func(ctx context.Context, iso *scenarios.Scenario) (*core.Result, diagnosis, error) {
 			start := time.Now()
-			res, err := iso.DiagnoseContext(ctx)
+			res, err := iso.DiagnoseOptions(ctx, core.Options{Parallelism: s.parallelism})
 			if err != nil {
 				return nil, diagnosis{}, err
 			}
@@ -386,7 +418,7 @@ func (s *Server) handleAutoRef(w http.ResponseWriter, r *http.Request) {
 	d, err := runDiagnosis(r.Context(), sc,
 		func(ctx context.Context, iso *scenarios.Scenario) (*core.Result, diagnosis, error) {
 			start := time.Now()
-			res, ref, err := core.AutoDiagnose(ctx, iso.Bad, iso.World, core.Options{})
+			res, ref, err := core.AutoDiagnose(ctx, iso.Bad, iso.World, core.Options{Parallelism: s.parallelism})
 			if err != nil {
 				return nil, diagnosis{}, err
 			}

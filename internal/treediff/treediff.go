@@ -3,6 +3,12 @@
 // edit distance. The paper shows these perform poorly on provenance
 // trees — the diff of the two SDN1 trees has more vertexes than either
 // tree — which is precisely what motivates differential provenance.
+//
+// Both baselines use the structural fingerprints cached on provenance
+// vertexes to prune identical subtrees in O(1): a fingerprint-equal pair
+// of subtrees is structurally identical, so it contributes nothing to a
+// symmetric difference and its full size to the shared count. The pruned
+// results are exactly the unpruned ones (modulo 2^-64 hash collisions).
 package treediff
 
 import (
@@ -11,6 +17,57 @@ import (
 	"repro/internal/provenance"
 )
 
+// labelsPruned expands the two trees into label multisets, first pairing
+// off fingerprint-equal subtrees across the two frontiers level by level.
+// Each pruned pair is skipped entirely: symmetric differences and
+// min-intersections are invariant under removing equal submultisets from
+// both sides, so the pair contributes its size to shared and nothing to
+// the multisets.
+func labelsPruned(a, b *provenance.Tree) (la, lb map[string]int, shared int) {
+	la, lb = map[string]int{}, map[string]int{}
+	var qa, qb []*provenance.Tree
+	if a != nil {
+		qa = append(qa, a)
+	}
+	if b != nil {
+		qb = append(qb, b)
+	}
+	for len(qa) > 0 && len(qb) > 0 {
+		byFP := make(map[uint64][]int, len(qb))
+		for i, t := range qb {
+			byFP[t.Fingerprint()] = append(byFP[t.Fingerprint()], i)
+		}
+		usedB := make([]bool, len(qb))
+		var nextA []*provenance.Tree
+		for _, t := range qa {
+			if idxs := byFP[t.Fingerprint()]; len(idxs) > 0 {
+				byFP[t.Fingerprint()] = idxs[1:]
+				usedB[idxs[0]] = true
+				shared += t.Size()
+				continue
+			}
+			la[t.Vertex.Label()]++
+			nextA = append(nextA, t.Children...)
+		}
+		var nextB []*provenance.Tree
+		for j, t := range qb {
+			if usedB[j] {
+				continue
+			}
+			lb[t.Vertex.Label()]++
+			nextB = append(nextB, t.Children...)
+		}
+		qa, qb = nextA, nextB
+	}
+	for _, t := range qa {
+		t.Walk(func(n *provenance.Tree) { la[n.Vertex.Label()]++ })
+	}
+	for _, t := range qb {
+		t.Walk(func(n *provenance.Tree) { lb[n.Vertex.Label()]++ })
+	}
+	return la, lb, shared
+}
+
 // PlainDiff counts the vertexes in the symmetric difference of the two
 // trees' label multisets: the naive "compare the trees vertex by vertex
 // and pick out the different ones" baseline. Labels ignore timestamps
@@ -18,8 +75,7 @@ import (
 // headers, nodes, and rules — which is why small routing changes blow the
 // diff up.
 func PlainDiff(a, b *provenance.Tree) int {
-	la := a.Labels()
-	lb := b.Labels()
+	la, lb, _ := labelsPruned(a, b)
 	diff := 0
 	for label, ca := range la {
 		cb := lb[label]
@@ -39,9 +95,7 @@ func PlainDiff(a, b *provenance.Tree) int {
 // SharedVertexes counts label-equal vertexes present in both trees (the
 // green vertexes of Figure 2).
 func SharedVertexes(a, b *provenance.Tree) int {
-	la := a.Labels()
-	lb := b.Labels()
-	shared := 0
+	la, lb, shared := labelsPruned(a, b)
 	for label, ca := range la {
 		if cb := lb[label]; cb < ca {
 			shared += cb
@@ -57,14 +111,19 @@ func SharedVertexes(a, b *provenance.Tree) int {
 type Node struct {
 	Label    string
 	Children []*Node
+	// FP is the structural fingerprint carried over from the provenance
+	// tree; 0 for hand-built nodes, which disables the fingerprint fast
+	// paths.
+	FP uint64
 }
 
-// FromProvenance converts a provenance tree into an ordered labeled tree.
+// FromProvenance converts a provenance tree into an ordered labeled tree,
+// carrying the structural fingerprint over.
 func FromProvenance(t *provenance.Tree) *Node {
 	if t == nil {
 		return nil
 	}
-	n := &Node{Label: t.Vertex.Label()}
+	n := &Node{Label: t.Vertex.Label(), FP: t.Fingerprint()}
 	for _, c := range t.Children {
 		n.Children = append(n.Children, FromProvenance(c))
 	}
@@ -87,7 +146,15 @@ func (n *Node) Size() int {
 // ordered labeled trees with unit costs for insert, delete, and rename.
 // This is the classical algorithm the paper cites ([5], Bille's survey):
 // O(n1*n2*min(depth1, leaves1)*min(depth2, leaves2)) time.
+//
+// Fingerprint-equal trees short-circuit to 0 (structural identity). Note
+// that only the whole-tree comparison can use the fast path: pruning
+// equal subtrees from the middle of an ordered forest does not preserve
+// Zhang–Shasha distances.
 func EditDistance(t1, t2 *Node) int {
+	if t1 != nil && t2 != nil && t1.FP != 0 && t1.FP == t2.FP {
+		return 0
+	}
 	a := newOrdered(t1)
 	b := newOrdered(t2)
 	if a.n == 0 {
@@ -97,12 +164,20 @@ func EditDistance(t1, t2 *Node) int {
 		return a.n
 	}
 	td := make([][]int, a.n+1)
+	tdBack := make([]int, (a.n+1)*(b.n+1))
 	for i := range td {
-		td[i] = make([]int, b.n+1)
+		td[i] = tdBack[i*(b.n+1) : (i+1)*(b.n+1)]
+	}
+	// One forest-distance buffer, sized to the whole trees and reused
+	// across keyroot pairs: treeDist fully rewrites the prefix it uses.
+	fd := make([][]int, a.n+1)
+	fdBack := make([]int, (a.n+1)*(b.n+1))
+	for i := range fd {
+		fd[i] = fdBack[i*(b.n+1) : (i+1)*(b.n+1)]
 	}
 	for _, i := range a.keyRoots {
 		for _, j := range b.keyRoots {
-			treeDist(a, b, i, j, td)
+			treeDist(a, b, i, j, td, fd)
 		}
 	}
 	return td[a.n][b.n]
@@ -162,15 +237,15 @@ func newOrdered(t *Node) *ordered {
 	return o
 }
 
-func treeDist(a, b *ordered, i, j int, td [][]int) {
+// treeDist fills td for the keyroot pair (i, j), scribbling over the
+// caller-provided fd buffer; every cell of the prefix it reads is written
+// first, so reuse across calls is safe.
+func treeDist(a, b *ordered, i, j int, td, fd [][]int) {
 	li := a.lmld[i]
 	lj := b.lmld[j]
 	m := i - li + 2
 	n := j - lj + 2
-	fd := make([][]int, m)
-	for x := range fd {
-		fd[x] = make([]int, n)
-	}
+	fd[0][0] = 0
 	for x := 1; x < m; x++ {
 		fd[x][0] = fd[x-1][0] + 1 // delete
 	}

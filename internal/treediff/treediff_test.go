@@ -1,6 +1,7 @@
 package treediff
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -170,6 +171,107 @@ func TestSharedVertexes(t *testing.T) {
 	// shared + diff = total
 	if 2*shared+PlainDiff(good, bad) != good.Size()+bad.Size() {
 		t.Error("2*shared + diff must equal total vertexes")
+	}
+}
+
+// bruteDiff and bruteShared are the unpruned §2.5 baselines, computed
+// straight from the label multisets; the fingerprint-pruned versions must
+// agree with them exactly.
+func bruteDiff(a, b *provenance.Tree) int {
+	la, lb := a.Labels(), b.Labels()
+	diff := 0
+	for label, ca := range la {
+		if cb := lb[label]; ca > cb {
+			diff += ca - cb
+		}
+	}
+	for label, cb := range lb {
+		if ca := la[label]; cb > ca {
+			diff += cb - ca
+		}
+	}
+	return diff
+}
+
+func bruteShared(a, b *provenance.Tree) int {
+	la, lb := a.Labels(), b.Labels()
+	shared := 0
+	for label, ca := range la {
+		if cb := lb[label]; cb < ca {
+			shared += cb
+		} else {
+			shared += ca
+		}
+	}
+	return shared
+}
+
+func TestPrunedDiffMatchesBruteForce(t *testing.T) {
+	good, bad := buildTrees(t)
+	pairs := [][2]*provenance.Tree{
+		{good, bad}, {bad, good}, {good, good}, {bad, bad},
+		{good, good.Children[0]}, {good.Children[0], bad},
+	}
+	for _, p := range pairs {
+		if got, want := PlainDiff(p[0], p[1]), bruteDiff(p[0], p[1]); got != want {
+			t.Errorf("PlainDiff = %d, brute force = %d", got, want)
+		}
+		if got, want := SharedVertexes(p[0], p[1]), bruteShared(p[0], p[1]); got != want {
+			t.Errorf("SharedVertexes = %d, brute force = %d", got, want)
+		}
+	}
+}
+
+// TestEditDistanceAllocations pins the fd-buffer hoist: the forest
+// distance matrix is allocated once per call, not once per keyroot pair.
+// The bushy trees below have 24 keyroots each (576 pairs); the per-pair
+// allocator this replaces could not stay under that count.
+func TestEditDistanceAllocations(t *testing.T) {
+	bushy := func(l string) *Node {
+		n := &Node{Label: l}
+		for i := 0; i < 24; i++ {
+			n.Children = append(n.Children, leaf(string(rune('a'+i%6))))
+		}
+		return n
+	}
+	t1, t2 := bushy("p"), bushy("q")
+	if got := EditDistance(t1, t2); got != 1 {
+		t.Fatalf("distance = %d, want 1 (rename of the root)", got)
+	}
+	allocs := testing.AllocsPerRun(10, func() { EditDistance(t1, t2) })
+	if pairs := 24 * 24; allocs >= float64(pairs) {
+		t.Errorf("EditDistance allocates %.0f objects, want fewer than the %d keyroot pairs", allocs, pairs)
+	}
+}
+
+// TestFromProvenanceDeterministic builds the same execution twice from
+// independently-recorded graphs and requires identical Node
+// serializations — fingerprints included, which makes any instability in
+// child ordering observable.
+func TestFromProvenanceDeterministic(t *testing.T) {
+	var serialize func(n *Node) string
+	serialize = func(n *Node) string {
+		s := fmt.Sprintf("%s#%016x{", n.Label, n.FP)
+		for _, c := range n.Children {
+			s += serialize(c) + ","
+		}
+		return s + "}"
+	}
+	goodA, badA := buildTrees(t)
+	goodB, badB := buildTrees(t)
+	if sa, sb := serialize(FromProvenance(goodA)), serialize(FromProvenance(goodB)); sa != sb {
+		t.Errorf("good-tree serialization unstable:\n%s\nvs\n%s", sa, sb)
+	}
+	if sa, sb := serialize(FromProvenance(badA)), serialize(FromProvenance(badB)); sa != sb {
+		t.Errorf("bad-tree serialization unstable:\n%s\nvs\n%s", sa, sb)
+	}
+	if FromProvenance(goodA).FP != goodA.Fingerprint() {
+		t.Error("FromProvenance must carry the tree fingerprint")
+	}
+	// Structurally identical trees from independent recordings hash equal,
+	// so the edit-distance fast path fires and reports 0.
+	if d := EditDistance(FromProvenance(goodA), FromProvenance(goodB)); d != 0 {
+		t.Errorf("independently recorded identical trees: distance %d, want 0", d)
 	}
 }
 
