@@ -8,19 +8,23 @@ import (
 // Aggregation support: a rule may bind a variable with `N := count()`,
 // turning it into an incremental counting rule. Each triggering event
 // increments the group's count, underives the previous head tuple, and
-// derives a new head whose provenance lists every contributing event
-// (so the provenance of an aggregate is the full set of its inputs).
+// derives a new head. The provenance of an aggregate is the full set of
+// its contributing events, but the engine records it as a delta chain:
+// each derivation carries only the new contributor plus a link to the
+// previous head derivation (Derivation.AggPrev/AggCount), and the
+// provenance layer folds the chain into the full contributor list on
+// demand. Recording is therefore O(1) per update and O(k) per group,
+// where the old full-list scheme was O(k) and O(k²).
 //
 // Aggregate rules are restricted to a single event-table body atom with a
 // local head: this covers the MapReduce reduce phase (WordCount) while
 // keeping evaluation deterministic.
 
 type aggGroup struct {
-	count    int64
-	contribs []At
-	prev     Tuple // previous head tuple (to be underived)
-	prevID   int64 // derivation id of the previous head
-	prevSet  bool
+	count   int64
+	prev    Tuple // previous head tuple (to be underived)
+	prevID  int64 // derivation id of the previous head
+	prevSet bool
 }
 
 // validateAggregate checks the restrictions on counting rules, reporting
@@ -123,35 +127,38 @@ func (e *Engine) groupKey(r *Rule, nodeName string, env Env) string {
 		key = append(key, '=')
 		if val, ok := env[v]; ok {
 			key = val.appendKey(key)
+		} else {
+			// Distinct sentinel for an unbound variable: every appendKey
+			// encoding starts with a kind byte ('i', 's', 'b', 'a', 'p',
+			// '#'), so '?' cannot collide with any bound value.
+			key = append(key, '?')
 		}
 	}
 	return string(key)
 }
 
-// fireAggregate handles one triggering event for a counting rule.
+// fireAggregate handles one triggering event for a counting rule. The
+// emitted derivation is a delta: its body is the new contributor alone,
+// with AggPrev linking to the previous head's derivation and AggCount
+// carrying the running count (see the package comment above).
 func (e *Engine) fireAggregate(r *Rule, nodeName string, b binding, st Stamp) error {
+	// Resolve the head location before touching any group state: a failed
+	// derivation must not inflate the group's count.
+	destNode, known, err := resolveLoc(r.Head.Loc, nodeName, b.env)
+	if err != nil || !known {
+		return fmt.Errorf("ndlog: rule %s: unresolved aggregate head location: %v", r.Name, err)
+	}
+
+	// Evaluate the head against the incremented count, still without
+	// mutating the group, so an evaluation error leaves it untouched too.
 	gk := e.groupKey(r, nodeName, b.env)
 	g := e.aggGroups[gk]
 	if g == nil {
 		g = &aggGroup{}
 		e.aggGroups[gk] = g
 	}
-	g.count++
-	g.contribs = append(g.contribs, b.body[0])
-
-	destNode, known, err := resolveLoc(r.Head.Loc, nodeName, b.env)
-	if err != nil || !known {
-		return fmt.Errorf("ndlog: rule %s: unresolved aggregate head location: %v", r.Name, err)
-	}
-
-	// Retract the previous count tuple for this group.
-	if g.prevSet {
-		e.retractDerived(destNode, g.prev, g.prevID, b.body[0], st)
-	}
-
-	// Derive the new head with the count bound.
 	env := b.env.Clone()
-	env[r.CountVar] = Int(g.count)
+	env[r.CountVar] = Int(g.count + 1)
 	args := make([]Value, len(r.Head.Args))
 	for i, expr := range r.Head.Args {
 		v, err := expr.Eval(env)
@@ -160,16 +167,27 @@ func (e *Engine) fireAggregate(r *Rule, nodeName string, b binding, st Stamp) er
 		}
 		args[i] = v
 	}
+	g.count++
+
+	// Retract the previous count tuple for this group.
+	prevID := g.prevID
+	if g.prevSet {
+		e.retractDerived(destNode, g.prev, g.prevID, b.body[0], st)
+	} else {
+		prevID = 0
+	}
+
 	head := Tuple{Table: r.Head.Table, Args: args}
 	e.stats.Derivations++
 	e.deriveID++
-	body := append([]At(nil), g.contribs...)
 	d := &Derivation{
-		ID:      e.deriveID,
-		Rule:    r.Name,
-		Node:    nodeName,
-		Body:    body,
-		Trigger: len(body) - 1,
+		ID:       e.deriveID,
+		Rule:     r.Name,
+		Node:     nodeName,
+		Body:     []At{b.body[0]},
+		Trigger:  0,
+		AggPrev:  prevID,
+		AggCount: g.count,
 	}
 	hst := e.nextStamp(st.T)
 	d.Head = At{Node: destNode, Tuple: head, Stamp: hst}
@@ -180,18 +198,25 @@ func (e *Engine) fireAggregate(r *Rule, nodeName string, b binding, st Stamp) er
 }
 
 // retractDerived removes a specific derivation's support from a stored
-// tuple, underiving it (and cascading) if that was the last support.
+// tuple, underiving it (and cascading) if that was the last support. The
+// caller always names a head it previously derived, so a missing node,
+// table, row, or support is a broken invariant: it is counted in
+// Stats.AggRetractMisses rather than silently ignored, and the
+// differential suites assert the counter never moves.
 func (e *Engine) retractDerived(nodeName string, t Tuple, deriveID int64, cause At, st Stamp) {
 	n := e.nodes[nodeName]
 	if n == nil {
+		e.stats.AggRetractMisses++
 		return
 	}
 	tb := n.tables[t.Table]
 	if tb == nil {
+		e.stats.AggRetractMisses++
 		return
 	}
 	r, ok := tb.live[t.Key()]
 	if !ok {
+		e.stats.AggRetractMisses++
 		return
 	}
 	idx := -1
@@ -202,10 +227,12 @@ func (e *Engine) retractDerived(nodeName string, t Tuple, deriveID int64, cause 
 		}
 	}
 	if idx < 0 {
+		e.stats.AggRetractMisses++
 		return
 	}
 	s := r.supports[idx]
 	r.supports = append(r.supports[:idx], r.supports[idx+1:]...)
+	e.unindexSupport(nodeName, t.Key(), s)
 	e.deriveID++
 	uid := e.deriveID
 	ust := e.nextStamp(st.T)

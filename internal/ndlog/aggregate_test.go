@@ -32,10 +32,14 @@ func TestAggregateCounting(t *testing.T) {
 	if !e.ExistsEver("r1", NewTuple("wordcount", Str("the"), Int(2))) {
 		t.Error("intermediate count must exist in history")
 	}
-	// The final count's derivation lists all three contributing events.
+	// The final count's derivation is a delta: it carries only the newest
+	// contributor plus a chain link to the previous head. Walking AggPrev
+	// back recovers all three contributors in arrival order.
 	var finalDeriv *Derivation
+	byID := map[int64]*Derivation{}
 	for i := range obs.derives {
 		d := &obs.derives[i]
+		byID[d.ID] = d
 		if d.Head.Tuple.Equal(NewTuple("wordcount", Str("the"), Int(3))) {
 			finalDeriv = d
 		}
@@ -43,11 +47,44 @@ func TestAggregateCounting(t *testing.T) {
 	if finalDeriv == nil {
 		t.Fatal("no derivation for wordcount(the, 3)")
 	}
-	if len(finalDeriv.Body) != 3 {
-		t.Errorf("aggregate provenance lists %d contributors, want 3", len(finalDeriv.Body))
+	if len(finalDeriv.Body) != 1 {
+		t.Errorf("delta derivation carries %d body atoms, want 1 (the new contributor)", len(finalDeriv.Body))
 	}
-	if finalDeriv.Trigger != 2 {
-		t.Errorf("trigger = %d, want the newest contributor", finalDeriv.Trigger)
+	if finalDeriv.Trigger != 0 {
+		t.Errorf("trigger = %d, want 0 (the sole recorded contributor)", finalDeriv.Trigger)
+	}
+	if finalDeriv.AggCount != 3 {
+		t.Errorf("AggCount = %d, want 3", finalDeriv.AggCount)
+	}
+	var contribs []Tuple
+	for d := finalDeriv; d != nil; {
+		if len(d.Body) != 1 {
+			t.Fatalf("chain derivation %d carries %d body atoms, want 1", d.ID, len(d.Body))
+		}
+		contribs = append(contribs, d.Body[0].Tuple)
+		if d.AggPrev == 0 {
+			if d.AggCount != 1 {
+				t.Errorf("chain head has AggCount %d, want 1", d.AggCount)
+			}
+			break
+		}
+		prev, ok := byID[d.AggPrev]
+		if !ok {
+			t.Fatalf("AggPrev %d not among observed derivations", d.AggPrev)
+		}
+		if prev.AggCount != d.AggCount-1 {
+			t.Errorf("chain counts not consecutive: %d follows %d", d.AggCount, prev.AggCount)
+		}
+		d = prev
+	}
+	if len(contribs) != 3 {
+		t.Fatalf("folded chain has %d contributors, want 3", len(contribs))
+	}
+	// Newest first along the chain: seqs 4, 2, 0 of the "the" events.
+	for i, wantSeq := range []int64{4, 2, 0} {
+		if got := contribs[i].Args[1]; got != Int(wantSeq) {
+			t.Errorf("contributor %d = kv(the, %v), want seq %d", i, got, wantSeq)
+		}
 	}
 	// Two underivations for "the" (counts 1 and 2 superseded).
 	under := 0

@@ -29,6 +29,13 @@ type Observer interface {
 }
 
 // Derivation describes one rule firing.
+//
+// For counting rules the derivation is a delta: Body holds only the new
+// contributor (the triggering event), and the full contributor set is the
+// chain of predecessors linked through AggPrev. Provenance recorders fold
+// the chain back into the complete list on demand; the engine never
+// materializes it, which keeps aggregate recording O(1) per update
+// instead of O(k) (and O(k) total per group instead of O(k²)).
 type Derivation struct {
 	ID      int64
 	Rule    string
@@ -36,6 +43,13 @@ type Derivation struct {
 	Head    At     // head tuple at its destination (stamp = appearance there)
 	Body    []At   // body tuples with the stamps at which they appeared
 	Trigger int    // index into Body of the tuple that appeared last
+
+	// AggPrev is the derivation ID of the previous head of the same
+	// aggregate group (0 for the group's first derivation), and AggCount
+	// the running contributor count. AggCount > 0 marks an aggregate
+	// delta derivation; both are 0 for ordinary rules.
+	AggPrev  int64
+	AggCount int64
 }
 
 // Underivation describes the retraction of a prior derivation.
@@ -156,6 +170,12 @@ type Stats struct {
 	IndexProbes    int
 	IndexScans     int
 	IndexFallbacks int
+	// AggRetractMisses counts retractDerived calls that found the node,
+	// table, row, or support they expected missing. Every aggregate
+	// update retracts exactly the head it previously derived, so any
+	// miss means a broken engine invariant (a stale head left live with
+	// no trace); the differential suites assert this stays 0.
+	AggRetractMisses int
 }
 
 type dependentRef struct {

@@ -58,9 +58,10 @@ func (e *Engine) Fork(obs Observer) *Engine {
 	for k, v := range e.immutable {
 		f.immutable[k] = v
 	}
+	// Aggregate group state is O(1) per group (delta chains live in the
+	// provenance layer, not here), so a struct copy suffices.
 	for gk, g := range e.aggGroups {
 		fg := *g
-		fg.contribs = append([]At(nil), g.contribs...)
 		f.aggGroups[gk] = &fg
 	}
 	// The queue is a heap laid out in a slice; copying the slice (with

@@ -29,6 +29,10 @@ type shard struct {
 	// remote[i] holds, for local vertex i, the remote references that
 	// stand in for children living on other nodes (keyed by child slot).
 	remote map[int]map[int]remoteRef
+	// aggDelta links aggregate DERIVE vertexes into their delta chains
+	// (counting rules derive locally, so chains are shard-local);
+	// Materialize folds a chain into the full contributor list.
+	aggDelta map[int]aggLink
 	// indexes mirroring the monolithic graph's, but shard-local.
 	appearByRef    map[string]int
 	existByRef     map[string]int
@@ -37,10 +41,17 @@ type shard struct {
 	byDerive       map[int64]int
 }
 
+// aggLink is one shard-local delta-chain link.
+type aggLink struct {
+	prev  int // vertex id of the previous head's DERIVE, -1 for the first
+	count int64
+}
+
 func newShard(node string) *shard {
 	return &shard{
 		node:           node,
 		remote:         map[int]map[int]remoteRef{},
+		aggDelta:       map[int]aggLink{},
 		appearByRef:    map[string]int{},
 		existByRef:     map[string]int{},
 		openExist:      map[string]int{},
@@ -133,6 +144,17 @@ func (r *ShardedRecorder) OnDerive(d ndlog.Derivation) {
 	s.add(v)
 	if len(slotRemote) > 0 {
 		s.remote[v.ID] = slotRemote
+	}
+	if d.AggCount > 0 {
+		// Delta derivation: the generic loop above recorded only the new
+		// contributor; link the chain so Materialize can fold it.
+		prev := -1
+		if d.AggPrev != 0 {
+			if pv, ok := s.byDerive[d.AggPrev]; ok {
+				prev = pv
+			}
+		}
+		s.aggDelta[v.ID] = aggLink{prev: prev, count: d.AggCount}
 	}
 	s.byDerive[d.ID] = v.ID
 }
@@ -240,11 +262,40 @@ func (r *ShardedRecorder) Materialize(node string, id int) (*Tree, error) {
 	}
 	v := s.vertexes[id]
 	t := &Tree{Vertex: v}
+	if _, ok := s.aggDelta[id]; ok {
+		// Aggregate delta chain: fold it into the full contributor list,
+		// front to back, materializing each link's recorded contributor.
+		var chain []int
+		for cur := id; cur >= 0; {
+			chain = append(chain, cur)
+			link, ok := s.aggDelta[cur]
+			if !ok {
+				break
+			}
+			cur = link.prev
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			if err := r.materializeChildren(s, chain[i], t); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	if err := r.materializeChildren(s, id, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// materializeChildren materializes vertex id's direct children (local and
+// remote) and appends them to t.
+func (r *ShardedRecorder) materializeChildren(s *shard, id int, t *Tree) error {
+	v := s.vertexes[id]
 	for slot, c := range v.Children {
 		var child *Tree
 		var err error
 		if c >= 0 {
-			child, err = r.Materialize(node, c)
+			child, err = r.Materialize(s.node, c)
 		} else if ref, ok := s.remote[id][slot]; ok {
 			r.Fetches++
 			child, err = r.Materialize(ref.node, ref.id)
@@ -252,10 +303,10 @@ func (r *ShardedRecorder) Materialize(node string, id int) (*Tree, error) {
 			continue
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		child.Parent = t
 		t.Children = append(t.Children, child)
 	}
-	return t, nil
+	return nil
 }

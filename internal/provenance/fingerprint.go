@@ -44,19 +44,42 @@ func fnvUint64(h, v uint64) uint64 {
 // fingerprintOf computes v's structural hash from its label fields and the
 // already-cached fingerprints of its children. Must be called before v is
 // appended to g.vertexes (children strictly precede parents).
+//
+// Aggregate DERIVE vertexes (delta chains, aggCount > 0) hash as a chain
+// instead: label mixed with the previous head's fingerprint and the new
+// contributor's fingerprint — O(1) per update where folding over the full
+// contributor list would be O(k). The chain hash determines, recursively,
+// every intermediate head label and every contributor subtree, so
+// fingerprint equality still implies folded-tree structural identity
+// (modulo 2^-64 collisions) — and because it never looks at Children, it
+// is byte-identical whether the recorder materialized the full list
+// eagerly or left the delta for lazy folding. Fingerprints commute with
+// folding, which is what keeps the alignment memo and treediff pruning
+// firing across both modes.
 func (g *Graph) fingerprintOf(v *Vertex) uint64 {
-	h := fnvLabel(v)
-	for _, c := range v.Children {
-		var cf uint64
-		if c >= 0 && c < len(g.vertexes) {
-			cf = g.vertexes[c].fp
+	var h uint64
+	if v.aggCount > 0 {
+		h = fnvLabel(v)
+		h = fnvUint64(h, g.fpOf(v.aggPrev))
+		h = fnvUint64(h, g.fpOf(v.aggContrib))
+	} else {
+		h = fnvLabel(v)
+		for _, c := range v.Children {
+			h = fnvUint64(h, g.fpOf(c))
 		}
-		h = fnvUint64(h, cf)
 	}
 	if h == 0 {
 		h = 1 // 0 is reserved for "no fingerprint" (shard-reported vertexes)
 	}
 	return h
+}
+
+// fpOf returns the cached fingerprint of a vertex ID, 0 when out of range.
+func (g *Graph) fpOf(id int) uint64 {
+	if id >= 0 && id < len(g.vertexes) {
+		return g.vertexes[id].fp
+	}
+	return 0
 }
 
 // fnvLabel digests the fields Label() renders, with separators so that

@@ -23,7 +23,17 @@ func (g *Graph) Fork() *Graph {
 		triggerParents: make(map[int][]int, len(g.triggerParents)),
 		headAppear:     make(map[int]int, len(g.headAppear)),
 		existOf:        make(map[int]int, len(g.existOf)),
+		foldMemo:       make(map[uint64][]int, len(g.foldMemo)),
 	}
+	// Folded contributor lists are immutable once memoized, so the fork
+	// shares the slices; chains extended in the fork append to fresh
+	// slices keyed by new fingerprints. Taken under the lock because
+	// sibling forks of a shared prefix may fold concurrently.
+	g.foldMu.Lock()
+	for k, ids := range g.foldMemo {
+		f.foldMemo[k] = ids
+	}
+	g.foldMu.Unlock()
 	// One backing array for all vertex copies: forking a long prefix
 	// copies tens of thousands of vertexes, and per-vertex allocations
 	// dominate the fork's cost.
@@ -75,6 +85,7 @@ func (r *Recorder) Fork() *Recorder {
 		pendingInsert:  r.pendingInsert,
 		pendingDelete:  r.pendingDelete,
 		underiveVertex: make(map[int64]int, len(r.underiveVertex)),
+		eagerAgg:       r.eagerAgg,
 	}
 	for k, v := range r.underiveVertex {
 		f.underiveVertex[k] = v

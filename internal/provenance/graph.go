@@ -8,6 +8,7 @@ package provenance
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ndlog"
 )
@@ -65,6 +66,16 @@ type Vertex struct {
 	// computed once by add() (see fingerprint.go); 0 means "none" (vertexes
 	// reported by distributed shard recorders, which bypass add).
 	fp uint64
+
+	// Delta-chain annotation for aggregate DERIVE vertexes (aggCount > 0):
+	// aggPrev is the vertex ID of the previous head's DERIVE (-1 for the
+	// group's first), aggContrib the vertex ID of the new contributor's
+	// APPEAR (-1 if unresolved), and aggCount the running contributor
+	// count. ChildrenOf folds the chain into the full contributor list on
+	// demand; recorded Children stay O(1) per update.
+	aggPrev    int
+	aggContrib int
+	aggCount   int64
 }
 
 // Label renders the vertex without timestamps; the naive tree diff
@@ -124,6 +135,15 @@ type Graph struct {
 	headAppear map[int]int
 	// existOf maps an APPEAR vertex to the EXIST vertex it opened.
 	existOf map[int]int
+
+	// foldMemo caches folded aggregate contributor lists, keyed by the
+	// chain head's fingerprint: repeated Tree projections of the same
+	// aggregate head (every diagnosis round, every treediff) pay the
+	// O(k) chain walk once. Entries are immutable once stored. Guarded
+	// by foldMu because trees may be projected from shared graphs
+	// concurrently.
+	foldMu   sync.Mutex
+	foldMemo map[uint64][]int
 }
 
 // NewGraph creates an empty provenance graph.
@@ -139,6 +159,7 @@ func NewGraph() *Graph {
 		triggerParents: map[int][]int{},
 		headAppear:     map[int]int{},
 		existOf:        map[int]int{},
+		foldMemo:       map[uint64][]int{},
 	}
 }
 
@@ -233,4 +254,73 @@ func (g *Graph) Vertexes(fn func(*Vertex)) {
 	for _, v := range g.vertexes {
 		fn(v)
 	}
+}
+
+// AggDelta reports a vertex's aggregate delta-chain annotation: the
+// vertex ID of the previous head's DERIVE (-1 for the first) and the
+// running contributor count. ok is false for non-aggregate vertexes.
+func (g *Graph) AggDelta(id int) (prev int, count int64, ok bool) {
+	v := g.Vertex(id)
+	if v == nil || v.aggCount == 0 {
+		return 0, 0, false
+	}
+	return v.aggPrev, v.aggCount, true
+}
+
+// ChildrenOf returns the causal children of a vertex as consumers should
+// see them: for aggregate DERIVE vertexes recorded as deltas, the chain
+// is folded into the full contributor list (all of the group's
+// contributors in appearance order); for everything else it is the
+// recorded Children slice. The returned slice must not be mutated.
+func (g *Graph) ChildrenOf(id int) []int {
+	v := g.Vertex(id)
+	if v == nil {
+		return nil
+	}
+	// Eagerly-recorded aggregates (and count-1 chains) already carry the
+	// full list in Children.
+	if v.aggCount == 0 || int64(len(v.Children)) == v.aggCount {
+		return v.Children
+	}
+	return g.foldAgg(v)
+}
+
+// foldAgg reconstructs the full contributor list of an aggregate head by
+// walking the delta chain backwards, memoizing the result per chain-head
+// fingerprint. The walk stops early at the first predecessor whose fold
+// is already memoized, so across the queries a diagnosis issues each
+// chain link is visited O(1) times amortized.
+func (g *Graph) foldAgg(v *Vertex) []int {
+	g.foldMu.Lock()
+	defer g.foldMu.Unlock()
+	if out, ok := g.foldMemo[v.fp]; ok {
+		return out
+	}
+	var prefix []int
+	var rev []int // contributors, newest first
+	for cur := v; ; {
+		if cur.aggContrib >= 0 {
+			rev = append(rev, cur.aggContrib)
+		}
+		if cur.aggPrev < 0 || cur.aggPrev >= len(g.vertexes) {
+			break
+		}
+		prev := g.vertexes[cur.aggPrev]
+		if out, ok := g.foldMemo[prev.fp]; ok {
+			prefix = out
+			break
+		}
+		if prev.aggCount > 0 && int64(len(prev.Children)) == prev.aggCount {
+			prefix = prev.Children // eagerly materialized predecessor
+			break
+		}
+		cur = prev
+	}
+	out := make([]int, 0, len(prefix)+len(rev))
+	out = append(out, prefix...)
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	g.foldMemo[v.fp] = out
+	return out
 }

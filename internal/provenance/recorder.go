@@ -22,17 +22,37 @@ type Recorder struct {
 	// underiveVertex maps engine underivation IDs to UNDERIVE vertexes
 	// so a following DISAPPEAR can reference its cause.
 	underiveVertex map[int64]int
+	// eagerAgg materializes the full contributor list on every aggregate
+	// DERIVE at record time (the pre-delta behavior, O(k) per update).
+	// Default off: aggregates record the delta alone and Graph.ChildrenOf
+	// folds on demand. Both modes yield byte-identical folded trees and
+	// fingerprints; the eager mode exists as the reference side of the
+	// fold-differential tests.
+	eagerAgg bool
+}
+
+// RecorderOption configures a Recorder.
+type RecorderOption func(*Recorder)
+
+// WithEagerAggregates selects eager materialization of aggregate
+// contributor lists at record time instead of lazy folding.
+func WithEagerAggregates(on bool) RecorderOption {
+	return func(r *Recorder) { r.eagerAgg = on }
 }
 
 // NewRecorder creates a recorder for executions of the given program.
-func NewRecorder(prog *ndlog.Program) *Recorder {
-	return &Recorder{
+func NewRecorder(prog *ndlog.Program, opts ...RecorderOption) *Recorder {
+	r := &Recorder{
 		prog:           prog,
 		graph:          NewGraph(),
 		pendingInsert:  -1,
 		pendingDelete:  -1,
 		underiveVertex: map[int64]int{},
 	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
 }
 
 // Graph returns the graph built so far. The graph remains owned by the
@@ -53,6 +73,10 @@ func (r *Recorder) OnBaseDelete(at ndlog.At) {
 
 // OnDerive implements ndlog.Observer.
 func (r *Recorder) OnDerive(d ndlog.Derivation) {
+	if d.AggCount > 0 {
+		r.onDeriveAggregate(d)
+		return
+	}
 	v := &Vertex{
 		Type:    Derive,
 		Node:    d.Node,
@@ -76,6 +100,55 @@ func (r *Recorder) OnDerive(d ndlog.Derivation) {
 	if v.Trigger >= 0 {
 		trig := v.Children[v.Trigger]
 		r.graph.triggerParents[trig] = append(r.graph.triggerParents[trig], v.ID)
+	}
+}
+
+// onDeriveAggregate records an aggregate delta derivation: the vertex is
+// annotated with the chain link (previous head's DERIVE, new contributor,
+// running count) and carries only the new contributor as a recorded
+// child — unless the recorder is in eager mode, in which case the full
+// folded list is materialized into Children right away. In both modes the
+// trigger (the precondition that appeared last) is the new contributor,
+// and the fingerprint is the chain hash, so everything downstream of
+// Graph.ChildrenOf sees identical structure.
+func (r *Recorder) onDeriveAggregate(d ndlog.Derivation) {
+	v := &Vertex{
+		Type:       Derive,
+		Node:       d.Node,
+		Tuple:      d.Head.Tuple,
+		Rule:       d.Rule,
+		At:         d.Head.Stamp,
+		Trigger:    -1,
+		aggPrev:    -1,
+		aggContrib: -1,
+		aggCount:   d.AggCount,
+	}
+	if d.AggPrev != 0 {
+		if pv, ok := r.graph.byDerive[d.AggPrev]; ok {
+			v.aggPrev = pv
+		}
+	}
+	if len(d.Body) > 0 {
+		v.aggContrib = r.bodyVertex(d.Body[0])
+	}
+	if r.eagerAgg {
+		// Reference mode: fold the predecessor's list and append the new
+		// contributor — O(k) per update, the pre-delta cost.
+		if v.aggPrev >= 0 {
+			v.Children = append(v.Children, r.graph.ChildrenOf(v.aggPrev)...)
+		}
+		if v.aggContrib >= 0 {
+			v.Children = append(v.Children, v.aggContrib)
+			v.Trigger = len(v.Children) - 1
+		}
+	} else if v.aggContrib >= 0 {
+		v.Children = []int{v.aggContrib}
+		v.Trigger = 0
+	}
+	r.graph.add(v)
+	r.graph.byDerive[d.ID] = v.ID
+	if v.aggContrib >= 0 {
+		r.graph.triggerParents[v.aggContrib] = append(r.graph.triggerParents[v.aggContrib], v.ID)
 	}
 }
 

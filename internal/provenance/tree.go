@@ -16,14 +16,17 @@ type Tree struct {
 	Children []*Tree
 }
 
-// Tree projects the provenance tree rooted at the given vertex.
+// Tree projects the provenance tree rooted at the given vertex. Aggregate
+// delta chains are folded on the way: a counting rule's DERIVE shows the
+// full contributor list (Graph.ChildrenOf), exactly as if every update
+// had recorded it in full.
 func (g *Graph) Tree(rootID int) *Tree {
 	v := g.Vertex(rootID)
 	if v == nil {
 		return nil
 	}
 	t := &Tree{Vertex: v}
-	for _, c := range v.Children {
+	for _, c := range g.ChildrenOf(rootID) {
 		ct := g.Tree(c)
 		if ct != nil {
 			ct.Parent = t

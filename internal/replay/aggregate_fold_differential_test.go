@@ -1,0 +1,130 @@
+package replay_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/provenance"
+	"repro/internal/replay"
+	"repro/internal/scenarios"
+)
+
+// foldSerializeGraph dumps the graph through the folded view
+// (Graph.ChildrenOf), with fingerprints: this is exactly what Tree,
+// treediff, and the alignment see, so byte-equality here means every
+// downstream consumer behaves identically. The recorded trigger slot is
+// representation-specific for aggregate deltas (slot 0 lazily, the last
+// slot eagerly), so it is normalized to the newest folded contributor —
+// the meaning both representations share.
+func foldSerializeGraph(g *provenance.Graph) string {
+	var sb strings.Builder
+	g.Vertexes(func(v *provenance.Vertex) {
+		kids := g.ChildrenOf(v.ID)
+		trig := v.Trigger
+		if _, _, ok := g.AggDelta(v.ID); ok {
+			trig = len(kids) - 1
+		}
+		fmt.Fprintf(&sb, "%d %s trig=%d fp=%016x kids=%v\n", v.ID, v.String(), trig, v.Fingerprint(), kids)
+	})
+	return sb.String()
+}
+
+// TestAggregateFoldDifferential replays every Table 1 scenario's bad
+// execution twice — once recording aggregate provenance as delta chains
+// folded lazily (the default), once materializing full contributor lists
+// eagerly (the pre-delta reference behavior) — and requires byte-equal
+// results everywhere it matters: the folded provenance graph (with
+// fingerprints, which must commute with folding), the bad tree, the
+// final engine state, and the diagnosis at default parallelism and at
+// Parallelism=8. It also asserts the engine never missed an aggregate
+// retraction (Stats.AggRetractMisses stays 0).
+func TestAggregateFoldDifferential(t *testing.T) {
+	for _, name := range scenarios.Names() {
+		t.Run(name, func(t *testing.T) {
+			s, err := scenarios.Build(name, scenarios.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.BadSession == nil {
+				t.Skipf("%s is imperative (no replay session)", name)
+			}
+			prog := s.BadSession.Program()
+			log := s.BadSession.Log()
+
+			type run struct {
+				graph    string
+				tree     string
+				state    string
+				diagnose string
+				rounds   int
+			}
+			runs := map[bool]run{}
+			for _, eager := range []bool{false, true} {
+				sess, err := replay.FromLog(prog, log, replay.WithEagerAggregates(eager))
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, g, err := sess.Graph()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := eng.Stats().AggRetractMisses; got != 0 {
+					t.Errorf("AggRetractMisses = %d after replay (eager=%v), want 0", got, eager)
+				}
+				badTree := g.Tree(s.Bad.Vertex.ID)
+				if badTree == nil {
+					t.Fatalf("bad vertex %d missing from replayed graph", s.Bad.Vertex.ID)
+				}
+				world, err := core.NewWorld(sess)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var parts []string
+				rounds := 0
+				for _, par := range []int{0, 8} {
+					res, err := core.Diagnose(context.Background(), s.Good, badTree, world, core.Options{Parallelism: par})
+					if err != nil {
+						t.Fatalf("diagnose (eager=%v, parallelism=%d): %v", eager, par, err)
+					}
+					if s.Check != nil {
+						if err := s.Check(res); err != nil {
+							t.Fatalf("check (eager=%v, parallelism=%d): %v", eager, par, err)
+						}
+					}
+					parts = append(parts, fmt.Sprintf("parallelism=%d", par))
+					for _, c := range res.Changes {
+						parts = append(parts, c.String())
+					}
+					rounds += res.Iterations
+				}
+				runs[eager] = run{
+					graph:    foldSerializeGraph(g),
+					tree:     badTree.String(),
+					state:    forkSerializeSnapshot(eng.CaptureState()),
+					diagnose: strings.Join(parts, "\n"),
+					rounds:   rounds,
+				}
+			}
+			lazy, eager := runs[false], runs[true]
+			if lazy.graph != eager.graph {
+				t.Errorf("folded graphs differ:\nlazy (%d bytes):\n%.2000s\neager (%d bytes):\n%.2000s",
+					len(lazy.graph), lazy.graph, len(eager.graph), eager.graph)
+			}
+			if lazy.tree != eager.tree {
+				t.Errorf("bad trees differ:\nlazy:\n%.2000s\neager:\n%.2000s", lazy.tree, eager.tree)
+			}
+			if lazy.state != eager.state {
+				t.Errorf("final states differ:\nlazy:\n%s\neager:\n%s", lazy.state, eager.state)
+			}
+			if lazy.diagnose != eager.diagnose {
+				t.Errorf("diagnoses differ:\nlazy:\n%s\neager:\n%s", lazy.diagnose, eager.diagnose)
+			}
+			if lazy.rounds != eager.rounds {
+				t.Errorf("iteration counts differ: lazy=%d eager=%d", lazy.rounds, eager.rounds)
+			}
+		})
+	}
+}

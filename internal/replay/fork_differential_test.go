@@ -97,6 +97,9 @@ func TestForkDifferential(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				if got := eng.Stats().AggRetractMisses; got != 0 {
+					t.Errorf("AggRetractMisses = %d (incremental=%v), want 0", got, incremental)
+				}
 				badTree := g.Tree(s.Bad.Vertex.ID)
 				if badTree == nil {
 					t.Fatalf("bad vertex %d missing from replayed graph", s.Bad.Vertex.ID)

@@ -122,6 +122,7 @@ type Session struct {
 	Stats ReplayStats
 
 	engineOpts []ndlog.Option
+	recOpts    []provenance.RecorderOption
 }
 
 // SessionOption configures a Session.
@@ -150,6 +151,18 @@ func WithIncrementalReplay(on bool) SessionOption {
 	return func(s *Session) { s.incremental = on }
 }
 
+// WithEagerAggregates makes every recorder the session creates
+// materialize aggregate contributor lists eagerly at record time instead
+// of folding delta chains on demand (default lazy). Folded trees, diffs,
+// and diagnoses are byte-identical either way (asserted by
+// TestAggregateFoldDifferential); the switch exists for that differential
+// test and as an escape hatch.
+func WithEagerAggregates(on bool) SessionOption {
+	return func(s *Session) {
+		s.recOpts = []provenance.RecorderOption{provenance.WithEagerAggregates(on)}
+	}
+}
+
 // NewSession creates a session for the given program.
 func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
 	s := &Session{
@@ -162,7 +175,7 @@ func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
 		o(s)
 	}
 	if s.mode == Runtime {
-		s.liveRec = provenance.NewRecorder(prog)
+		s.liveRec = provenance.NewRecorder(prog, s.recOpts...)
 		s.live = ndlog.New(prog, s.liveRec, s.newEngineOpts()...)
 	} else {
 		s.live = ndlog.New(prog, nil, s.newEngineOpts()...)
@@ -241,6 +254,7 @@ func (s *Session) Clone() *Session {
 		replayedG:   s.replayedG,
 		replayedLen: s.replayedLen,
 		engineOpts:  s.engineOpts,
+		recOpts:     s.recOpts,
 	}
 }
 
@@ -633,7 +647,7 @@ func (c *prefixCache) publish(e *prefixEntry) {
 // scheduleScratch builds a fresh recorder-attached engine with the whole
 // log scheduled but nothing evaluated.
 func (s *Session) scheduleScratch(ctx context.Context) (*ndlog.Engine, *provenance.Recorder, error) {
-	rec := provenance.NewRecorder(s.prog)
+	rec := provenance.NewRecorder(s.prog, s.recOpts...)
 	e := ndlog.New(s.prog, rec, s.newEngineOpts()...)
 	for i, ev := range s.log.events {
 		if i%ctxCheckEvery == ctxCheckEvery-1 {
