@@ -12,6 +12,13 @@
 // scenario's replay session, bounded by -workers; excess load is shed
 // with 429 + Retry-After. -diagnose-timeout bounds each diagnosis via
 // its request context (0 disables the deadline).
+//
+// With -data-dir, each scenario's base-event log and checkpoints persist
+// into an append-only segmented store under that directory (one
+// subdirectory per scenario). On restart — including after a crash that
+// tore the active segment — the server recovers the durable prefix,
+// re-drives the deterministic build against it, and reuses stored
+// checkpoints, so diagnoses resume with identical results.
 package main
 
 import (
@@ -32,13 +39,18 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent diagnoses (default GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 1, "candidate-evaluation fan-out inside each diagnosis (results are identical at any value)")
 	diagTimeout := flag.Duration("diagnose-timeout", 0, "per-diagnosis deadline (0 = none)")
+	dataDir := flag.String("data-dir", "", "persist scenario logs and checkpoints under this directory (crash-safe; empty = in-memory)")
 	flag.Parse()
 
 	scale := scenarios.Small
 	if *scaleStr == "paper" {
 		scale = scenarios.Paper
 	}
-	handler := server.New(scale, server.WithWorkers(*workers), server.WithParallelism(*parallelism)).Handler()
+	opts := []server.Option{server.WithWorkers(*workers), server.WithParallelism(*parallelism)}
+	if *dataDir != "" {
+		opts = append(opts, server.WithDataDir(*dataDir))
+	}
+	handler := server.New(scale, opts...).Handler()
 	if *diagTimeout > 0 {
 		handler = withTimeout(handler, *diagTimeout)
 	}

@@ -1,0 +1,77 @@
+package evaluation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/scenarios"
+	"repro/internal/sdn"
+)
+
+// ColdStartResult reports the segmented-store cold-start benchmark: how
+// long recording an SDN1 execution into the persistent store takes, and
+// how long a fresh process needs to replay it back out of the segments
+// (reusing durable checkpoints instead of recapturing them).
+type ColdStartResult struct {
+	Events      int           // base events recorded and recovered
+	Checkpoints int           // durable checkpoints reused on recovery
+	Segments    int           // segment files on disk
+	StoreBytes  int64         // total size of the store directory
+	Record      time.Duration // build + write-through persistence
+	Recover     time.Duration // replay.Open out of the segments
+}
+
+// ColdStart records the SDN1 scenario into a temporary segmented store,
+// then cold-starts a session from it and verifies the recovered log and
+// checkpoints match what was recorded.
+func ColdStart(scale scenarios.Scale) (*ColdStartResult, error) {
+	dir, err := os.MkdirTemp("", "diffprov-coldstart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	start := time.Now()
+	sc, err := scenarios.Build("SDN1", scale,
+		scenarios.WithSessionOptions(replay.WithCheckpointEvery(50), replay.WithStorage(dir)))
+	if err != nil {
+		return nil, err
+	}
+	res := &ColdStartResult{Record: time.Since(start)}
+	sess := sc.BadSession
+	res.Events = sess.Log().Len()
+	res.Checkpoints = len(sess.Checkpoints())
+	if err := sess.CloseStorage(); err != nil {
+		return nil, err
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	res.Segments = len(segs)
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error { //nolint:errcheck // size is informational
+		if err == nil && !info.IsDir() {
+			res.StoreBytes += info.Size()
+		}
+		return nil
+	})
+
+	start = time.Now()
+	cold, err := replay.Open(sdn.Program(), dir)
+	if err != nil {
+		return nil, fmt.Errorf("cold start: %v", err)
+	}
+	res.Recover = time.Since(start)
+	defer cold.CloseStorage()
+	if got := cold.Log().Len(); got != res.Events {
+		return nil, fmt.Errorf("cold start recovered %d events, recorded %d", got, res.Events)
+	}
+	if got := len(cold.Checkpoints()); got != res.Checkpoints {
+		return nil, fmt.Errorf("cold start has %d checkpoints, recorded %d", got, res.Checkpoints)
+	}
+	return res, nil
+}

@@ -38,7 +38,7 @@ func prefixMatch(paths ...string) func(string) bool {
 var DetNow = &Analyzer{
 	Name:  "detnow",
 	Doc:   "forbid time.Now/time.Since and math/rand in deterministic packages",
-	Match: prefixMatch("repro/internal/ndlog", "repro/internal/provenance", "repro/internal/replay"),
+	Match: prefixMatch("repro/internal/ndlog", "repro/internal/provenance", "repro/internal/replay", "repro/internal/store"),
 	Run:   runDetNow,
 }
 
@@ -202,7 +202,9 @@ func sortedAfter(pass *Pass, fn *ast.BlockStmt, pos token.Pos, obj types.Object)
 // guarantees (and the replay layer's checkpoints) assume vertexes are
 // appended by the Recorder machinery and never rewritten. This analyzer
 // flags writes to Graph.vertexes outside graph.go/fork.go and writes to
-// Vertex.Children outside graph.go/recorder.go/distributed.go/fork.go.
+// Vertex.Children outside the recording layer (graph.go/recorder.go/
+// distributed.go/fork.go, plus persist.go — the shard store decodes
+// vertex records back into Children on recovery).
 var AppendOnly = &Analyzer{
 	Name:  "appendonly",
 	Doc:   "confine Graph.vertexes and Vertex.Children writes to the recording layer",
@@ -214,7 +216,7 @@ var AppendOnly = &Analyzer{
 // write it.
 var guardedFields = map[[2]string][]string{
 	{"Graph", "vertexes"}:  {"graph.go", "fork.go"},
-	{"Vertex", "Children"}: {"graph.go", "recorder.go", "distributed.go", "fork.go"},
+	{"Vertex", "Children"}: {"graph.go", "recorder.go", "distributed.go", "fork.go", "persist.go"},
 }
 
 func runAppendOnly(pass *Pass) error {

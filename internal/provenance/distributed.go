@@ -78,11 +78,29 @@ type ShardedRecorder struct {
 	pendingInsert remoteRef
 	// Fetches counts cross-shard materializations performed so far.
 	Fetches int
+
+	// storage (see persist.go): nil unless WithShardStorage configured it.
+	storageDir string
+	pst        *shardPersist
 }
 
 // NewShardedRecorder creates a per-node provenance store for the program.
-func NewShardedRecorder(prog *ndlog.Program) *ShardedRecorder {
-	return &ShardedRecorder{prog: prog, shards: map[string]*shard{}, pendingInsert: remoteRef{id: -1}}
+func NewShardedRecorder(prog *ndlog.Program, opts ...ShardedOption) *ShardedRecorder {
+	r := &ShardedRecorder{prog: prog, shards: map[string]*shard{}, pendingInsert: remoteRef{id: -1}}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.storageDir != "" {
+		pst, err := openShardPersist(r.storageDir)
+		if err != nil {
+			// Observer callbacks cannot fail; carry the error so StorageErr
+			// and the storage lifecycle calls surface it.
+			r.pst = &shardPersist{err: fmt.Errorf("provenance: opening shard storage at %s: %v", r.storageDir, err)}
+		} else {
+			r.pst = pst
+		}
+	}
+	return r
 }
 
 func (r *ShardedRecorder) shardFor(node string) *shard {
@@ -91,6 +109,9 @@ func (r *ShardedRecorder) shardFor(node string) *shard {
 		s = newShard(node)
 		r.shards[node] = s
 		r.order = append(r.order, node)
+		if r.pst != nil {
+			r.pst.addNode(node)
+		}
 	}
 	return s
 }
@@ -111,12 +132,14 @@ func (r *ShardedRecorder) OnBaseInsert(at ndlog.At) {
 	s := r.shardFor(at.Node)
 	v := s.add(&Vertex{Type: Insert, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
 	r.pendingInsert = remoteRef{node: at.Node, id: v.ID}
+	r.persistVertex(s, v, 0, -1)
 }
 
 // OnBaseDelete implements ndlog.Observer.
 func (r *ShardedRecorder) OnBaseDelete(at ndlog.At) {
 	s := r.shardFor(at.Node)
-	s.add(&Vertex{Type: Delete, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	v := s.add(&Vertex{Type: Delete, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	r.persistVertex(s, v, 0, -1)
 }
 
 // OnDerive implements ndlog.Observer. The DERIVE vertex is stored on the
@@ -157,6 +180,7 @@ func (r *ShardedRecorder) OnDerive(d ndlog.Derivation) {
 		s.aggDelta[v.ID] = aggLink{prev: prev, count: d.AggCount}
 	}
 	s.byDerive[d.ID] = v.ID
+	r.persistVertex(s, v, d.ID, -1)
 }
 
 func (r *ShardedRecorder) resolveBody(b ndlog.At) (remoteRef, bool) {
@@ -206,6 +230,7 @@ func (r *ShardedRecorder) OnAppear(at ndlog.At, deriveID int64) {
 	key := fmt.Sprintf("%s|%d", at.Tuple.Key(), at.Stamp.Seq)
 	s.appearByRef[key] = ap.ID
 	s.appearsByTuple[at.Tuple.Key()] = append(s.appearsByTuple[at.Tuple.Key()], ap.ID)
+	r.persistVertex(s, ap, 0, -1)
 
 	decl := r.prog.Decl(at.Tuple.Table)
 	if decl != nil && decl.Event {
@@ -216,24 +241,31 @@ func (r *ShardedRecorder) OnAppear(at ndlog.At, deriveID int64) {
 	s.add(ex)
 	s.existByRef[key] = ex.ID
 	s.openExist[at.Tuple.Key()] = ex.ID
+	r.persistVertex(s, ex, 0, -1)
 }
 
 // OnDisappear implements ndlog.Observer.
 func (r *ShardedRecorder) OnDisappear(at ndlog.At, underiveID int64) {
 	s := r.shardFor(at.Node)
+	closedExist := -1
 	if exID, ok := s.openExist[at.Tuple.Key()]; ok {
 		ex := s.vertexes[exID]
 		ex.Span.To = at.Stamp
 		ex.Span.Open = false
 		delete(s.openExist, at.Tuple.Key())
+		closedExist = exID
 	}
-	s.add(&Vertex{Type: Disappear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	v := s.add(&Vertex{Type: Disappear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp})
+	// The EXIST record was written while its span was still open; the
+	// closure rides on this DISAPPEAR record instead of rewriting it.
+	r.persistVertex(s, v, 0, closedExist)
 }
 
 // OnUnderive implements ndlog.Observer.
 func (r *ShardedRecorder) OnUnderive(u ndlog.Underivation) {
 	s := r.shardFor(u.Node)
-	s.add(&Vertex{Type: Underive, Node: u.Node, Tuple: u.Head.Tuple, Rule: u.Rule, At: u.Head.Stamp})
+	v := s.add(&Vertex{Type: Underive, Node: u.Node, Tuple: u.Head.Tuple, Rule: u.Rule, At: u.Head.Stamp})
+	r.persistVertex(s, v, 0, -1)
 }
 
 var _ ndlog.Observer = (*ShardedRecorder)(nil)

@@ -6,33 +6,35 @@
 // DiffProv applies counterfactual changes: a cloned execution is rolled
 // forward with extra base tuples injected, without disturbing the live
 // system (§4.6).
+//
+// Sessions can be backed by the persistent segmented store
+// (internal/store) via WithStorage/Open, so base events and checkpoints
+// survive restarts and a cold start replays out of segments instead of
+// the heap.
 package replay
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 
 	"repro/internal/ndlog"
+	"repro/internal/store"
 )
 
+// Event is one logged base event. It is an alias of the store's event
+// type: the in-memory log and the on-disk segments share one definition
+// and one wire format.
+type Event = store.Event
+
 // EventKind distinguishes logged base events.
-type EventKind uint8
+type EventKind = store.EventKind
 
 // Logged event kinds.
 const (
-	EvInsert EventKind = iota
-	EvDelete
+	EvInsert = store.EvInsert
+	EvDelete = store.EvDelete
 )
-
-// Event is one logged base event.
-type Event struct {
-	Kind  EventKind
-	Node  string
-	Tuple ndlog.Tuple
-	Tick  int64
-}
 
 // Log is an append-only base-event log. Its encoded size is what the
 // storage-cost experiments (Figures 5 and 6) measure.
@@ -59,9 +61,23 @@ func (l *Log) Delete(node string, t ndlog.Tuple, tick int64) {
 // Len returns the number of logged events.
 func (l *Log) Len() int { return len(l.events) }
 
-// Events returns the logged events in order. The slice is shared; callers
-// must not mutate it.
-func (l *Log) Events() []Event { return l.events }
+// Events returns a copy of the logged events in order. Callers may keep
+// or mutate the returned slice freely; appends through it never reach
+// the log (the session's prefix cache invalidates by log length, so an
+// aliased append could corrupt cached prefixes).
+func (l *Log) Events() []Event { return append([]Event(nil), l.events...) }
+
+// Each calls fn for every logged event in order without copying. The
+// callback must not retain references past the call or append to the
+// log while iterating.
+func (l *Log) Each(fn func(Event)) {
+	for _, ev := range l.events {
+		fn(ev)
+	}
+}
+
+// At returns the event at index i.
+func (l *Log) At(i int) Event { return l.events[i] }
 
 // Clone returns a copy of the log (sharing tuples, which are immutable by
 // convention).
@@ -69,211 +85,43 @@ func (l *Log) Clone() *Log {
 	return &Log{events: append([]Event(nil), l.events...)}
 }
 
-// Encode writes the log in a compact binary format. The format stores
-// fixed-size header information per packet-like event — tuple fields and
-// a timestamp — mirroring the paper's observation that the log keeps "the
-// header and the timestamp", not payloads.
+// Encode writes the log in a compact binary format: an event count
+// followed by each event in the store's wire encoding (a kind byte, the
+// tick, node and table as length-prefixed strings, kind-tagged values).
+// The format stores fixed-size header information per packet-like event
+// — tuple fields and a timestamp — mirroring the paper's observation
+// that the log keeps "the header and the timestamp", not payloads. The
+// per-event encoding is shared with the segmented store, so a segment
+// holds the same bytes Encode would produce for its events.
 func (l *Log) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
-		return err
-	}
-	putString := func(s string) error {
-		if err := putUvarint(uint64(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
-		return err
-	}
-	if err := putUvarint(uint64(len(l.events))); err != nil {
+	if err := store.WriteUvarint(bw, uint64(len(l.events))); err != nil {
 		return err
 	}
 	for _, ev := range l.events {
-		if err := bw.WriteByte(byte(ev.Kind)); err != nil {
+		if err := store.WriteEvent(bw, ev); err != nil {
 			return err
-		}
-		if err := putUvarint(uint64(ev.Tick)); err != nil {
-			return err
-		}
-		if err := putString(ev.Node); err != nil {
-			return err
-		}
-		if err := putString(ev.Tuple.Table); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(len(ev.Tuple.Args))); err != nil {
-			return err
-		}
-		for _, a := range ev.Tuple.Args {
-			if err := encodeValue(bw, putUvarint, putString, a); err != nil {
-				return err
-			}
 		}
 	}
 	return bw.Flush()
 }
 
-func encodeValue(bw *bufio.Writer, putUvarint func(uint64) error, putString func(string) error, v ndlog.Value) error {
-	if err := bw.WriteByte(byte(v.Kind())); err != nil {
-		return err
-	}
-	switch x := v.(type) {
-	case ndlog.Int:
-		var scratch [binary.MaxVarintLen64]byte
-		n := binary.PutVarint(scratch[:], int64(x))
-		_, err := bw.Write(scratch[:n])
-		return err
-	case ndlog.Str:
-		return putString(string(x))
-	case ndlog.Bool:
-		b := byte(0)
-		if x {
-			b = 1
-		}
-		return bw.WriteByte(b)
-	case ndlog.IP:
-		var buf [4]byte
-		binary.BigEndian.PutUint32(buf[:], uint32(x))
-		_, err := bw.Write(buf[:])
-		return err
-	case ndlog.Prefix:
-		var buf [5]byte
-		binary.BigEndian.PutUint32(buf[:4], uint32(x.Addr))
-		buf[4] = x.Bits
-		_, err := bw.Write(buf[:])
-		return err
-	case ndlog.ID:
-		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], uint64(x))
-		_, err := bw.Write(buf[:])
-		return err
-	default:
-		return fmt.Errorf("replay: cannot encode value of kind %s", v.Kind())
-	}
-}
-
-// Sanity bounds for decoding untrusted logs: no legitimate node, table,
-// or string field exceeds these, and no tuple has more columns.
-const (
-	maxDecodedString = 1 << 20
-	maxDecodedArgs   = 1 << 10
-)
-
 // Decode reads a log previously written by Encode.
 func Decode(r io.Reader) (*Log, error) {
 	br := bufio.NewReader(r)
-	getString := func() (string, error) {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if n > maxDecodedString {
-			return "", fmt.Errorf("replay: string field of %d bytes exceeds the %d-byte bound", n, maxDecodedString)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	count, err := binary.ReadUvarint(br)
+	count, err := store.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("replay: bad log header: %v", err)
 	}
 	l := NewLog()
 	for i := uint64(0); i < count; i++ {
-		kind, err := br.ReadByte()
+		ev, err := store.ReadEvent(br)
 		if err != nil {
 			return nil, err
 		}
-		if kind > byte(EvDelete) {
-			return nil, fmt.Errorf("replay: bad event kind %d", kind)
-		}
-		tick, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		node, err := getString()
-		if err != nil {
-			return nil, err
-		}
-		table, err := getString()
-		if err != nil {
-			return nil, err
-		}
-		nargs, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if nargs > maxDecodedArgs {
-			return nil, fmt.Errorf("replay: tuple with %d columns exceeds the %d bound", nargs, maxDecodedArgs)
-		}
-		args := make([]ndlog.Value, nargs)
-		for j := range args {
-			v, err := decodeValue(br, getString)
-			if err != nil {
-				return nil, err
-			}
-			args[j] = v
-		}
-		l.Append(Event{
-			Kind:  EventKind(kind),
-			Node:  node,
-			Tuple: ndlog.Tuple{Table: table, Args: args},
-			Tick:  int64(tick),
-		})
+		l.Append(ev)
 	}
 	return l, nil
-}
-
-func decodeValue(br *bufio.Reader, getString func() (string, error)) (ndlog.Value, error) {
-	kind, err := br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	switch ndlog.Kind(kind) {
-	case ndlog.KindInt:
-		n, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, err
-		}
-		return ndlog.Int(n), nil
-	case ndlog.KindStr:
-		s, err := getString()
-		if err != nil {
-			return nil, err
-		}
-		return ndlog.Str(s), nil
-	case ndlog.KindBool:
-		b, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		return ndlog.Bool(b != 0), nil
-	case ndlog.KindIP:
-		var buf [4]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, err
-		}
-		return ndlog.IP(binary.BigEndian.Uint32(buf[:])), nil
-	case ndlog.KindPrefix:
-		var buf [5]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, err
-		}
-		return ndlog.Prefix{Addr: ndlog.IP(binary.BigEndian.Uint32(buf[:4])), Bits: buf[4]}, nil
-	case ndlog.KindID:
-		var buf [8]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, err
-		}
-		return ndlog.ID(binary.BigEndian.Uint64(buf[:])), nil
-	default:
-		return nil, fmt.Errorf("replay: bad value kind %d", kind)
-	}
 }
 
 // AgeOut returns a new log without events before the given tick — the

@@ -1,0 +1,9 @@
+//go:build !race
+
+package replay
+
+// raceEnabled reports whether the race detector is compiled in; large
+// synthetic-log tests skip under it (they are about scale, not
+// synchronization, and the detector makes them an order of magnitude
+// slower).
+const raceEnabled = false

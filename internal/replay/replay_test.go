@@ -62,8 +62,9 @@ func TestLogEncodeDecodeRoundTrip(t *testing.T) {
 	if back.Len() != l.Len() {
 		t.Fatalf("decoded %d events, want %d", back.Len(), l.Len())
 	}
+	backEvs := back.Events()
 	for i, ev := range l.Events() {
-		got := back.Events()[i]
+		got := backEvs[i]
 		if got.Kind != ev.Kind || got.Node != ev.Node || got.Tick != ev.Tick || !got.Tuple.Equal(ev.Tuple) {
 			t.Fatalf("event %d: got %+v, want %+v", i, got, ev)
 		}

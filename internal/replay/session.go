@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ndlog"
 	"repro/internal/provenance"
+	"repro/internal/store"
 )
 
 // Mode selects how provenance is captured (§5): at runtime (log every
@@ -67,24 +68,38 @@ const maxPrefixEntries = 8
 
 // prefixEntry is one materialized prefix: a recorder-attached engine that
 // has every log event scheduled but has only evaluated those at ticks
-// <= tick. Entries are immutable once published — replays Fork them, they
-// never run them — so readers need no lock after acquire returns.
+// <= tick. An entry is published into the cache as a placeholder before
+// its engines exist; ready is closed once the build completes (filling
+// eng/rec, or err on failure). After ready, the entry is immutable —
+// replays Fork it, they never run it — so readers need no lock once
+// acquire returns.
 type prefixEntry struct {
 	tick      int64
 	processed int // log events evaluated (tick <= anchor)
-	eng       *ndlog.Engine
-	rec       *provenance.Recorder
+
+	ready chan struct{}
+	err   error // build failure; the entry was removed from the cache
+	eng   *ndlog.Engine
+	rec   *provenance.Recorder
 }
 
 // prefixCache holds the materialized prefixes, keyed by anchor tick. It
 // is shared by pointer across Clone(), so concurrent diagnoses over the
-// same execution reuse each other's prefixes; the mutex serializes
-// lookups and builds, while forking happens outside the lock.
+// same execution reuse each other's prefixes. The mutex only serializes
+// lookups and placeholder publication; the expensive part — running the
+// prefix engines — happens outside the lock, so two clones can build
+// disjoint prefixes in parallel while acquires for an anchor already in
+// flight just wait on its ready channel.
 type prefixCache struct {
 	mu      sync.Mutex
 	logLen  int // log length the entries were built from
 	entries map[int64]*prefixEntry
 	order   []int64 // insertion order, for eviction
+	ticks   []int64 // sorted event ticks, for counting events up to an anchor
+
+	// buildHook, when set, runs outside the lock at the start of every
+	// prefix build; tests use it to prove builds overlap.
+	buildHook func(anchor int64)
 }
 
 // Session couples a live engine with the logging engine, and provides the
@@ -123,6 +138,14 @@ type Session struct {
 
 	engineOpts []ndlog.Option
 	recOpts    []provenance.RecorderOption
+
+	// Persistent storage backing (WithStorage); nil for in-memory
+	// sessions. stErr is a storage-attach failure, reported by the first
+	// Insert/Delete/Run call since options cannot fail.
+	storageDir string
+	storeOpts  []store.Option
+	storage    *sessionStorage
+	stErr      error
 }
 
 // SessionOption configures a Session.
@@ -180,6 +203,11 @@ func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
 	} else {
 		s.live = ndlog.New(prog, nil, s.newEngineOpts()...)
 	}
+	if s.storageDir != "" {
+		if err := s.attachStorage(s.storageDir); err != nil {
+			s.stErr = fmt.Errorf("replay: attaching storage at %s: %v", s.storageDir, err)
+		}
+	}
 	return s
 }
 
@@ -203,16 +231,19 @@ func (s *Session) newEngineOpts() []ndlog.Option {
 // This is how a diagnosis is run offline against saved logs.
 func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, error) {
 	s := NewSession(prog, opts...)
-	for _, ev := range l.Events() {
-		var err error
+	var driveErr error
+	l.Each(func(ev Event) {
+		if driveErr != nil {
+			return
+		}
 		if ev.Kind == EvInsert {
-			err = s.Insert(ev.Node, ev.Tuple, ev.Tick)
+			driveErr = s.Insert(ev.Node, ev.Tuple, ev.Tick)
 		} else {
-			err = s.Delete(ev.Node, ev.Tuple, ev.Tick)
+			driveErr = s.Delete(ev.Node, ev.Tuple, ev.Tick)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("replay: rebuilding session: %v", err)
-		}
+	})
+	if driveErr != nil {
+		return nil, fmt.Errorf("replay: rebuilding session: %v", driveErr)
 	}
 	if err := s.Run(); err != nil {
 		return nil, fmt.Errorf("replay: rebuilding session: %v", err)
@@ -238,6 +269,11 @@ func FromLog(prog *ndlog.Program, l *Log, opts ...SessionOption) (*Session, erro
 // materialized prefix is immutable once published, and every
 // counterfactual roll-forward (ReplayWith) Forks it into a private
 // engine of its own.
+//
+// Clones detach from persistent storage: only the original session
+// verifies, appends, and checkpoints through the store. A diagnosis that
+// must survive concurrent GC pins its anchor on the original
+// (PinStorage).
 func (s *Session) Clone() *Session {
 	return &Session{
 		prog:        s.prog,
@@ -303,20 +339,24 @@ func (s *Session) Checkpoints() []ndlog.Snapshot {
 
 // Insert logs and schedules a base-tuple insertion on the live system.
 func (s *Session) Insert(node string, t ndlog.Tuple, tick int64) error {
+	if s.stErr != nil {
+		return s.stErr
+	}
 	if err := s.live.ScheduleInsert(node, t, tick); err != nil {
 		return err
 	}
-	s.log.Insert(node, t, tick)
-	return nil
+	return s.logEvent(Event{Kind: EvInsert, Node: node, Tuple: t, Tick: tick})
 }
 
 // Delete logs and schedules a base-tuple deletion on the live system.
 func (s *Session) Delete(node string, t ndlog.Tuple, tick int64) error {
+	if s.stErr != nil {
+		return s.stErr
+	}
 	if err := s.live.ScheduleDelete(node, t, tick); err != nil {
 		return err
 	}
-	s.log.Delete(node, t, tick)
-	return nil
+	return s.logEvent(Event{Kind: EvDelete, Node: node, Tuple: t, Tick: tick})
 }
 
 // Run drains the live engine and takes due checkpoints — one per
@@ -327,6 +367,9 @@ func (s *Session) Delete(node string, t ndlog.Tuple, tick int64) error {
 // checkpoint set of the live session that recorded it, no matter how the
 // live drive batched its Run calls.
 func (s *Session) Run() error {
+	if s.stErr != nil {
+		return s.stErr
+	}
 	if s.ckptEvery <= 0 {
 		return s.live.Run()
 	}
@@ -339,8 +382,12 @@ func (s *Session) Run() error {
 			return err
 		}
 		if t >= s.lastCkpt+s.ckptEvery {
-			s.ckpts = append(s.ckpts, s.live.CaptureStateAt(t))
+			snap := s.live.CaptureStateAt(t)
+			s.ckpts = append(s.ckpts, snap)
 			s.lastCkpt = t
+			if err := s.putCheckpoint(snap); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -555,10 +602,13 @@ func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, 
 	return e, rec, nil
 }
 
-// acquire returns the prefix entry for the anchor, building it under the
-// cache lock on a miss. Entries are immutable once published; callers
-// Fork them outside the lock. A stale cache (the log grew since the
-// entries were built) is invalidated wholesale.
+// acquire returns the ready prefix entry for the anchor, building it on
+// a miss. The lock only covers lookup and placeholder publication —
+// running the prefix engines happens outside it, so concurrent clones
+// build disjoint prefixes in parallel, and acquires for an anchor whose
+// build is in flight wait on its ready channel instead of duplicating
+// the work. A stale cache (the log grew since the entries were built) is
+// invalidated wholesale.
 //
 // The cache is two-layered. The base layer is checkpoint-anchored: a
 // miss with no usable cached entry materializes a from-scratch prefix
@@ -571,77 +621,174 @@ func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, 
 // slack window and pay only for the change itself.
 func (c *prefixCache) acquire(ctx context.Context, s *Session, anchor int64) (*prefixEntry, bool, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.logLen != s.log.Len() {
 		c.entries = map[int64]*prefixEntry{}
 		c.order = c.order[:0]
 		c.logLen = s.log.Len()
-	}
-	if e, ok := c.entries[anchor]; ok {
-		return e, true, nil
+		// Rebuild the count index: sorted event ticks, so counting the
+		// events at or before an anchor is a binary search instead of a
+		// scan of the whole log under the mutex.
+		c.ticks = c.ticks[:0]
+		s.log.Each(func(ev Event) { c.ticks = append(c.ticks, ev.Tick) })
+		sort.Slice(c.ticks, func(i, j int) bool { return c.ticks[i] < c.ticks[j] })
 	}
 	countUpTo := func(tick int64) int {
-		n := 0
-		for _, ev := range s.log.events {
-			if ev.Tick <= tick {
-				n++
-			}
-		}
-		return n
+		return sort.Search(len(c.ticks), func(i int) bool { return c.ticks[i] > tick })
 	}
 	processed := countUpTo(anchor)
 	if processed == 0 {
+		c.mu.Unlock()
 		return nil, false, nil // an empty prefix saves nothing
 	}
+	if e, ok := c.entries[anchor]; ok {
+		c.mu.Unlock()
+		return c.await(ctx, e, true)
+	}
 
-	// The closest cached entry at or before the anchor is the cheapest
-	// starting point; failing that, materialize the checkpoint-anchored
-	// base from scratch.
+	// Plan the build while still holding the lock. The closest entry at
+	// or before the anchor (possibly still building) is the cheapest
+	// starting point; with none, a from-scratch base anchored at the
+	// latest covering checkpoint is planned too. Placeholders for
+	// everything this build will produce are published before unlocking,
+	// so concurrent acquires join the in-flight work.
 	var base *prefixEntry
 	for t, e := range c.entries {
 		if t <= anchor && (base == nil || t > base.tick) {
 			base = e
 		}
 	}
+	entry := &prefixEntry{tick: anchor, processed: processed, ready: make(chan struct{})}
+	scratchSelf := false     // the scratch build IS the entry (checkpoint lands on the anchor)
+	var ownBase *prefixEntry // scratch base this goroutine must build first
 	if base == nil {
-		ck := s.snapToCheckpoint(anchor)
-		e, rec, err := s.scheduleScratch(ctx)
-		if err != nil {
+		if ck := s.snapToCheckpoint(anchor); ck == anchor {
+			scratchSelf = true
+		} else {
+			base = &prefixEntry{tick: ck, processed: countUpTo(ck), ready: make(chan struct{})}
+			c.publish(base)
+			ownBase = base
+		}
+	}
+	c.publish(entry)
+	hook := c.buildHook
+	c.mu.Unlock()
+	if hook != nil {
+		hook(anchor)
+	}
+
+	if scratchSelf {
+		if err := c.buildScratch(ctx, s, entry); err != nil {
 			return nil, false, err
 		}
-		if err := e.RunUntil(ck); err != nil {
-			return nil, false, fmt.Errorf("replay: materializing prefix: %v", err)
-		}
-		base = &prefixEntry{tick: ck, processed: countUpTo(ck), eng: e, rec: rec}
-		c.publish(base)
-		if ck == anchor {
-			return base, false, nil
+		return entry, false, nil
+	}
+	if ownBase != nil {
+		if err := c.buildScratch(ctx, s, ownBase); err != nil {
+			c.fail(entry, err)
+			return nil, false, err
 		}
 	}
 
-	// Refine: roll a fork of the base forward to the exact anchor.
-	if err := ctx.Err(); err != nil {
-		return nil, false, fmt.Errorf("replay: %w", err)
+	// Refine: wait for the base, then roll a fork of it forward to the
+	// exact anchor.
+	select {
+	case <-base.ready:
+	case <-ctx.Done():
+		err := fmt.Errorf("replay: %w", ctx.Err())
+		c.fail(entry, err)
+		return nil, false, err
+	}
+	if base.err != nil {
+		c.fail(entry, base.err)
+		return nil, false, base.err
 	}
 	rec := base.rec.Fork()
 	e := base.eng.Fork(rec)
 	if err := e.RunUntil(anchor); err != nil {
-		return nil, false, fmt.Errorf("replay: refining prefix: %v", err)
+		err = fmt.Errorf("replay: refining prefix: %v", err)
+		c.fail(entry, err)
+		return nil, false, err
 	}
-	entry := &prefixEntry{tick: anchor, processed: processed, eng: e, rec: rec}
-	c.publish(entry)
+	entry.eng, entry.rec = e, rec
+	close(entry.ready)
 	return entry, false, nil
 }
 
-// publish inserts an entry, evicting the oldest beyond capacity. Callers
-// hold c.mu.
+// buildScratch materializes a placeholder entry from scratch: schedule
+// the whole log on a fresh recorder-attached engine and evaluate it up
+// to the entry's tick. Runs outside the cache lock.
+func (c *prefixCache) buildScratch(ctx context.Context, s *Session, e *prefixEntry) error {
+	eng, rec, err := s.scheduleScratch(ctx)
+	if err == nil {
+		if rerr := eng.RunUntil(e.tick); rerr != nil {
+			err = fmt.Errorf("replay: materializing prefix: %v", rerr)
+		}
+	}
+	if err != nil {
+		c.fail(e, err)
+		return err
+	}
+	e.eng, e.rec = eng, rec
+	close(e.ready)
+	return nil
+}
+
+// await blocks until the entry's build completes (or the context ends)
+// and returns it ready for forking.
+func (c *prefixCache) await(ctx context.Context, e *prefixEntry, hit bool) (*prefixEntry, bool, error) {
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("replay: %w", ctx.Err())
+	}
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e, hit, nil
+}
+
+// fail completes a placeholder with an error, releasing its waiters and
+// removing it from the cache so a later acquire retries the build.
+func (c *prefixCache) fail(e *prefixEntry, err error) {
+	e.err = err
+	close(e.ready)
+	c.unpublish(e)
+}
+
+// publish inserts an entry, evicting the oldest beyond capacity; a
+// duplicate tick replaces the live entry in place WITHOUT queueing a
+// second order slot (a second slot would make a later eviction delete a
+// live entry while its tick stayed queued, desyncing entries and order
+// and shrinking the effective capacity). Callers hold c.mu.
 func (c *prefixCache) publish(e *prefixEntry) {
+	if _, ok := c.entries[e.tick]; ok {
+		c.entries[e.tick] = e
+		return
+	}
 	if len(c.order) >= maxPrefixEntries {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
 	}
 	c.entries[e.tick] = e
 	c.order = append(c.order, e.tick)
+}
+
+// unpublish removes an entry if it is still the one cached at its tick
+// (it may have been replaced, evicted, or invalidated away meanwhile),
+// keeping entries and order in sync.
+func (c *prefixCache) unpublish(e *prefixEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[e.tick] != e {
+		return
+	}
+	delete(c.entries, e.tick)
+	for i, t := range c.order {
+		if t == e.tick {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // scheduleScratch builds a fresh recorder-attached engine with the whole

@@ -95,17 +95,49 @@ func Names() []string {
 // failed to build.
 var ErrUnknownScenario = errors.New("unknown scenario")
 
+// BuildOption configures how a scenario is built.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	sessOpts []replay.SessionOption
+}
+
+// WithSessionOptions passes replay session options (e.g.
+// replay.WithStorage for a persistent base-event log) to the scenario's
+// underlying session. It applies to the session-backed SDN scenarios;
+// the instrumented MapReduce variants re-run jobs instead of replaying a
+// session and ignore it.
+func WithSessionOptions(opts ...replay.SessionOption) BuildOption {
+	return func(c *buildConfig) { c.sessOpts = append(c.sessOpts, opts...) }
+}
+
+func applyBuildOptions(opts []BuildOption) *buildConfig {
+	c := &buildConfig{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// networkOptions converts build options into sdn.Network options.
+func (c *buildConfig) networkOptions() []sdn.Option {
+	if len(c.sessOpts) == 0 {
+		return nil
+	}
+	return []sdn.Option{sdn.WithSessionOptions(c.sessOpts...)}
+}
+
 // Build constructs a scenario by name.
-func Build(name string, scale Scale) (*Scenario, error) {
+func Build(name string, scale Scale, opts ...BuildOption) (*Scenario, error) {
 	switch strings.ToUpper(name) {
 	case "SDN1":
-		return SDN1(scale)
+		return SDN1(scale, opts...)
 	case "SDN2":
-		return SDN2(scale)
+		return SDN2(scale, opts...)
 	case "SDN3":
-		return SDN3(scale)
+		return SDN3(scale, opts...)
 	case "SDN4":
-		return SDN4(scale)
+		return SDN4(scale, opts...)
 	case "MR1-D":
 		return MR1D(scale)
 	case "MR2-D":
@@ -166,8 +198,8 @@ func backgroundPackets(scale Scale) int {
 
 // buildFigure1 builds the §2 network with the given policy source and
 // streams background traffic through it.
-func buildFigure1(policySrc string, scale Scale) (*sdn.Network, error) {
-	n := sdn.NewNetwork()
+func buildFigure1(policySrc string, scale Scale, cfg *buildConfig) (*sdn.Network, error) {
+	n := sdn.NewNetwork(cfg.networkOptions()...)
 	for _, sw := range []string{"s1", "s2", "s3", "s4", "s5", "s6"} {
 		if err := n.SwitchUp(sw); err != nil {
 			return nil, err
@@ -222,8 +254,8 @@ func sdnScenario(n *sdn.Network, goodNode string, good sdn.Header, badNode strin
 
 // SDN1 is the broken flow entry scenario of §2/§6.2: the overly specific
 // rule misroutes part of the untrusted subnet.
-func SDN1(scale Scale) (*Scenario, error) {
-	n, err := buildFigure1(figure1Policy, scale)
+func SDN1(scale Scale, opts ...BuildOption) (*Scenario, error) {
+	n, err := buildFigure1(figure1Policy, scale, applyBuildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +289,7 @@ func SDN1(scale Scale) (*Scenario, error) {
 
 // SDN2 is the multi-controller inconsistency: a second app's
 // higher-priority scrubber rule overlaps legitimate traffic.
-func SDN2(scale Scale) (*Scenario, error) {
+func SDN2(scale Scale, opts ...BuildOption) (*Scenario, error) {
 	const policy = `
 policy webdefault priority 1 {
     route web1;
@@ -268,7 +300,7 @@ policy scrubsuspects priority 20 {
     route scrubber;
 }
 `
-	n := sdn.NewNetwork()
+	n := sdn.NewNetwork(applyBuildOptions(opts).networkOptions()...)
 	for _, sw := range []string{"s1", "s2"} {
 		if err := n.SwitchUp(sw); err != nil {
 			return nil, err
@@ -327,8 +359,8 @@ policy scrubsuspects priority 20 {
 // SDN3 is the unexpected rule expiration: a multicast-style video intent
 // expires and traffic falls back to a lower-priority rule toward the
 // wrong host. The reference event is in the past.
-func SDN3(scale Scale) (*Scenario, error) {
-	n := sdn.NewNetwork()
+func SDN3(scale Scale, opts ...BuildOption) (*Scenario, error) {
+	n := sdn.NewNetwork(applyBuildOptions(opts).networkOptions()...)
 	for _, sw := range []string{"s1", "s2"} {
 		if err := n.SwitchUp(sw); err != nil {
 			return nil, err
@@ -396,8 +428,8 @@ func SDN3(scale Scale) (*Scenario, error) {
 
 // SDN4 extends SDN1 with a larger topology and two faulty entries on
 // consecutive hops; DiffProv proceeds in two rounds.
-func SDN4(scale Scale) (*Scenario, error) {
-	n, err := buildFigure1(strings.Replace(figure1Policy, "4.3.2.0/24", "4.3.2.0/23", 1), scale)
+func SDN4(scale Scale, opts ...BuildOption) (*Scenario, error) {
+	n, err := buildFigure1(strings.Replace(figure1Policy, "4.3.2.0/24", "4.3.2.0/23", 1), scale, applyBuildOptions(opts))
 	if err != nil {
 		return nil, err
 	}

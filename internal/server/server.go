@@ -38,13 +38,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replay"
 	"repro/internal/scenarios"
+	"repro/internal/store"
 	"repro/internal/treediff"
 )
 
@@ -63,8 +66,14 @@ type Server struct {
 	// per-request latency against aggregate throughput.
 	parallelism int
 
+	// dataDir, when set, backs each scenario's replay session with a
+	// persistent segmented store under a per-scenario subdirectory, so a
+	// restarted server recovers logs and checkpoints instead of
+	// re-recording them.
+	dataDir string
+
 	// build constructs a scenario; replaceable in tests.
-	build func(name string, scale scenarios.Scale) (*scenarios.Scenario, error)
+	build func(name string, scale scenarios.Scale, opts ...scenarios.BuildOption) (*scenarios.Scenario, error)
 
 	mu    sync.Mutex
 	cache map[string]*scenarioEntry
@@ -109,6 +118,15 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithDataDir persists each scenario's base-event log and checkpoints
+// under dir (one subdirectory per scenario). Scenario builds are
+// deterministic, so a restarted server re-drives the recorded execution,
+// verifies it against the stored prefix, and reuses durable checkpoints
+// — the crash-recovery path of cmd/diffprovd's -data-dir flag.
+func WithDataDir(dir string) Option {
+	return func(s *Server) { s.dataDir = dir }
+}
+
 // New creates a server at the given workload scale.
 func New(scale scenarios.Scale, opts ...Option) *Server {
 	s := &Server{
@@ -148,7 +166,14 @@ func (s *Server) scenario(name string) (*scenarios.Scenario, error) {
 		s.cache[key] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() { e.sc, e.err = s.build(key, s.scale) })
+	e.once.Do(func() {
+		var opts []scenarios.BuildOption
+		if s.dataDir != "" {
+			dir := filepath.Join(s.dataDir, store.SanitizeName(key))
+			opts = append(opts, scenarios.WithSessionOptions(replay.WithStorage(dir)))
+		}
+		e.sc, e.err = s.build(key, s.scale, opts...)
+	})
 	return e.sc, e.err
 }
 

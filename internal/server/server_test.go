@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -121,7 +122,7 @@ func TestListScenarios(t *testing.T) {
 // entries.
 func TestBuildFailureTaxonomy(t *testing.T) {
 	srv := New(scenarios.Small)
-	srv.build = func(name string, scale scenarios.Scale) (*scenarios.Scenario, error) {
+	srv.build = func(name string, scale scenarios.Scale, _ ...scenarios.BuildOption) (*scenarios.Scenario, error) {
 		if name == "SDN2" {
 			return nil, fmt.Errorf("synthetic build explosion")
 		}
@@ -172,7 +173,7 @@ func TestBuildFailureTaxonomy(t *testing.T) {
 // not comparable to the bad packet).
 func TestUnsuitableReference(t *testing.T) {
 	srv := New(scenarios.Small)
-	srv.build = func(name string, scale scenarios.Scale) (*scenarios.Scenario, error) {
+	srv.build = func(name string, scale scenarios.Scale, _ ...scenarios.BuildOption) (*scenarios.Scenario, error) {
 		sc, err := scenarios.Build(name, scale)
 		if err != nil {
 			return nil, err
@@ -298,7 +299,7 @@ func TestScenarioCaching(t *testing.T) {
 	builds := 0
 	inner := srv.build
 	var mu sync.Mutex
-	srv.build = func(name string, scale scenarios.Scale) (*scenarios.Scenario, error) {
+	srv.build = func(name string, scale scenarios.Scale, _ ...scenarios.BuildOption) (*scenarios.Scenario, error) {
 		mu.Lock()
 		builds++
 		mu.Unlock()
@@ -467,6 +468,56 @@ func TestConcurrentDiagnoses(t *testing.T) {
 			}
 		} else {
 			changesBy[r.name] = enc
+		}
+	}
+}
+
+// TestDataDirRestartRecovery is the diffprovd kill-and-restart path: a
+// server with -data-dir records scenario logs and checkpoints into the
+// segmented store; a second server over the same directory (the restart)
+// recovers them — re-driving the deterministic build against the stored
+// prefix instead of re-recording — and returns an identical diagnosis.
+func TestDataDirRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1 := testServer(t, WithWorkers(2), WithDataDir(dir))
+	code, body1 := post(t, ts1.URL+"/scenarios/SDN1/diagnose")
+	if code != http.StatusOK {
+		t.Fatalf("first diagnose: %d: %s", code, body1)
+	}
+	ts1.Close()
+
+	// The store must actually hold segments for the scenario.
+	segs, err := filepath.Glob(filepath.Join(dir, "SDN1", "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments under the data dir: %v", err)
+	}
+
+	// Restart: fresh server, same data dir.
+	ts2 := testServer(t, WithWorkers(2), WithDataDir(dir))
+	code, body2 := post(t, ts2.URL+"/scenarios/SDN1/diagnose")
+	if code != http.StatusOK {
+		t.Fatalf("post-restart diagnose: %d: %s", code, body2)
+	}
+
+	// Identical diagnoses, field for field (timings excluded).
+	type diag struct {
+		Changes []json.RawMessage `json:"changes"`
+		Rounds  int               `json:"rounds"`
+	}
+	var d1, d2 diag
+	if err := json.Unmarshal(body1, &d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &d2); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Rounds != d2.Rounds || len(d1.Changes) != len(d2.Changes) {
+		t.Fatalf("diagnoses differ after restart:\n%s\nvs\n%s", body1, body2)
+	}
+	for i := range d1.Changes {
+		if string(d1.Changes[i]) != string(d2.Changes[i]) {
+			t.Fatalf("change %d differs after restart: %s vs %s", i, d1.Changes[i], d2.Changes[i])
 		}
 	}
 }

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// DefaultRecordsPerSegment is the seal threshold for record logs; vertex
+// records are larger than base events, so shard segments seal sooner.
+const DefaultRecordsPerSegment = 1024
+
+// RecordLogOption configures a RecordLog.
+type RecordLogOption func(*RecordLog)
+
+// WithRecordsPerSegment sets the number of records after which a record
+// log segment seals.
+func WithRecordsPerSegment(n int) RecordLogOption {
+	return func(l *RecordLog) { l.perSeg = n }
+}
+
+// RecordLog is an append-only log of opaque binary records over the
+// shared segment machinery. Records are addressed by their ordinal (the
+// zero-based append position), which is how provenance shards key
+// vertexes: a vertex's ID is its ordinal in the shard's record log, so
+// a stored graph needs no separate ID index. Lookups by ordinal cache
+// the containing segment, matching the access pattern of lazy
+// materialization (Zhao/Subotić/Scholz): reconstructing one derivation
+// touches a handful of neighboring records, not the whole log.
+type RecordLog struct {
+	mu     sync.Mutex
+	sl     *seglog
+	perSeg int
+	count  int
+
+	// cache of one decoded segment for Get.
+	cacheIdx  int // segment index, -1 when empty
+	cacheBase int // ordinal of the segment's first record
+	cacheRecs [][]byte
+}
+
+// OpenRecordLog opens (or creates) the record log with the given file
+// name prefix inside dir, recovering a torn active tail exactly like the
+// event store does.
+func OpenRecordLog(dir, prefix string, opts ...RecordLogOption) (*RecordLog, error) {
+	l := &RecordLog{perSeg: DefaultRecordsPerSegment, cacheIdx: -1}
+	for _, o := range opts {
+		o(l)
+	}
+	opening := true
+	sl, err := openSeglog(dir, prefix, l.perSeg, seglogHooks{
+		// Runtime seals move already-counted records from the active tail
+		// into the sealed list; only open-time recovery discovers records.
+		onSealed: func(m segMeta, extra []byte) {
+			if opening {
+				l.count += m.count
+			}
+		},
+		onActiveRecord: func(payload []byte) error {
+			l.count++
+			return nil
+		},
+	})
+	opening = false
+	if err != nil {
+		return nil, err
+	}
+	l.sl = sl
+	return l, nil
+}
+
+// Append adds one record and returns its ordinal.
+func (l *RecordLog) Append(payload []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.sl.append(payload); err != nil {
+		return 0, err
+	}
+	ord := l.count
+	l.count++
+	// Appending may seal the cache's segment or extend the active one the
+	// cache copied; drop the cache rather than track either case.
+	if l.sl.active == nil || l.cacheIdx == l.sl.active.idx {
+		l.cacheIdx = -1
+		l.cacheRecs = nil
+	}
+	return ord, nil
+}
+
+// Count returns the number of records appended so far.
+func (l *RecordLog) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Get returns the record at the given ordinal. The returned slice is the
+// caller's to keep.
+func (l *RecordLog) Get(ord int) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ord < 0 || ord >= l.count {
+		return nil, fmt.Errorf("store: record %d out of range (have %d)", ord, l.count)
+	}
+	if l.cacheIdx >= 0 && ord >= l.cacheBase && ord < l.cacheBase+len(l.cacheRecs) {
+		return l.cacheRecs[ord-l.cacheBase], nil
+	}
+	// Locate the segment holding ord.
+	base := 0
+	for _, m := range l.sl.sealed {
+		if ord < base+m.count {
+			var recs [][]byte
+			err := l.sl.readSegment(m, func(p []byte) error {
+				recs = append(recs, append([]byte(nil), p...))
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			l.cacheIdx, l.cacheBase, l.cacheRecs = m.idx, base, recs
+			return recs[ord-base], nil
+		}
+		base += m.count
+	}
+	data, err := l.sl.activeSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	var recs [][]byte
+	if _, err := scanRecords(data, func(p []byte) error {
+		recs = append(recs, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if ord-base >= len(recs) {
+		return nil, fmt.Errorf("store: record %d missing from active segment", ord)
+	}
+	l.cacheIdx, l.cacheBase, l.cacheRecs = l.sl.active.idx, base, recs
+	return recs[ord-base], nil
+}
+
+// Scan streams every record in append order. The payload slice is only
+// valid during the callback.
+func (l *RecordLog) Scan(fn func(ord int, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ord := 0
+	for _, m := range l.sl.sealed {
+		err := l.sl.readSegment(m, func(p []byte) error {
+			err := fn(ord, p)
+			ord++
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	data, err := l.sl.activeSnapshot()
+	if err != nil {
+		return err
+	}
+	_, err = scanRecords(data, func(p []byte) error {
+		err := fn(ord, p)
+		ord++
+		return err
+	})
+	return err
+}
+
+// Sync makes all appended records durable.
+func (l *RecordLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sl.sync()
+}
+
+// Close syncs and closes the log.
+func (l *RecordLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sl.close()
+}
+
+// SanitizeName maps an arbitrary shard or node name onto a filesystem-
+// safe file prefix: runs of characters outside [A-Za-z0-9_.] become a
+// single underscore ('-' is excluded because it separates the prefix
+// from the segment number in file names), and a leading dot is escaped
+// so the prefix never hides the file. Distinct names that sanitize
+// identically would collide, so callers append a disambiguating ordinal
+// where that matters.
+func SanitizeName(name string) string {
+	var b strings.Builder
+	lastUnderscore := false
+	for _, r := range name {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+			lastUnderscore = false
+		} else if !lastUnderscore {
+			b.WriteByte('_')
+			lastUnderscore = true
+		}
+	}
+	s := b.String()
+	if s == "" || s[0] == '.' {
+		s = "_" + s
+	}
+	return s
+}
