@@ -13,6 +13,7 @@ import (
 	"repro/internal/failures"
 	"repro/internal/mapreduce"
 	"repro/internal/ndlog"
+	"repro/internal/provenance"
 	"repro/internal/replay"
 	"repro/internal/scenarios"
 	"repro/internal/stanford"
@@ -453,6 +454,54 @@ rule j hit(S, D) :- probe(@r, S), edge(@r, S, D).
 					if _, _, err := sess.ReplayWith(change); err != nil {
 						b.Fatal(err)
 					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFork isolates the cost at the head of every counterfactual
+// replay: forking a sealed prefix engine together with its provenance
+// recorder. The cow variant shares tables, index buckets, support maps,
+// and the graph vertex arena with the sealed parent, cloning pieces only
+// when the fork first writes them; the deep variant copies everything up
+// front, so its cost (and allocations) grow with N while cow stays flat.
+func BenchmarkFork(b *testing.B) {
+	const forkProgram = `
+table edge/2 base mutable;
+table probe/1 event base;
+table hit/2 event;
+rule j hit(S, D) :- probe(@r, S), edge(@r, S, D).
+`
+	prog := ndlog.MustParse(forkProgram)
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []struct {
+			name string
+			cow  bool
+		}{{"cow", true}, {"deep", false}} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, mode.name), func(b *testing.B) {
+				rec := provenance.NewRecorder(prog, provenance.WithCopyOnWriteForks(mode.cow))
+				e := ndlog.New(prog, rec, ndlog.WithCopyOnWriteForks(mode.cow))
+				if err := e.ScheduleInsert("r", ndlog.NewTuple("edge", ndlog.Int(1), ndlog.Int(2)), 0); err != nil {
+					b.Fatal(err)
+				}
+				for i := 1; i < n; i++ {
+					v := ndlog.Int(int64(i % 64))
+					if err := e.ScheduleInsert("r", ndlog.NewTuple("probe", v), int64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+				rec.Seal()
+				e.Seal()
+				// Warm once so one-time lazy work is off the clock.
+				e.Fork(rec.Fork())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Fork(rec.Fork())
 				}
 			})
 		}

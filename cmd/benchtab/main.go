@@ -12,6 +12,7 @@
 //	benchtab -stanford
 //	benchtab -refcheck
 //	benchtab -coldstart
+//	benchtab -fork
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		stanford  = flag.Bool("stanford", false, "§6.7: Stanford backbone diagnosis")
 		refcheck  = flag.Bool("refcheck", false, "§6.3: unsuitable-reference queries")
 		coldstart = flag.Bool("coldstart", false, "segmented-store cold start: record SDN1, replay it out of segments")
+		fork      = flag.Bool("fork", false, "prefix fork cost: copy-on-write vs deep fork by state size")
 		scaleStr  = flag.String("scale", "small", "workload scale: small or paper")
 	)
 	flag.Parse()
@@ -49,10 +51,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *all {
-		*table1, *fig5, *fig6, *fig7, *fig8, *latency, *stanford, *refcheck, *coldstart =
-			true, true, true, true, true, true, true, true, true
+		*table1, *fig5, *fig6, *fig7, *fig8, *latency, *stanford, *refcheck, *coldstart, *fork =
+			true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig5 || *fig6 || *fig7 || *fig8 || *latency || *stanford || *refcheck || *coldstart) {
+	if !(*table1 || *fig5 || *fig6 || *fig7 || *fig8 || *latency || *stanford || *refcheck || *coldstart || *fork) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -175,6 +177,17 @@ func main() {
 			res.Events, res.Checkpoints, res.Segments, res.StoreBytes, res.Record)
 		fmt.Printf("recovered: cold start out of segments in %v (checkpoints reused, log verified)\n",
 			res.Recover)
+		fmt.Println()
+	}
+
+	if *fork {
+		fmt.Println("== Prefix fork cost: copy-on-write vs deep fork (engine + recorder, per counterfactual candidate) ==")
+		rows, err := evaluation.ForkCost(nil, 0)
+		die(err)
+		fmt.Printf("%8s %6s %14s %14s\n", "N", "mode", "fork_ns", "fork_allocs")
+		for _, r := range rows {
+			fmt.Printf("%8d %6s %14.0f %14.1f\n", r.N, r.Mode, r.ForkNanos, r.ForkAllocs)
+		}
 		fmt.Println()
 	}
 }

@@ -117,7 +117,8 @@ func (e *Engine) groupKey(r *Rule, nodeName string, env Env) string {
 		names = append(names, v)
 	}
 	sort.Strings(names)
-	key := make([]byte, 0, 64)
+	kb := getKeyBuf()
+	key := kb.b[:0]
 	key = append(key, r.Name...)
 	key = append(key, '@')
 	key = append(key, nodeName...)
@@ -134,7 +135,9 @@ func (e *Engine) groupKey(r *Rule, nodeName string, env Env) string {
 			key = append(key, '?')
 		}
 	}
-	return string(key)
+	s := string(key)
+	putKeyBuf(kb, key)
+	return s
 }
 
 // fireAggregate handles one triggering event for a counting rule. The
@@ -152,11 +155,7 @@ func (e *Engine) fireAggregate(r *Rule, nodeName string, b binding, st Stamp) er
 	// Evaluate the head against the incremented count, still without
 	// mutating the group, so an evaluation error leaves it untouched too.
 	gk := e.groupKey(r, nodeName, b.env)
-	g := e.aggGroups[gk]
-	if g == nil {
-		g = &aggGroup{}
-		e.aggGroups[gk] = g
-	}
+	g := e.aggGroupFor(gk)
 	env := b.env.Clone()
 	env[r.CountVar] = Int(g.count + 1)
 	args := make([]Value, len(r.Head.Args))
@@ -214,11 +213,14 @@ func (e *Engine) retractDerived(nodeName string, t Tuple, deriveID int64, cause 
 		e.stats.AggRetractMisses++
 		return
 	}
-	r, ok := tb.live[t.Key()]
-	if !ok {
+	if _, ok := tb.live[t.Key()]; !ok {
 		e.stats.AggRetractMisses++
 		return
 	}
+	// The retraction mutates the row's supports; clone a sealed table
+	// first and re-fetch the row from the writable clone.
+	tb = e.writableTable(n, tb)
+	r := tb.live[t.Key()]
 	idx := -1
 	for i, s := range r.supports {
 		if s.deriveID == deriveID {

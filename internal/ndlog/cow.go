@@ -1,0 +1,235 @@
+package ndlog
+
+// Copy-on-write forks.
+//
+// Counterfactual replay forks a cached prefix engine once per candidate
+// trial, and the trial's suffix touches only a handful of tuples. A deep
+// Fork copies every table, row, support list, interval history, and index
+// bucket — O(state) work per trial. The CoW scheme makes fork cost
+// proportional to what the trial actually changes:
+//
+//   - Seal freezes an engine once it enters the prefix cache: a sealed
+//     engine refuses Run and Schedule calls, and every table it holds is
+//     marked sealed.
+//   - Fork of a sealed CoW engine shares the frozen tables by pointer
+//     (fresh per-fork node and table maps, O(#tables)), reads the
+//     dependents / aggGroups maps through an overlay chain (cowBase),
+//     borrows the immutable map by reference, and copies only the pending
+//     work queue.
+//   - The first write to a sealed table clones it (writableTable) and
+//     swaps the fork's pointer to the clone; the set of swapped pointers
+//     is the fork's dirty set. A clone overlays its interval histories on
+//     the frozen base (histBase), copying a per-key slice only when that
+//     key is written.
+//
+// Results are byte-identical to deep forks: sealed state is immutable by
+// construction (every write site routes through writableTable or an
+// overlay helper, and writableTable panics on a sealed engine), reads see
+// through the overlays in shadowing order, and execution order is a
+// function of the event schedule alone (WithSeqBand), never of how state
+// is laid out. The differential suites run with CoW on and off to pin
+// this.
+//
+// Concurrency: sealed state is only ever read after Seal returns, so any
+// number of goroutines may fork one sealed engine and run the forks
+// concurrently — each fork's writes land in fork-private clones.
+
+// WithCopyOnWriteForks enables or disables copy-on-write Fork for sealed
+// engines (default on). With it off, Fork always deep-copies. Results are
+// byte-identical either way; the switch exists as the ablation arm of the
+// fork differential suites.
+func WithCopyOnWriteForks(on bool) Option {
+	return func(e *Engine) { e.cow = on }
+}
+
+// Seal freezes the engine: Run, RunUntil, ScheduleInsert, and
+// ScheduleDelete are refused from now on, and every table is marked
+// sealed so forks clone it on first write. Replay sessions seal an engine
+// when it enters the prefix cache; cache entries are only ever forked.
+// Sealing is idempotent, and safe while forks of earlier sealed engines
+// run concurrently: only tables private to this engine are written.
+func (e *Engine) Seal() {
+	if e.sealed {
+		return
+	}
+	e.sealed = true
+	for _, n := range e.nodes {
+		for _, tb := range n.tables {
+			if !tb.sealed {
+				tb.sealed = true
+			}
+		}
+	}
+}
+
+// Sealed reports whether Seal froze the engine.
+func (e *Engine) Sealed() bool { return e.sealed }
+
+// writableTable returns a table this engine may mutate. Unsealed tables
+// (engine-private) pass through; a sealed table — shared with the frozen
+// engine a CoW fork was taken from — is cloned on first write and the
+// fork's pointer swapped to the clone. Writing to a sealed engine itself
+// is a bug by construction (sealed engines refuse Run), so it panics
+// rather than corrupt forks sharing the state.
+func (e *Engine) writableTable(n *node, tb *table) *table {
+	if !tb.sealed {
+		return tb
+	}
+	if e.sealed {
+		panic("ndlog: write to sealed engine table " + tb.decl.Name)
+	}
+	ft := forkTable(tb, true)
+	n.tables[tb.decl.Name] = ft
+	return ft
+}
+
+// histOf returns the effective interval history of a key, walking the
+// copy-on-write chain. The returned slice may belong to a frozen base and
+// must not be mutated.
+func (tb *table) histOf(key string) []Interval {
+	for t := tb; t != nil; t = t.histBase {
+		if ivs, ok := t.hist[key]; ok {
+			return ivs
+		}
+	}
+	return nil
+}
+
+// histAppend appends an interval to a key's history, copying the
+// effective base history into this table on the key's first local write.
+func (tb *table) histAppend(key string, iv Interval) {
+	ivs, ok := tb.hist[key]
+	if !ok && tb.histBase != nil {
+		if base := tb.histBase.histOf(key); len(base) > 0 {
+			ivs = make([]Interval, len(base), len(base)+1)
+			copy(ivs, base)
+		}
+	}
+	tb.hist[key] = append(ivs, iv)
+}
+
+// histCloseLast closes a key's trailing open interval at st, copying the
+// effective history first if it is still owned by a frozen base.
+func (tb *table) histCloseLast(key string, st Stamp) {
+	ivs, ok := tb.hist[key]
+	if !ok && tb.histBase != nil {
+		base := tb.histBase.histOf(key)
+		if len(base) == 0 {
+			return
+		}
+		ivs = append([]Interval(nil), base...)
+	}
+	if len(ivs) > 0 && ivs[len(ivs)-1].Open {
+		ivs[len(ivs)-1].To = st
+		ivs[len(ivs)-1].Open = false
+		tb.hist[key] = ivs
+	}
+}
+
+// forEachHist visits every key's effective interval history exactly once,
+// chain-local entries shadowing frozen-base ones.
+func (tb *table) forEachHist(fn func(key string, ivs []Interval)) {
+	if tb.histBase == nil {
+		for k, ivs := range tb.hist {
+			fn(k, ivs)
+		}
+		return
+	}
+	seen := map[string]bool{}
+	for t := tb; t != nil; t = t.histBase {
+		for k, ivs := range t.hist {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fn(k, ivs)
+		}
+	}
+}
+
+// depsOf returns the effective dependent list for a body-row ref, walking
+// the frozen-base chain. Stored entries are never empty, so nil means the
+// ref has no dependents (absent everywhere, or tombstoned by deleteDeps).
+// The returned slice may be owned by a frozen base; do not mutate it.
+func (e *Engine) depsOf(ref string) []dependentRef {
+	for en := e; en != nil; en = en.cowBase {
+		if deps, ok := en.dependents[ref]; ok {
+			return deps
+		}
+	}
+	return nil
+}
+
+// deleteDeps removes a ref's dependent list: deleted outright at a chain
+// root, tombstoned (stored nil) in a CoW fork so the frozen base's entry
+// stays shadowed.
+func (e *Engine) deleteDeps(ref string) {
+	if e.cowBase != nil {
+		e.dependents[ref] = nil
+	} else {
+		delete(e.dependents, ref)
+	}
+}
+
+// forEachDependent visits every ref's effective dependent list exactly
+// once, skipping tombstones; used to materialize the overlay on deep
+// forks.
+func (e *Engine) forEachDependent(fn func(ref string, deps []dependentRef)) {
+	if e.cowBase == nil {
+		for ref, deps := range e.dependents {
+			fn(ref, deps)
+		}
+		return
+	}
+	seen := map[string]bool{}
+	for en := e; en != nil; en = en.cowBase {
+		for ref, deps := range en.dependents {
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			if deps != nil {
+				fn(ref, deps)
+			}
+		}
+	}
+}
+
+// aggGroupFor returns this engine's mutable aggregate group for a key,
+// copying the frozen base's group state on first access (the state is a
+// few scalars) or creating a fresh group.
+func (e *Engine) aggGroupFor(gk string) *aggGroup {
+	if g, ok := e.aggGroups[gk]; ok {
+		return g
+	}
+	for en := e.cowBase; en != nil; en = en.cowBase {
+		if g, ok := en.aggGroups[gk]; ok {
+			cp := *g
+			e.aggGroups[gk] = &cp
+			return &cp
+		}
+	}
+	g := &aggGroup{}
+	e.aggGroups[gk] = g
+	return g
+}
+
+// forEachAggGroup visits every group's effective state exactly once.
+func (e *Engine) forEachAggGroup(fn func(gk string, g *aggGroup)) {
+	if e.cowBase == nil {
+		for gk, g := range e.aggGroups {
+			fn(gk, g)
+		}
+		return
+	}
+	seen := map[string]bool{}
+	for en := e; en != nil; en = en.cowBase {
+		for gk, g := range en.aggGroups {
+			if seen[gk] {
+				continue
+			}
+			seen[gk] = true
+			fn(gk, g)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ndlog
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -153,7 +154,21 @@ type Engine struct {
 	analysis      bool
 	analysisDiags []Diag
 	analysisErr   error
+	// cow enables copy-on-write Fork for sealed engines (default on).
+	// sealed marks an engine frozen in the prefix cache: it refuses Run
+	// and Schedule calls, and forks clone its tables on first write.
+	// cowBase chains a CoW fork to the frozen engine whose dependents and
+	// aggGroups maps it overlays; immutableShared marks the immutable map
+	// as borrowed from that engine (cloned by PinImmutable before any
+	// write). See cow.go.
+	cow             bool
+	sealed          bool
+	cowBase         *Engine
+	immutableShared bool
 }
+
+// errSealed is returned by Run and Schedule calls on a sealed engine.
+var errSealed = errors.New("ndlog: engine is sealed (fork it to schedule or run)")
 
 // Stats counts engine activity, used by the evaluation harness.
 type Stats struct {
@@ -198,6 +213,13 @@ type table struct {
 	// indexes holds the secondary hash indexes (sig -> index) planned
 	// for this table; buckets mirror order (see index.go).
 	indexes map[string]*tableIndex
+	// sealed marks the table frozen (shared between a sealed engine and
+	// its CoW forks); writableTable clones it on first write. histBase,
+	// on such a clone, is the frozen table whose interval histories the
+	// clone overlays: hist holds only keys written since the clone, each
+	// entry a complete private copy of that key's history. See cow.go.
+	sealed   bool
+	histBase *table
 }
 
 type row struct {
@@ -328,6 +350,7 @@ func New(prog *Program, obs Observer, opts ...Option) *Engine {
 		deriveLimit: 10_000_000,
 		indexing:    true,
 		analysis:    true,
+		cow:         true,
 	}
 	for _, o := range opts {
 		o(e)
@@ -423,6 +446,9 @@ func (e *Engine) scheduleStamp(tick int64) (Stamp, error) {
 
 // ScheduleInsert schedules a base-tuple insertion at the given tick.
 func (e *Engine) ScheduleInsert(nodeName string, t Tuple, tick int64) error {
+	if e.sealed {
+		return errSealed
+	}
 	d := e.prog.Decl(t.Table)
 	if d == nil {
 		return fmt.Errorf("ndlog: insert into undeclared table %s", t.Table)
@@ -443,6 +469,9 @@ func (e *Engine) ScheduleInsert(nodeName string, t Tuple, tick int64) error {
 
 // ScheduleDelete schedules a base-tuple deletion at the given tick.
 func (e *Engine) ScheduleDelete(nodeName string, t Tuple, tick int64) error {
+	if e.sealed {
+		return errSealed
+	}
 	d := e.prog.Decl(t.Table)
 	if d == nil {
 		return fmt.Errorf("ndlog: delete from undeclared table %s", t.Table)
@@ -461,6 +490,16 @@ func (e *Engine) ScheduleDelete(nodeName string, t Tuple, tick int64) error {
 // PinImmutable marks one specific tuple occurrence immutable regardless of
 // its table's mutability (e.g. a static flow entry declared off limits).
 func (e *Engine) PinImmutable(nodeName string, t Tuple) {
+	if e.sealed {
+		panic("ndlog: PinImmutable on sealed engine")
+	}
+	if e.immutableShared {
+		m := make(map[string]bool, len(e.immutable)+1)
+		for k, v := range e.immutable {
+			m[k] = v
+		}
+		e.immutable, e.immutableShared = m, false
+	}
 	e.immutable[nodeName+"|"+t.Key()] = true
 }
 
@@ -477,6 +516,9 @@ func (e *Engine) IsMutable(nodeName string, t Tuple) bool {
 // consequences in deterministic order. A program the static analysis
 // found erroneous is refused outright.
 func (e *Engine) Run() error {
+	if e.sealed {
+		return errSealed
+	}
 	if e.analysisErr != nil {
 		return e.analysisErr
 	}
@@ -498,6 +540,9 @@ func (e *Engine) Run() error {
 // transit delay — stays pending, so a later Run (or a Fork followed by
 // Run) continues exactly where this call left off.
 func (e *Engine) RunUntil(maxTick int64) error {
+	if e.sealed {
+		return errSealed
+	}
 	if e.analysisErr != nil {
 		return e.analysisErr
 	}
@@ -591,11 +636,14 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 		e.obs.OnAppear(at, deriveID)
 		// Record the instantaneous occurrence in history for temporal
 		// queries (zero-length closed interval).
-		tb := e.tableFor(n, decl)
-		tb.hist[t.Key()] = append(tb.hist[t.Key()], Interval{From: st, To: st})
+		tb := e.writableTable(n, e.tableFor(n, decl))
+		tb.histAppend(t.Key(), Interval{From: st, To: st})
 		return e.trigger(nodeName, t, st)
 	}
-	tb := e.tableFor(n, decl)
+	// An appearance always writes (a new row or an extra support), so the
+	// table must be writable up front; rows fetched below come out of the
+	// fork-private clone.
+	tb := e.writableTable(n, e.tableFor(n, decl))
 	key := t.Key()
 	if r, ok := tb.live[key]; ok {
 		// Additional support for an existing tuple.
@@ -633,7 +681,7 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 	if tb.keyIdx != nil {
 		tb.keyIdx[primaryKey(decl, t)] = r
 	}
-	tb.hist[key] = append(tb.hist[key], Interval{From: st, Open: true})
+	tb.histAppend(key, Interval{From: st, Open: true})
 	e.indexSupport(nodeName, key, sup)
 	e.stats.Appears++
 	at := At{Node: nodeName, Tuple: t, Stamp: st}
@@ -644,7 +692,15 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 func (e *Engine) indexSupport(nodeName, key string, sup support) {
 	for _, b := range sup.body {
 		ref := b.node + "|" + b.key
-		e.dependents[ref] = append(e.dependents[ref], dependentRef{node: nodeName, key: key, deriveID: sup.deriveID})
+		deps, ok := e.dependents[ref]
+		if !ok && e.cowBase != nil {
+			// First local write to this ref: copy the frozen base's list so
+			// the append below never lands in a sealed backing array.
+			if base := e.cowBase.depsOf(ref); len(base) > 0 {
+				deps = append(make([]dependentRef, 0, len(base)+1), base...)
+			}
+		}
+		e.dependents[ref] = append(deps, dependentRef{node: nodeName, key: key, deriveID: sup.deriveID})
 	}
 }
 
@@ -656,7 +712,12 @@ func (e *Engine) unindexSupport(nodeName, key string, sup support) {
 	for _, b := range sup.body {
 		ref := b.node + "|" + b.key
 		deps, ok := e.dependents[ref]
-		if !ok {
+		if !ok && e.cowBase != nil {
+			if base := e.cowBase.depsOf(ref); len(base) > 0 {
+				deps, ok = append([]dependentRef(nil), base...), true
+			}
+		}
+		if !ok || len(deps) == 0 {
 			continue // the body row itself is being retracted; its refs went wholesale
 		}
 		for i, d := range deps {
@@ -666,7 +727,7 @@ func (e *Engine) unindexSupport(nodeName, key string, sup support) {
 			}
 		}
 		if len(deps) == 0 {
-			delete(e.dependents, ref)
+			e.deleteDeps(ref)
 		} else {
 			e.dependents[ref] = deps
 		}
@@ -685,10 +746,13 @@ func (e *Engine) deleteBase(nodeName string, t Tuple, st Stamp) error {
 	n := e.nodeFor(nodeName)
 	tb := e.tableFor(n, decl)
 	key := t.Key()
-	r, ok := tb.live[key]
-	if !ok {
+	if _, ok := tb.live[key]; !ok {
 		return nil // deleting a non-existent tuple is a no-op
 	}
+	// The delete will mutate the row; clone a sealed table first and
+	// re-fetch the row from the writable clone.
+	tb = e.writableTable(n, tb)
+	r := tb.live[key]
 	// Remove one base support.
 	removed := false
 	for i, s := range r.supports {
@@ -711,14 +775,17 @@ func (e *Engine) deleteBase(nodeName string, t Tuple, st Stamp) error {
 
 // primaryKey computes the primary-key projection of a tuple.
 func primaryKey(decl *TableDecl, t Tuple) string {
-	b := make([]byte, 0, 32)
+	kb := getKeyBuf()
+	b := kb.b[:0]
 	for _, i := range decl.Key {
 		if i >= 0 && i < len(t.Args) {
 			b = append(b, '|')
 			b = t.Args[i].appendKey(b)
 		}
 	}
-	return string(b)
+	s := string(b)
+	putKeyBuf(kb, b)
+	return s
 }
 
 // retractRow removes a row whose support count dropped to zero, emits
@@ -733,17 +800,13 @@ func (e *Engine) retractRow(nodeName string, tb *table, r *row, st Stamp, underi
 			delete(tb.keyIdx, pk)
 		}
 	}
-	hist := tb.hist[r.key]
-	if len(hist) > 0 && hist[len(hist)-1].Open {
-		hist[len(hist)-1].To = st
-		hist[len(hist)-1].Open = false
-	}
+	tb.histCloseLast(r.key, st)
 	e.stats.Disappears++
 	e.obs.OnDisappear(At{Node: nodeName, Tuple: r.tuple, Stamp: st}, underiveID)
 
 	ref := nodeName + "|" + r.key
-	deps := e.dependents[ref]
-	delete(e.dependents, ref)
+	deps := e.depsOf(ref)
+	e.deleteDeps(ref)
 	cause := At{Node: nodeName, Tuple: r.tuple, Stamp: st}
 	for _, dep := range deps {
 		e.retractSupport(dep, cause, st)
@@ -765,6 +828,9 @@ func (e *Engine) retractSupport(dep dependentRef, cause At, st Stamp) {
 	if tb == nil {
 		return
 	}
+	// The retraction mutates the row's supports; clone a sealed table
+	// first and re-fetch the row from the writable clone.
+	tb = e.writableTable(n, tb)
 	r := tb.live[dep.key]
 	idx := -1
 	for i, s := range r.supports {
@@ -883,14 +949,17 @@ func BindingKey(env Env) string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	out := make([]byte, 0, 64)
+	kb := getKeyBuf()
+	out := kb.b[:0]
 	for _, k := range keys {
 		out = append(out, k...)
 		out = append(out, '=')
 		out = env[k].appendKey(out)
 		out = append(out, ';')
 	}
-	return string(out)
+	s := string(out)
+	putKeyBuf(kb, out)
+	return s
 }
 
 // joinRest extends the binding over the remaining body atoms (hash join
@@ -1193,7 +1262,7 @@ func (e *Engine) Exists(nodeName string, t Tuple, at Stamp) bool {
 	if tb == nil {
 		return false
 	}
-	for _, iv := range tb.hist[t.Key()] {
+	for _, iv := range tb.histOf(t.Key()) {
 		if iv.Contains(at) {
 			return true
 		}
@@ -1211,7 +1280,7 @@ func (e *Engine) ExistsEver(nodeName string, t Tuple) bool {
 	if tb == nil {
 		return false
 	}
-	return len(tb.hist[t.Key()]) > 0
+	return len(tb.histOf(t.Key())) > 0
 }
 
 // History returns the existence intervals of a tuple on a node.
@@ -1224,7 +1293,7 @@ func (e *Engine) History(nodeName string, t Tuple) []Interval {
 	if tb == nil {
 		return nil
 	}
-	return append([]Interval(nil), tb.hist[t.Key()]...)
+	return append([]Interval(nil), tb.histOf(t.Key())...)
 }
 
 // TuplesAt returns the tuples of a table that existed on the node at the

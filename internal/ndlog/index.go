@@ -54,14 +54,17 @@ type tableIndex struct {
 
 // rowKey encodes the indexed columns of a stored tuple.
 func (ix *tableIndex) rowKey(t Tuple) string {
-	b := make([]byte, 0, 32)
+	kb := getKeyBuf()
+	b := kb.b[:0]
 	for i, c := range ix.spec.cols {
 		if i > 0 {
 			b = append(b, '|')
 		}
 		b = t.Args[c].appendKey(b)
 	}
-	return string(b)
+	s := string(b)
+	putKeyBuf(kb, b)
+	return s
 }
 
 // insert appends a freshly appeared row to its bucket.
@@ -208,7 +211,8 @@ func (e *Engine) planFor(r *Rule, delta, next int) *indexSpec {
 // false when a planned variable is unexpectedly unbound — the caller
 // falls back to a scan.
 func probeKey(atom Atom, spec *indexSpec, env Env) (string, bool) {
-	b := make([]byte, 0, 32)
+	kb := getKeyBuf()
+	b := kb.b[:0]
 	for i, c := range spec.cols {
 		var v Value
 		switch a := atom.Args[c].(type) {
@@ -217,10 +221,12 @@ func probeKey(atom Atom, spec *indexSpec, env Env) (string, bool) {
 		case Var:
 			vv, bound := env[string(a)]
 			if !bound {
+				putKeyBuf(kb, b)
 				return "", false
 			}
 			v = vv
 		default:
+			putKeyBuf(kb, b)
 			return "", false
 		}
 		if i > 0 {
@@ -228,7 +234,9 @@ func probeKey(atom Atom, spec *indexSpec, env Env) (string, bool) {
 		}
 		b = v.appendKey(b)
 	}
-	return string(b), true
+	s := string(b)
+	putKeyBuf(kb, b)
+	return s, true
 }
 
 // Match constrains one column in an indexed tuple lookup.
@@ -250,14 +258,17 @@ func MatchTuple(match []Match, t Tuple) bool {
 
 // matchKey encodes the index key of a sorted column-match set.
 func matchKey(m []Match) string {
-	b := make([]byte, 0, 32)
+	kb := getKeyBuf()
+	b := kb.b[:0]
 	for i, c := range m {
 		if i > 0 {
 			b = append(b, '|')
 		}
 		b = c.Val.appendKey(b)
 	}
-	return string(b)
+	s := string(b)
+	putKeyBuf(kb, b)
+	return s
 }
 
 func matchSig(m []Match) string {

@@ -1,0 +1,32 @@
+package ndlog
+
+import "sync"
+
+// Pooled scratch buffers for the replay hot path. Counterfactual trials
+// run thousands of key encodings (primary keys, group keys, binding keys,
+// index probe keys) and table clones per second across candidate-pool
+// workers; every buffer pooled here holds data only within a single call
+// — the encoded string is materialized with string(b), and the remap map
+// is cleared before it is returned — so reuse cannot affect determinism.
+
+// keyBuf wraps the byte slice so Put does not box a fresh interface
+// allocation per call.
+type keyBuf struct{ b []byte }
+
+var keyBufPool = sync.Pool{
+	New: func() interface{} { return &keyBuf{b: make([]byte, 0, 64)} },
+}
+
+func getKeyBuf() *keyBuf { return keyBufPool.Get().(*keyBuf) }
+
+func putKeyBuf(kb *keyBuf, b []byte) {
+	kb.b = b
+	keyBufPool.Put(kb)
+}
+
+// rowRemapPool recycles the pointer-remap maps forkTable uses to clone a
+// table; cloning happens on every first write to a sealed table, so the
+// map would otherwise be reallocated once per dirtied table per trial.
+var rowRemapPool = sync.Pool{
+	New: func() interface{} { return make(map[*row]*row) },
+}

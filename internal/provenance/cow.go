@@ -1,0 +1,297 @@
+package provenance
+
+// Copy-on-write graph forks.
+//
+// A counterfactual trial's provenance graph is the cached prefix graph —
+// tens of thousands of vertexes — plus a short suffix. Deep Fork copies
+// the whole vertex arena and every index map per trial. The CoW scheme
+// shares the frozen prefix instead:
+//
+//   - Seal freezes a recorder (and its graph) when its engine enters the
+//     prefix cache; sealed graphs are never recorded into again.
+//   - Fork of a sealed CoW graph keeps a reference to the base, stores
+//     only fork-local vertexes in its own arena tail (IDs continue from
+//     baseLen), and starts every index map empty: writes land locally,
+//     reads walk the base chain in shadowing order.
+//   - The single in-place mutation the recorder ever performs — closing
+//     an EXIST vertex's Span when its tuple dies — goes through
+//     mutableVertex, which copies the base vertex into the fork's
+//     redirect map. Fingerprints exclude Span, so the copy keeps its
+//     cached fp.
+//
+// Slice-valued index entries (appearsByTuple, appearsByTable,
+// triggerParents) copy the base's slice into the local map on first
+// append, so a local entry is always complete and chain reads stop at the
+// first map holding the key. openExist is the only map with deletions;
+// forks tombstone with -1 (vertex IDs are never negative).
+//
+// Everything downstream — tree projection, seed finding, fold memo — goes
+// through the accessors, so CoW and deep forks are observationally
+// identical; the differential suites run both.
+
+// WithCopyOnWriteForks enables or disables copy-on-write Fork for sealed
+// recorders and their graphs (default on). Results are byte-identical
+// either way; the switch is the ablation arm of the fork differential
+// suites.
+func WithCopyOnWriteForks(on bool) RecorderOption {
+	return func(r *Recorder) { r.cow = on }
+}
+
+// Seal freezes the recorder and its graph for the prefix cache: from now
+// on the pair is only ever forked, never recorded into. Forking a sealed
+// CoW recorder shares the frozen graph instead of copying it.
+func (r *Recorder) Seal() {
+	r.sealed = true
+	r.graph.sealed = true
+}
+
+// Sealed reports whether Seal froze the recorder.
+func (r *Recorder) Sealed() bool { return r.sealed }
+
+// vertex returns the vertex with the given ID, resolving through the
+// fork-local tail, the redirect overlay, and the frozen base chain. The
+// caller guarantees 0 <= id < NumVertexes().
+func (g *Graph) vertex(id int) *Vertex {
+	if id >= g.baseLen {
+		return g.vertexes[id-g.baseLen]
+	}
+	if v, ok := g.redirect[id]; ok {
+		return v
+	}
+	return g.base.vertex(id)
+}
+
+// mutableVertex returns a vertex this graph may mutate in place, copying
+// a frozen base vertex into the redirect overlay on first access. Only
+// the recorder's EXIST-span closing uses it.
+func (g *Graph) mutableVertex(id int) *Vertex {
+	if g.sealed {
+		panic("provenance: mutate vertex of sealed graph")
+	}
+	if id >= g.baseLen {
+		return g.vertexes[id-g.baseLen]
+	}
+	if v, ok := g.redirect[id]; ok {
+		return v
+	}
+	cp := *g.base.vertex(id)
+	if g.redirect == nil {
+		g.redirect = map[int]*Vertex{}
+	}
+	g.redirect[id] = &cp
+	return &cp
+}
+
+// Map selectors: top-level functions (no closure allocation) that let the
+// chain walkers below address one index map per call site.
+
+func selAppearByRef(g *Graph) map[string]int      { return g.appearByRef }
+func selOpenExist(g *Graph) map[string]int        { return g.openExist }
+func selExistByRef(g *Graph) map[string]int       { return g.existByRef }
+func selLastDisappear(g *Graph) map[string]int    { return g.lastDisappear }
+func selHeadAppear(g *Graph) map[int]int          { return g.headAppear }
+func selExistOf(g *Graph) map[int]int             { return g.existOf }
+func selAppearsByTuple(g *Graph) map[string][]int { return g.appearsByTuple }
+func selAppearsByTable(g *Graph) map[string][]int { return g.appearsByTable }
+func selTriggerParents(g *Graph) map[int][]int    { return g.triggerParents }
+
+// lookupStr resolves a string-keyed vertex lookup through the chain. A
+// negative stored value is a deletion tombstone (only openExist stores
+// them; real vertex IDs are never negative).
+func (g *Graph) lookupStr(sel func(*Graph) map[string]int, key string) (int, bool) {
+	for gr := g; gr != nil; gr = gr.base {
+		if v, ok := sel(gr)[key]; ok {
+			if v < 0 {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// lookupInt is lookupStr for int-keyed maps.
+func (g *Graph) lookupInt(sel func(*Graph) map[int]int, key int) (int, bool) {
+	for gr := g; gr != nil; gr = gr.base {
+		if v, ok := sel(gr)[key]; ok {
+			if v < 0 {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// deriveVertex resolves an engine derivation ID to its DERIVE vertex.
+func (g *Graph) deriveVertex(id int64) (int, bool) {
+	for gr := g; gr != nil; gr = gr.base {
+		if v, ok := gr.byDerive[id]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// deleteOpenExist removes a tuple's open-EXIST entry: deleted outright at
+// a chain root, tombstoned in a fork so the base entry stays shadowed.
+func (g *Graph) deleteOpenExist(tk string) {
+	if g.base != nil {
+		g.openExist[tk] = -1
+	} else {
+		delete(g.openExist, tk)
+	}
+}
+
+// effStrSlice returns the effective slice entry for a key: local entries
+// are complete (appendStrSlice copies before the first local append), so
+// the first map in the chain holding the key wins. The returned slice may
+// be owned by a frozen base; do not mutate or append to it.
+func (g *Graph) effStrSlice(sel func(*Graph) map[string][]int, key string) []int {
+	for gr := g; gr != nil; gr = gr.base {
+		if ids, ok := sel(gr)[key]; ok {
+			return ids
+		}
+	}
+	return nil
+}
+
+// effIntSlice is effStrSlice for int-keyed maps.
+func (g *Graph) effIntSlice(sel func(*Graph) map[int][]int, key int) []int {
+	for gr := g; gr != nil; gr = gr.base {
+		if ids, ok := sel(gr)[key]; ok {
+			return ids
+		}
+	}
+	return nil
+}
+
+// appendStrSlice appends id to a key's slice entry, copying the effective
+// base slice into the local map on the key's first local write so the
+// append never lands in a frozen backing array.
+func (g *Graph) appendStrSlice(sel func(*Graph) map[string][]int, key string, id int) {
+	m := sel(g)
+	ids, ok := m[key]
+	if !ok && g.base != nil {
+		if base := g.base.effStrSlice(sel, key); len(base) > 0 {
+			ids = append(make([]int, 0, len(base)+1), base...)
+		}
+	}
+	m[key] = append(ids, id)
+}
+
+// appendIntSlice is appendStrSlice for int-keyed maps.
+func (g *Graph) appendIntSlice(sel func(*Graph) map[int][]int, key int, id int) {
+	m := sel(g)
+	ids, ok := m[key]
+	if !ok && g.base != nil {
+		if base := g.base.effIntSlice(sel, key); len(base) > 0 {
+			ids = append(make([]int, 0, len(base)+1), base...)
+		}
+	}
+	m[key] = append(ids, id)
+}
+
+// Chain collectors: flatten an overlay into one map for deep forks. Each
+// falls back to a plain copy for root graphs.
+
+func collectStrInt(g *Graph, sel func(*Graph) map[string]int) map[string]int {
+	if g.base == nil {
+		return copyIntMap(sel(g))
+	}
+	out := map[string]int{}
+	seen := map[string]bool{}
+	for gr := g; gr != nil; gr = gr.base {
+		for k, v := range sel(gr) {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if v >= 0 {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func collectIntInt(g *Graph, sel func(*Graph) map[int]int) map[int]int {
+	if g.base == nil {
+		m := sel(g)
+		out := make(map[int]int, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	out := map[int]int{}
+	seen := map[int]bool{}
+	for gr := g; gr != nil; gr = gr.base {
+		for k, v := range sel(gr) {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if v >= 0 {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func collectStrSlice(g *Graph, sel func(*Graph) map[string][]int) map[string][]int {
+	if g.base == nil {
+		return copySliceMap(sel(g))
+	}
+	out := map[string][]int{}
+	for gr := g; gr != nil; gr = gr.base {
+		for k, ids := range sel(gr) {
+			if _, ok := out[k]; ok {
+				continue
+			}
+			out[k] = append([]int(nil), ids...)
+		}
+	}
+	return out
+}
+
+func collectIntSlice(g *Graph, sel func(*Graph) map[int][]int) map[int][]int {
+	out := map[int][]int{}
+	for gr := g; gr != nil; gr = gr.base {
+		for k, ids := range sel(gr) {
+			if _, ok := out[k]; ok {
+				continue
+			}
+			out[k] = append([]int(nil), ids...)
+		}
+		if gr.base == nil {
+			break
+		}
+	}
+	return out
+}
+
+func collectDerive(g *Graph) map[int64]int {
+	out := make(map[int64]int, len(g.byDerive))
+	for gr := g; gr != nil; gr = gr.base {
+		for k, v := range gr.byDerive {
+			if _, ok := out[k]; ok {
+				continue
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// underiveOf resolves an engine underivation ID through the recorder's
+// frozen-base chain (the map has no deletions, so absence means absence).
+func (r *Recorder) underiveOf(id int64) (int, bool) {
+	for rr := r; rr != nil; rr = rr.base {
+		if v, ok := rr.underiveVertex[id]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -76,8 +76,8 @@ func (g *Graph) fingerprintOf(v *Vertex) uint64 {
 
 // fpOf returns the cached fingerprint of a vertex ID, 0 when out of range.
 func (g *Graph) fpOf(id int) uint64 {
-	if id >= 0 && id < len(g.vertexes) {
-		return g.vertexes[id].fp
+	if id >= 0 && id < g.NumVertexes() {
+		return g.vertex(id).fp
 	}
 	return 0
 }

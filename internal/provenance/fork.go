@@ -1,34 +1,44 @@
 package provenance
 
-// Fork deep-copies the graph so the fork can keep growing independently
-// of the original. Vertex structs are copied — an EXIST vertex's Span is
-// closed in place when its tuple dies — but Children slices are shared:
-// children are appended only while a vertex is being built, before add()
-// publishes it, and never afterwards. Maps whose values are slices
-// (appearsByTuple, appearsByTable, triggerParents) copy the slices, since
-// those are appended to as the execution continues.
+// Fork copies the graph so the fork can keep growing independently of the
+// original. A sealed graph with copy-on-write enabled (the default) forks
+// in O(1) + O(fold memo): the frozen vertex arena and every index map are
+// shared through the base chain and shadowed by fork-local overlays (see
+// cow.go). Otherwise Fork deep-copies, materializing any overlays it is
+// itself built on; results are byte-identical either way.
+//
+// In both modes vertex Children slices are shared: children are appended
+// only while a vertex is being built, before add() publishes it, and never
+// afterwards. The only post-publication mutation — closing an EXIST
+// vertex's Span — is deep-copied (struct copy) or redirected (CoW).
 //
 // Fork never mutates the receiver, so concurrent forks of a shared graph
 // are safe as long as the original has stopped recording.
 func (g *Graph) Fork() *Graph {
+	if g.cow && g.sealed {
+		return g.forkCoW()
+	}
 	f := &Graph{
-		vertexes:       make([]*Vertex, len(g.vertexes)),
-		appearByRef:    copyIntMap(g.appearByRef),
-		openExist:      copyIntMap(g.openExist),
-		existByRef:     copyIntMap(g.existByRef),
-		byDerive:       make(map[int64]int, len(g.byDerive)),
-		appearsByTuple: copySliceMap(g.appearsByTuple),
-		lastDisappear:  copyIntMap(g.lastDisappear),
-		appearsByTable: copySliceMap(g.appearsByTable),
-		triggerParents: make(map[int][]int, len(g.triggerParents)),
-		headAppear:     make(map[int]int, len(g.headAppear)),
-		existOf:        make(map[int]int, len(g.existOf)),
+		vertexes:       make([]*Vertex, g.NumVertexes()),
+		appearByRef:    collectStrInt(g, selAppearByRef),
+		openExist:      collectStrInt(g, selOpenExist),
+		existByRef:     collectStrInt(g, selExistByRef),
+		byDerive:       collectDerive(g),
+		appearsByTuple: collectStrSlice(g, selAppearsByTuple),
+		lastDisappear:  collectStrInt(g, selLastDisappear),
+		appearsByTable: collectStrSlice(g, selAppearsByTable),
+		triggerParents: collectIntSlice(g, selTriggerParents),
+		headAppear:     collectIntInt(g, selHeadAppear),
+		existOf:        collectIntInt(g, selExistOf),
 		foldMemo:       make(map[uint64][]int, len(g.foldMemo)),
+		cow:            g.cow,
 	}
 	// Folded contributor lists are immutable once memoized, so the fork
 	// shares the slices; chains extended in the fork append to fresh
 	// slices keyed by new fingerprints. Taken under the lock because
-	// sibling forks of a shared prefix may fold concurrently.
+	// sibling forks of a shared prefix may fold concurrently. (A CoW
+	// fork's memo is self-contained — forkCoW snapshots the base's — so
+	// the receiver's own memo is always the complete one.)
 	g.foldMu.Lock()
 	for k, ids := range g.foldMemo {
 		f.foldMemo[k] = ids
@@ -36,24 +46,42 @@ func (g *Graph) Fork() *Graph {
 	g.foldMu.Unlock()
 	// One backing array for all vertex copies: forking a long prefix
 	// copies tens of thousands of vertexes, and per-vertex allocations
-	// dominate the fork's cost.
-	backing := make([]Vertex, len(g.vertexes))
-	for i, v := range g.vertexes {
-		backing[i] = *v
+	// dominate the fork's cost. vertex() resolves redirected EXIST copies,
+	// so a deep fork of a CoW fork materializes the overlay too.
+	backing := make([]Vertex, len(f.vertexes))
+	for i := range f.vertexes {
+		backing[i] = *g.vertex(i)
 		f.vertexes[i] = &backing[i]
 	}
-	for k, v := range g.byDerive {
-		f.byDerive[k] = v
+	return f
+}
+
+// forkCoW builds a copy-on-write fork of a sealed graph: empty overlay
+// maps with the receiver as their read-through base. Only the fold memo is
+// copied eagerly — it is written during reads (tree projection), so
+// chaining it through the base would need cross-graph locking.
+func (g *Graph) forkCoW() *Graph {
+	f := &Graph{
+		appearByRef:    map[string]int{},
+		openExist:      map[string]int{},
+		existByRef:     map[string]int{},
+		byDerive:       map[int64]int{},
+		appearsByTuple: map[string][]int{},
+		lastDisappear:  map[string]int{},
+		appearsByTable: map[string][]int{},
+		triggerParents: map[int][]int{},
+		headAppear:     map[int]int{},
+		existOf:        map[int]int{},
+		base:           g,
+		baseLen:        g.NumVertexes(),
+		cow:            true,
 	}
-	for k, ids := range g.triggerParents {
-		f.triggerParents[k] = append([]int(nil), ids...)
+	g.foldMu.Lock()
+	f.foldMemo = make(map[uint64][]int, len(g.foldMemo))
+	for k, ids := range g.foldMemo {
+		f.foldMemo[k] = ids
 	}
-	for k, v := range g.headAppear {
-		f.headAppear[k] = v
-	}
-	for k, v := range g.existOf {
-		f.existOf[k] = v
-	}
+	g.foldMu.Unlock()
 	return f
 }
 
@@ -77,8 +105,21 @@ func copySliceMap(m map[string][]int) map[string][]int {
 // engine independently. The original recorder must be quiescent (its
 // engine paused between work items); the bookkeeping that spans observer
 // callbacks within one work item (pendingInsert/pendingDelete) is copied
-// as-is, and is -1 between work items.
+// as-is, and is -1 between work items. A sealed CoW recorder forks by
+// chaining: the graph forks CoW and underiveVertex reads walk the base.
 func (r *Recorder) Fork() *Recorder {
+	if r.cow && r.sealed {
+		return &Recorder{
+			prog:           r.prog,
+			graph:          r.graph.Fork(),
+			pendingInsert:  r.pendingInsert,
+			pendingDelete:  r.pendingDelete,
+			underiveVertex: map[int64]int{},
+			eagerAgg:       r.eagerAgg,
+			cow:            true,
+			base:           r,
+		}
+	}
 	f := &Recorder{
 		prog:           r.prog,
 		graph:          r.graph.Fork(),
@@ -86,9 +127,16 @@ func (r *Recorder) Fork() *Recorder {
 		pendingDelete:  r.pendingDelete,
 		underiveVertex: make(map[int64]int, len(r.underiveVertex)),
 		eagerAgg:       r.eagerAgg,
+		cow:            r.cow,
 	}
-	for k, v := range r.underiveVertex {
-		f.underiveVertex[k] = v
+	// The chain walk materializes a CoW fork's overlay (single flat copy
+	// for a root recorder; the map has no deletions).
+	for rr := r; rr != nil; rr = rr.base {
+		for k, v := range rr.underiveVertex {
+			if _, ok := f.underiveVertex[k]; !ok {
+				f.underiveVertex[k] = v
+			}
+		}
 	}
 	return f
 }

@@ -141,9 +141,20 @@ type Graph struct {
 	// aggregate head (every diagnosis round, every treediff) pay the
 	// O(k) chain walk once. Entries are immutable once stored. Guarded
 	// by foldMu because trees may be projected from shared graphs
-	// concurrently.
+	// concurrently. Never chained through base: forkCoW snapshots the
+	// base's memo, so each graph's memo is self-contained.
 	foldMu   sync.Mutex
 	foldMemo map[uint64][]int
+
+	// Copy-on-write state (see cow.go). A CoW fork keeps the frozen base
+	// graph it shadows: local vertexes occupy IDs baseLen and up, redirect
+	// holds fork-private copies of base vertexes whose Span was closed
+	// locally, and the index maps above become overlays over the base's.
+	base     *Graph
+	baseLen  int
+	redirect map[int]*Vertex
+	cow      bool
+	sealed   bool
 }
 
 // NewGraph creates an empty provenance graph.
@@ -160,22 +171,27 @@ func NewGraph() *Graph {
 		headAppear:     map[int]int{},
 		existOf:        map[int]int{},
 		foldMemo:       map[uint64][]int{},
+		cow:            true,
 	}
 }
 
-// NumVertexes returns the number of vertexes in the graph.
-func (g *Graph) NumVertexes() int { return len(g.vertexes) }
+// NumVertexes returns the number of vertexes in the graph, including
+// those inherited from a frozen base.
+func (g *Graph) NumVertexes() int { return g.baseLen + len(g.vertexes) }
 
 // Vertex returns the vertex with the given ID.
 func (g *Graph) Vertex(id int) *Vertex {
-	if id < 0 || id >= len(g.vertexes) {
+	if id < 0 || id >= g.NumVertexes() {
 		return nil
 	}
-	return g.vertexes[id]
+	return g.vertex(id)
 }
 
 func (g *Graph) add(v *Vertex) *Vertex {
-	v.ID = len(g.vertexes)
+	if g.sealed {
+		panic("provenance: record into sealed graph (fork it instead)")
+	}
+	v.ID = g.NumVertexes()
 	if v.Type != Derive {
 		v.Trigger = -1
 	}
@@ -197,7 +213,7 @@ func tupleKey(node string, t ndlog.Tuple) string {
 // AppearVertexes returns the APPEAR vertex IDs for the exact tuple on the
 // node, in chronological order.
 func (g *Graph) AppearVertexes(node string, t ndlog.Tuple) []int {
-	return append([]int(nil), g.appearsByTuple[tupleKey(node, t)]...)
+	return append([]int(nil), g.effStrSlice(selAppearsByTuple, tupleKey(node, t))...)
 }
 
 // FindAppears returns the APPEAR vertexes on a node, over a table,
@@ -205,8 +221,8 @@ func (g *Graph) AppearVertexes(node string, t ndlog.Tuple) []int {
 // entry point: "the packet that arrived at web server 2" is an APPEAR.
 func (g *Graph) FindAppears(node, table string, pred func(ndlog.Tuple) bool) []*Vertex {
 	var out []*Vertex
-	for _, id := range g.appearsByTable[node+"|"+table] {
-		v := g.vertexes[id]
+	for _, id := range g.effStrSlice(selAppearsByTable, node+"|"+table) {
+		v := g.vertex(id)
 		if pred == nil || pred(v.Tuple) {
 			out = append(out, v)
 		}
@@ -217,24 +233,24 @@ func (g *Graph) FindAppears(node, table string, pred func(ndlog.Tuple) bool) []*
 // LastAppear returns the most recent APPEAR of the tuple on the node, or
 // nil.
 func (g *Graph) LastAppear(node string, t ndlog.Tuple) *Vertex {
-	ids := g.appearsByTuple[tupleKey(node, t)]
+	ids := g.effStrSlice(selAppearsByTuple, tupleKey(node, t))
 	if len(ids) == 0 {
 		return nil
 	}
-	return g.vertexes[ids[len(ids)-1]]
+	return g.vertex(ids[len(ids)-1])
 }
 
 // TriggerParents returns the DERIVE vertexes that were triggered by the
 // given vertex (the derivations for which it was the last precondition to
 // appear). Following these walks a derivation chain from a seed upward.
 func (g *Graph) TriggerParents(id int) []int {
-	return append([]int(nil), g.triggerParents[id]...)
+	return append([]int(nil), g.effIntSlice(selTriggerParents, id)...)
 }
 
 // HeadAppear returns the APPEAR vertex of the head tuple produced by the
 // given DERIVE (or following a base INSERT), or -1.
 func (g *Graph) HeadAppear(id int) int {
-	if a, ok := g.headAppear[id]; ok {
+	if a, ok := g.lookupInt(selHeadAppear, id); ok {
 		return a
 	}
 	return -1
@@ -243,7 +259,7 @@ func (g *Graph) HeadAppear(id int) int {
 // ExistOf returns the EXIST vertex opened by the given APPEAR, or -1 for
 // event tuples (which never exist as state).
 func (g *Graph) ExistOf(appearID int) int {
-	if e, ok := g.existOf[appearID]; ok {
+	if e, ok := g.lookupInt(selExistOf, appearID); ok {
 		return e
 	}
 	return -1
@@ -251,8 +267,8 @@ func (g *Graph) ExistOf(appearID int) int {
 
 // Vertexes calls fn for every vertex in creation order.
 func (g *Graph) Vertexes(fn func(*Vertex)) {
-	for _, v := range g.vertexes {
-		fn(v)
+	for i, n := 0, g.NumVertexes(); i < n; i++ {
+		fn(g.vertex(i))
 	}
 }
 
@@ -302,10 +318,10 @@ func (g *Graph) foldAgg(v *Vertex) []int {
 		if cur.aggContrib >= 0 {
 			rev = append(rev, cur.aggContrib)
 		}
-		if cur.aggPrev < 0 || cur.aggPrev >= len(g.vertexes) {
+		if cur.aggPrev < 0 || cur.aggPrev >= g.NumVertexes() {
 			break
 		}
-		prev := g.vertexes[cur.aggPrev]
+		prev := g.vertex(cur.aggPrev)
 		if out, ok := g.foldMemo[prev.fp]; ok {
 			prefix = out
 			break

@@ -29,6 +29,14 @@ type Recorder struct {
 	// fingerprints; the eager mode exists as the reference side of the
 	// fold-differential tests.
 	eagerAgg bool
+
+	// Copy-on-write state (see cow.go): cow enables CoW forks of sealed
+	// recorders (default on), sealed marks the recorder frozen for the
+	// prefix cache, and base chains a CoW fork to the frozen recorder it
+	// shadows (underiveVertex reads walk the chain; writes stay local).
+	cow    bool
+	sealed bool
+	base   *Recorder
 }
 
 // RecorderOption configures a Recorder.
@@ -48,10 +56,12 @@ func NewRecorder(prog *ndlog.Program, opts ...RecorderOption) *Recorder {
 		pendingInsert:  -1,
 		pendingDelete:  -1,
 		underiveVertex: map[int64]int{},
+		cow:            true,
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	r.graph.cow = r.cow
 	return r
 }
 
@@ -99,7 +109,7 @@ func (r *Recorder) OnDerive(d ndlog.Derivation) {
 	r.graph.byDerive[d.ID] = v.ID
 	if v.Trigger >= 0 {
 		trig := v.Children[v.Trigger]
-		r.graph.triggerParents[trig] = append(r.graph.triggerParents[trig], v.ID)
+		r.graph.appendIntSlice(selTriggerParents, trig, v.ID)
 	}
 }
 
@@ -124,7 +134,7 @@ func (r *Recorder) onDeriveAggregate(d ndlog.Derivation) {
 		aggCount:   d.AggCount,
 	}
 	if d.AggPrev != 0 {
-		if pv, ok := r.graph.byDerive[d.AggPrev]; ok {
+		if pv, ok := r.graph.deriveVertex(d.AggPrev); ok {
 			v.aggPrev = pv
 		}
 	}
@@ -148,7 +158,7 @@ func (r *Recorder) onDeriveAggregate(d ndlog.Derivation) {
 	r.graph.add(v)
 	r.graph.byDerive[d.ID] = v.ID
 	if v.aggContrib >= 0 {
-		r.graph.triggerParents[v.aggContrib] = append(r.graph.triggerParents[v.aggContrib], v.ID)
+		r.graph.appendIntSlice(selTriggerParents, v.aggContrib, v.ID)
 	}
 }
 
@@ -157,10 +167,10 @@ func (r *Recorder) onDeriveAggregate(d ndlog.Derivation) {
 // vertex itself for event tuples (which never exist as state).
 func (r *Recorder) bodyVertex(b ndlog.At) int {
 	key := refKey(b.Node, b.Tuple, b.Stamp.Seq)
-	if id, ok := r.graph.existByRef[key]; ok {
+	if id, ok := r.graph.lookupStr(selExistByRef, key); ok {
 		return id
 	}
-	if id, ok := r.graph.appearByRef[key]; ok {
+	if id, ok := r.graph.lookupStr(selAppearByRef, key); ok {
 		return id
 	}
 	return -1
@@ -170,7 +180,7 @@ func (r *Recorder) bodyVertex(b ndlog.At) int {
 func (r *Recorder) OnAppear(at ndlog.At, deriveID int64) {
 	ap := &Vertex{Type: Appear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp}
 	if deriveID != 0 {
-		if dv, ok := r.graph.byDerive[deriveID]; ok {
+		if dv, ok := r.graph.deriveVertex(deriveID); ok {
 			ap.Children = append(ap.Children, dv)
 		}
 	} else if r.pendingInsert >= 0 {
@@ -185,9 +195,9 @@ func (r *Recorder) OnAppear(at ndlog.At, deriveID int64) {
 	key := refKey(at.Node, at.Tuple, at.Stamp.Seq)
 	tk := tupleKey(at.Node, at.Tuple)
 	r.graph.appearByRef[key] = ap.ID
-	r.graph.appearsByTuple[tk] = append(r.graph.appearsByTuple[tk], ap.ID)
+	r.graph.appendStrSlice(selAppearsByTuple, tk, ap.ID)
 	tblKey := at.Node + "|" + at.Tuple.Table
-	r.graph.appearsByTable[tblKey] = append(r.graph.appearsByTable[tblKey], ap.ID)
+	r.graph.appendStrSlice(selAppearsByTable, tblKey, ap.ID)
 
 	decl := r.prog.Decl(at.Tuple.Table)
 	if decl != nil && decl.Event {
@@ -217,7 +227,7 @@ func (r *Recorder) OnUnderive(u ndlog.Underivation) {
 	}
 	// The cause of the underivation is the disappearance of the body
 	// tuple that vanished.
-	if dv, ok := r.graph.lastDisappear[tupleKey(u.Cause.Node, u.Cause.Tuple)]; ok {
+	if dv, ok := r.graph.lookupStr(selLastDisappear, tupleKey(u.Cause.Node, u.Cause.Tuple)); ok {
 		v.Children = append(v.Children, dv)
 	}
 	r.graph.add(v)
@@ -227,15 +237,15 @@ func (r *Recorder) OnUnderive(u ndlog.Underivation) {
 // OnDisappear implements ndlog.Observer.
 func (r *Recorder) OnDisappear(at ndlog.At, underiveID int64) {
 	tk := tupleKey(at.Node, at.Tuple)
-	if exID, ok := r.graph.openExist[tk]; ok {
-		ex := r.graph.vertexes[exID]
+	if exID, ok := r.graph.lookupStr(selOpenExist, tk); ok {
+		ex := r.graph.mutableVertex(exID)
 		ex.Span.To = at.Stamp
 		ex.Span.Open = false
-		delete(r.graph.openExist, tk)
+		r.graph.deleteOpenExist(tk)
 	}
 	dis := &Vertex{Type: Disappear, Node: at.Node, Tuple: at.Tuple, At: at.Stamp}
 	if underiveID != 0 {
-		if uv, ok := r.underiveVertex[underiveID]; ok {
+		if uv, ok := r.underiveOf(underiveID); ok {
 			dis.Children = append(dis.Children, uv)
 		}
 	} else if r.pendingDelete >= 0 {

@@ -62,8 +62,9 @@ type ReplayStats struct {
 // territory.
 const prefixSlack = 1
 
-// maxPrefixEntries bounds the number of materialized prefix engines a
-// session (and its clones) keep alive; the oldest entry is evicted first.
+// maxPrefixEntries is the default bound on the number of materialized
+// prefix engines a session (and its clones) keep alive; the oldest entry
+// is evicted first. WithPrefixCacheSize overrides it per session.
 const maxPrefixEntries = 8
 
 // prefixEntry is one materialized prefix: a recorder-attached engine that
@@ -97,6 +98,10 @@ type prefixCache struct {
 	order   []int64 // insertion order, for eviction
 	ticks   []int64 // sorted event ticks, for counting events up to an anchor
 
+	// maxEntries caps the cache (WithPrefixCacheSize); 0 means the
+	// maxPrefixEntries default.
+	maxEntries int
+
 	// buildHook, when set, runs outside the lock at the start of every
 	// prefix build; tests use it to prove builds overlap.
 	buildHook func(anchor int64)
@@ -122,6 +127,13 @@ type Session struct {
 	// forks a cached prefix engine instead of re-executing the whole log.
 	incremental bool
 	prefix      *prefixCache
+	// cowForks makes cached prefixes sealed and forked copy-on-write
+	// (default on); prefixSize overrides the prefix-cache capacity; and
+	// warmStart makes Open rehydrate the last checkpoint-anchored prefix
+	// so the first counterfactual replay after a restart hits the cache.
+	cowForks   bool
+	prefixSize int
+	warmStart  bool
 
 	// memoized full replay for query-time provenance
 	replayed    *ndlog.Engine
@@ -174,6 +186,38 @@ func WithIncrementalReplay(on bool) SessionOption {
 	return func(s *Session) { s.incremental = on }
 }
 
+// WithCopyOnWriteForks enables or disables copy-on-write prefix forks
+// (default on): cached prefix engines and recorders are sealed when
+// published and counterfactual forks share their frozen state, cloning a
+// table or index overlay only on first write. Replay results are
+// byte-identical either way — the differential suites run both arms; the
+// switch exists for them and as an escape hatch.
+func WithCopyOnWriteForks(on bool) SessionOption {
+	return func(s *Session) { s.cowForks = on }
+}
+
+// WithPrefixCacheSize overrides how many materialized prefix engines the
+// session (and its clones) keep alive (default 8). Values below 1 are
+// clamped to 1.
+func WithPrefixCacheSize(n int) SessionOption {
+	return func(s *Session) {
+		if n < 1 {
+			n = 1
+		}
+		s.prefixSize = n
+	}
+}
+
+// WithWarmStart makes Open rehydrate a checkpoint-anchored prefix engine
+// from the recovered log after a restart (default off), so the first
+// incremental replay forks a warm prefix instead of paying a from-scratch
+// materialization. The prefix is rebuilt from the in-memory log — no
+// additional store reads — and verified against the durable checkpoint
+// snapshot it anchors on.
+func WithWarmStart(on bool) SessionOption {
+	return func(s *Session) { s.warmStart = on }
+}
+
 // WithEagerAggregates makes every recorder the session creates
 // materialize aggregate contributor lists eagerly at record time instead
 // of folding delta chains on demand (default lazy). Folded trees, diffs,
@@ -192,13 +236,15 @@ func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
 		prog:        prog,
 		log:         NewLog(),
 		incremental: true,
+		cowForks:    true,
 		prefix:      &prefixCache{entries: map[int64]*prefixEntry{}},
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.prefix.maxEntries = s.prefixSize
 	if s.mode == Runtime {
-		s.liveRec = provenance.NewRecorder(prog, s.recOpts...)
+		s.liveRec = provenance.NewRecorder(prog, s.newRecOpts()...)
 		s.live = ndlog.New(prog, s.liveRec, s.newEngineOpts()...)
 	} else {
 		s.live = ndlog.New(prog, nil, s.newEngineOpts()...)
@@ -219,9 +265,19 @@ func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
 // reproduce a from-scratch replay byte-for-byte. User options follow, so
 // they win on conflict.
 func (s *Session) newEngineOpts() []ndlog.Option {
-	opts := make([]ndlog.Option, 0, len(s.engineOpts)+1)
+	opts := make([]ndlog.Option, 0, len(s.engineOpts)+2)
 	opts = append(opts, ndlog.WithSeqBand(ndlog.SeqBandDefault))
+	opts = append(opts, ndlog.WithCopyOnWriteForks(s.cowForks))
 	return append(opts, s.engineOpts...)
+}
+
+// newRecOpts returns the option set for a session-created recorder. The
+// session's copy-on-write setting comes first so user options win on
+// conflict.
+func (s *Session) newRecOpts() []provenance.RecorderOption {
+	opts := make([]provenance.RecorderOption, 0, len(s.recOpts)+1)
+	opts = append(opts, provenance.WithCopyOnWriteForks(s.cowForks))
+	return append(opts, s.recOpts...)
 }
 
 // FromLog reconstructs a session from a previously captured base-event
@@ -291,6 +347,9 @@ func (s *Session) Clone() *Session {
 		replayedLen: s.replayedLen,
 		engineOpts:  s.engineOpts,
 		recOpts:     s.recOpts,
+		cowForks:    s.cowForks,
+		prefixSize:  s.prefixSize,
+		warmStart:   s.warmStart,
 	}
 }
 
@@ -709,6 +768,10 @@ func (c *prefixCache) acquire(ctx context.Context, s *Session, anchor int64) (*p
 		c.fail(entry, err)
 		return nil, false, err
 	}
+	// Published entries are immutable by contract; sealing makes the
+	// engine enforce that and enables copy-on-write forks of the pair.
+	rec.Seal()
+	e.Seal()
 	entry.eng, entry.rec = e, rec
 	close(entry.ready)
 	return entry, false, nil
@@ -728,6 +791,10 @@ func (c *prefixCache) buildScratch(ctx context.Context, s *Session, e *prefixEnt
 		c.fail(e, err)
 		return err
 	}
+	// Published entries are immutable by contract; sealing makes the
+	// engine enforce that and enables copy-on-write forks of the pair.
+	rec.Seal()
+	eng.Seal()
 	e.eng, e.rec = eng, rec
 	close(e.ready)
 	return nil
@@ -765,7 +832,11 @@ func (c *prefixCache) publish(e *prefixEntry) {
 		c.entries[e.tick] = e
 		return
 	}
-	if len(c.order) >= maxPrefixEntries {
+	max := c.maxEntries
+	if max == 0 {
+		max = maxPrefixEntries
+	}
+	if len(c.order) >= max {
 		delete(c.entries, c.order[0])
 		c.order = c.order[1:]
 	}
@@ -794,7 +865,7 @@ func (c *prefixCache) unpublish(e *prefixEntry) {
 // scheduleScratch builds a fresh recorder-attached engine with the whole
 // log scheduled but nothing evaluated.
 func (s *Session) scheduleScratch(ctx context.Context) (*ndlog.Engine, *provenance.Recorder, error) {
-	rec := provenance.NewRecorder(s.prog, s.recOpts...)
+	rec := provenance.NewRecorder(s.prog, s.newRecOpts()...)
 	e := ndlog.New(s.prog, rec, s.newEngineOpts()...)
 	for i, ev := range s.log.events {
 		if i%ctxCheckEvery == ctxCheckEvery-1 {

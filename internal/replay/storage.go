@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ndlog"
@@ -189,5 +190,63 @@ func Open(prog *ndlog.Program, dir string, opts ...SessionOption) (*Session, err
 	if err := s.Run(); err != nil {
 		return nil, fmt.Errorf("replay: cold start from %s: %v", dir, err)
 	}
+	if err := s.warmPrefix(); err != nil {
+		return nil, fmt.Errorf("replay: cold start from %s: %v", dir, err)
+	}
 	return s, nil
+}
+
+// warmPrefix rehydrates the checkpoint-anchored prefix engine after a
+// cold start (WithWarmStart): the last durable checkpoint's anchor is
+// materialized into the prefix cache from the already-recovered in-memory
+// log — no additional store reads — so the first counterfactual replay
+// forks a warm prefix instead of building one. The rebuilt engine's state
+// is verified against the durable snapshot it anchors on; a mismatch
+// means the store's checkpoint does not describe the recovered stream,
+// and the session fails loudly rather than serve replays from it.
+func (s *Session) warmPrefix() error {
+	if !s.warmStart || !s.incremental || s.lastCkpt <= 0 {
+		return nil
+	}
+	entry, _, err := s.prefix.acquire(context.Background(), s, s.lastCkpt)
+	if err != nil {
+		return fmt.Errorf("warming prefix at t=%d: %v", s.lastCkpt, err)
+	}
+	if entry == nil {
+		return nil // no events at or before the anchor: nothing to warm
+	}
+	stored, ok := s.StateAt(s.lastCkpt)
+	if !ok || stored.Tick != s.lastCkpt {
+		return nil // anchor checkpoint was skipped at attach; nothing to verify
+	}
+	if got := entry.eng.CaptureStateAt(s.lastCkpt); !snapshotEqual(got, stored) {
+		return fmt.Errorf("warming prefix at t=%d: rebuilt state disagrees with durable checkpoint", s.lastCkpt)
+	}
+	return nil
+}
+
+// snapshotEqual compares two state snapshots structurally. Snapshot rows
+// are sorted by canonical key, so per-table slices compare positionally.
+func snapshotEqual(a, b ndlog.Snapshot) bool {
+	if len(a.State) != len(b.State) {
+		return false
+	}
+	for node, tbls := range a.State {
+		btbls, ok := b.State[node]
+		if !ok || len(tbls) != len(btbls) {
+			return false
+		}
+		for tn, rows := range tbls {
+			brows, ok := btbls[tn]
+			if !ok || len(rows) != len(brows) {
+				return false
+			}
+			for i := range rows {
+				if !rows[i].Equal(brows[i]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }

@@ -1,13 +1,16 @@
 package replay
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/ndlog"
+	"repro/internal/provenance"
 	"repro/internal/store"
 )
 
@@ -66,42 +69,49 @@ func treeFingerprint(t *testing.T, s *Session, n int64) uint64 {
 // checkpoints, same provenance — and remain so after a cold start from
 // its segments.
 func TestStorageDifferential(t *testing.T) {
-	const n = 40
-	mem := NewSession(fwdProg, WithCheckpointEvery(10))
-	driveForwarding(t, mem, n)
+	// Both fork modes: storage must be invisible to replay results whether
+	// the prefix cache hands out copy-on-write or deep forks.
+	for _, cow := range []bool{true, false} {
+		t.Run(map[bool]string{true: "cow", false: "deep"}[cow], func(t *testing.T) {
+			const n = 40
+			mem := NewSession(fwdProg, WithCheckpointEvery(10), WithCopyOnWriteForks(cow))
+			driveForwarding(t, mem, n)
 
-	dir := t.TempDir()
-	st := NewSession(fwdProg, WithCheckpointEvery(10), WithStorage(dir, store.WithSegmentEvents(8)))
-	driveForwarding(t, st, n)
+			dir := t.TempDir()
+			st := NewSession(fwdProg, WithCheckpointEvery(10), WithCopyOnWriteForks(cow),
+				WithStorage(dir, store.WithSegmentEvents(8)))
+			driveForwarding(t, st, n)
 
-	if !reflect.DeepEqual(mem.Log().Events(), st.Log().Events()) {
-		t.Fatalf("storage-backed log differs from in-memory log")
-	}
-	if !reflect.DeepEqual(mem.Checkpoints(), st.Checkpoints()) {
-		t.Fatalf("storage-backed checkpoints differ from in-memory checkpoints")
-	}
-	wantFP := treeFingerprint(t, mem, n)
-	if fp := treeFingerprint(t, st, n); fp != wantFP {
-		t.Fatalf("storage-backed provenance fingerprint %x != in-memory %x", fp, wantFP)
-	}
-	if err := st.CloseStorage(); err != nil {
-		t.Fatalf("CloseStorage: %v", err)
-	}
+			if !reflect.DeepEqual(mem.Log().Events(), st.Log().Events()) {
+				t.Fatalf("storage-backed log differs from in-memory log")
+			}
+			if !reflect.DeepEqual(mem.Checkpoints(), st.Checkpoints()) {
+				t.Fatalf("storage-backed checkpoints differ from in-memory checkpoints")
+			}
+			wantFP := treeFingerprint(t, mem, n)
+			if fp := treeFingerprint(t, st, n); fp != wantFP {
+				t.Fatalf("storage-backed provenance fingerprint %x != in-memory %x", fp, wantFP)
+			}
+			if err := st.CloseStorage(); err != nil {
+				t.Fatalf("CloseStorage: %v", err)
+			}
 
-	// Cold start out of the segments: same session again.
-	cold, err := Open(fwdProg, dir, WithCheckpointEvery(10))
-	if err != nil {
-		t.Fatalf("Open: %v", err)
-	}
-	defer cold.CloseStorage()
-	if !reflect.DeepEqual(mem.Log().Events(), cold.Log().Events()) {
-		t.Fatalf("cold-start log differs")
-	}
-	if !reflect.DeepEqual(mem.Checkpoints(), cold.Checkpoints()) {
-		t.Fatalf("cold-start checkpoints differ")
-	}
-	if fp := treeFingerprint(t, cold, n); fp != wantFP {
-		t.Fatalf("cold-start provenance fingerprint differs")
+			// Cold start out of the segments: same session again.
+			cold, err := Open(fwdProg, dir, WithCheckpointEvery(10), WithCopyOnWriteForks(cow))
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			defer cold.CloseStorage()
+			if !reflect.DeepEqual(mem.Log().Events(), cold.Log().Events()) {
+				t.Fatalf("cold-start log differs")
+			}
+			if !reflect.DeepEqual(mem.Checkpoints(), cold.Checkpoints()) {
+				t.Fatalf("cold-start checkpoints differ")
+			}
+			if fp := treeFingerprint(t, cold, n); fp != wantFP {
+				t.Fatalf("cold-start provenance fingerprint differs")
+			}
+		})
 	}
 }
 
@@ -396,4 +406,81 @@ func TestColdStartReplay1M(t *testing.T) {
 	if !cold.Live().Exists("s2", ndlog.NewTuple("packet", ndlog.IP(uint32(n))), cold.Live().Now()) {
 		t.Fatalf("recovered live state is missing the last forwarded packet")
 	}
+}
+
+// TestWarmStartPrefix: Open with WithWarmStart must rehydrate the
+// checkpoint-anchored prefix engine during recovery, so the very first
+// counterfactual replay forks a warm prefix (a cache hit) instead of
+// paying a from-scratch prefix build — and its result must be
+// byte-identical to a cold session's.
+func TestWarmStartPrefix(t *testing.T) {
+	const n = 40
+	dir := t.TempDir()
+	s := NewSession(fwdProg, WithCheckpointEvery(10), WithStorage(dir, store.WithSegmentEvents(8)))
+	driveForwarding(t, s, n)
+	if err := s.CloseStorage(); err != nil {
+		t.Fatalf("CloseStorage: %v", err)
+	}
+
+	warm, err := Open(fwdProg, dir, WithCheckpointEvery(10), WithWarmStart(true))
+	if err != nil {
+		t.Fatalf("warm Open: %v", err)
+	}
+	defer warm.CloseStorage()
+	cold, err := Open(fwdProg, dir, WithCheckpointEvery(10))
+	if err != nil {
+		t.Fatalf("cold Open: %v", err)
+	}
+	defer cold.CloseStorage()
+
+	// The change lands just after the last durable checkpoint, so the
+	// replay anchors exactly on the prefix the warm start rebuilt.
+	change := []Change{{Insert: true, Node: "s1",
+		Tuple: ndlog.NewTuple("packet", ndlog.IP(9999)), Tick: n + 1}}
+	we, wg, err := warm.ReplayWith(change)
+	if err != nil {
+		t.Fatalf("warm ReplayWith: %v", err)
+	}
+	if warm.Stats.PrefixHits != 1 || warm.Stats.PrefixMisses != 0 {
+		t.Errorf("warm start: first replay hit/miss = %d/%d, want 1/0",
+			warm.Stats.PrefixHits, warm.Stats.PrefixMisses)
+	}
+	ce, cg, err := cold.ReplayWith(change)
+	if err != nil {
+		t.Fatalf("cold ReplayWith: %v", err)
+	}
+	if cold.Stats.PrefixMisses != 1 {
+		t.Errorf("cold start: first replay misses = %d, want 1", cold.Stats.PrefixMisses)
+	}
+	if got, want := serializeForTest(wg, we.CaptureState()), serializeForTest(cg, ce.CaptureState()); got != want {
+		t.Errorf("warm-start replay differs from cold replay:\nwarm:\n%.2000s\ncold:\n%.2000s", got, want)
+	}
+}
+
+// serializeForTest renders a graph and snapshot deterministically for
+// byte-identity comparisons inside the package.
+func serializeForTest(g *provenance.Graph, snap ndlog.Snapshot) string {
+	var sb strings.Builder
+	g.Vertexes(func(v *provenance.Vertex) {
+		fmt.Fprintf(&sb, "%d %s trig=%d kids=%v\n", v.ID, v.String(), v.Trigger, v.Children)
+	})
+	nodes := make([]string, 0, len(snap.State))
+	for n := range snap.State {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintf(&sb, "tick=%d\n", snap.Tick)
+	for _, n := range nodes {
+		tables := make([]string, 0, len(snap.State[n]))
+		for tn := range snap.State[n] {
+			tables = append(tables, tn)
+		}
+		sort.Strings(tables)
+		for _, tn := range tables {
+			for _, tp := range snap.State[n][tn] {
+				fmt.Fprintf(&sb, "%s %s\n", n, tp)
+			}
+		}
+	}
+	return sb.String()
 }

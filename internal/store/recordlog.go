@@ -1,7 +1,10 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 )
@@ -33,25 +36,46 @@ type RecordLog struct {
 	perSeg int
 	count  int
 
-	// cache of one decoded segment for Get.
+	// extras holds each sealed segment's sidecar extra (parallel to
+	// sl.sealed): the delta-encoded record offsets sealed with the
+	// segment. Empty for segments written before offsets existed — those
+	// fall back to the whole-segment decode path.
+	extras [][]byte
+
+	// cache of one decoded segment for Get (legacy segments without a
+	// sealed offset table).
 	cacheIdx  int // segment index, -1 when empty
 	cacheBase int // ordinal of the segment's first record
 	cacheRecs [][]byte
+
+	// offset-table cache for point reads of one sealed segment: the
+	// decoded offsets plus an open read-only handle, so consecutive Gets
+	// into the same segment cost one ReadAt each.
+	offIdx  int // segment index, -1 when empty
+	offVals []int64
+	offFile *os.File
 }
 
 // OpenRecordLog opens (or creates) the record log with the given file
 // name prefix inside dir, recovering a torn active tail exactly like the
 // event store does.
 func OpenRecordLog(dir, prefix string, opts ...RecordLogOption) (*RecordLog, error) {
-	l := &RecordLog{perSeg: DefaultRecordsPerSegment, cacheIdx: -1}
+	l := &RecordLog{perSeg: DefaultRecordsPerSegment, cacheIdx: -1, offIdx: -1}
 	for _, o := range opts {
 		o(l)
 	}
 	opening := true
 	sl, err := openSeglog(dir, prefix, l.perSeg, seglogHooks{
+		// Seal the active segment's record offsets into the sidecar extra
+		// so Get can ReadAt one record instead of decoding the segment.
+		// The hook only fires from append, after l.sl is assigned.
+		sealExtra: func() []byte {
+			return encodeOffsets(l.sl.active.offs)
+		},
 		// Runtime seals move already-counted records from the active tail
 		// into the sealed list; only open-time recovery discovers records.
 		onSealed: func(m segMeta, extra []byte) {
+			l.extras = append(l.extras, extra)
 			if opening {
 				l.count += m.count
 			}
@@ -67,6 +91,49 @@ func OpenRecordLog(dir, prefix string, opts ...RecordLogOption) (*RecordLog, err
 	}
 	l.sl = sl
 	return l, nil
+}
+
+// encodeOffsets delta-encodes a sealed segment's record start offsets
+// (ascending, so every delta is a small uvarint).
+func encodeOffsets(offs []int64) []byte {
+	var b bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		b.Write(scratch[:n])
+	}
+	put(uint64(len(offs)))
+	prev := int64(0)
+	for _, o := range offs {
+		put(uint64(o - prev))
+		prev = o
+	}
+	return b.Bytes()
+}
+
+// decodeOffsets reverses encodeOffsets. It returns nil for an empty
+// extra — a segment sealed before offsets existed — which callers treat
+// as "no offset table, decode the segment".
+func decodeOffsets(extra []byte) ([]int64, error) {
+	if len(extra) == 0 {
+		return nil, nil
+	}
+	r := bytes.NewReader(extra)
+	n, err := binary.ReadUvarint(r)
+	if err != nil || n > uint64(maxRecordLen) {
+		return nil, fmt.Errorf("store: bad record-offset table")
+	}
+	offs := make([]int64, n)
+	prev := uint64(0)
+	for i := range offs {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: bad record-offset table: %v", err)
+		}
+		prev += d
+		offs[i] = int64(prev)
+	}
+	return offs, nil
 }
 
 // Append adds one record and returns its ordinal.
@@ -107,8 +174,15 @@ func (l *RecordLog) Get(ord int) ([]byte, error) {
 	}
 	// Locate the segment holding ord.
 	base := 0
-	for _, m := range l.sl.sealed {
+	for i, m := range l.sl.sealed {
 		if ord < base+m.count {
+			if p, ok, err := l.getAt(i, m, ord-base); err != nil {
+				return nil, err
+			} else if ok {
+				return p, nil
+			}
+			// No sealed offset table (legacy segment): decode the whole
+			// segment once and serve from the record cache.
 			var recs [][]byte
 			err := l.sl.readSegment(m, func(p []byte) error {
 				recs = append(recs, append([]byte(nil), p...))
@@ -138,6 +212,53 @@ func (l *RecordLog) Get(ord int) ([]byte, error) {
 	}
 	l.cacheIdx, l.cacheBase, l.cacheRecs = l.sl.active.idx, base, recs
 	return recs[ord-base], nil
+}
+
+// getAt point-reads record j of sealed segment i using the offset table
+// sealed into its sidecar: one ReadAt spanning exactly the record's
+// frame, CRC-checked by parseRecord. ok is false (with no error) when
+// the segment predates offset tables; the caller falls back to decoding
+// it. Callers hold l.mu.
+func (l *RecordLog) getAt(i int, m segMeta, j int) ([]byte, bool, error) {
+	if l.offIdx != m.idx {
+		offs, err := decodeOffsets(l.extras[i])
+		if err != nil {
+			return nil, false, err
+		}
+		if offs == nil {
+			return nil, false, nil
+		}
+		if len(offs) != m.count {
+			return nil, false, fmt.Errorf("store: segment %d offset table has %d entries for %d records", m.idx, len(offs), m.count)
+		}
+		f, err := os.Open(l.sl.dataPath(m.idx))
+		if err != nil {
+			return nil, false, fmt.Errorf("store: %v", err)
+		}
+		if l.offFile != nil {
+			l.offFile.Close()
+		}
+		l.offIdx, l.offVals, l.offFile = m.idx, offs, f
+	}
+	start := l.offVals[j]
+	end := m.dataSize
+	if j+1 < len(l.offVals) {
+		end = l.offVals[j+1]
+	}
+	if end <= start {
+		return nil, false, fmt.Errorf("store: segment %d offset table is not ascending", m.idx)
+	}
+	buf := make([]byte, end-start)
+	if _, err := l.offFile.ReadAt(buf, int64(len(segMagic))+start); err != nil {
+		return nil, false, fmt.Errorf("store: reading record %d of segment %d: %v", j, m.idx, err)
+	}
+	l.sl.counters.bytesRead.Add(int64(len(buf)))
+	payload, consumed, ok := parseRecord(buf)
+	if !ok || consumed != len(buf) {
+		return nil, false, fmt.Errorf("store: record %d of segment %d is corrupt", j, m.idx)
+	}
+	l.sl.counters.recordsRead.Add(1)
+	return payload, true, nil
 }
 
 // Scan streams every record in append order. The payload slice is only
@@ -179,6 +300,10 @@ func (l *RecordLog) Sync() error {
 func (l *RecordLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.offFile != nil {
+		l.offFile.Close()
+		l.offIdx, l.offVals, l.offFile = -1, nil, nil
+	}
 	return l.sl.close()
 }
 

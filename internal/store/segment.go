@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Segment file layout (shared by the event store and the shard record
@@ -50,6 +51,25 @@ func appendRecord(dst, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
+// parseRecord decodes one framed record at the start of buf. It returns
+// the payload and the framed length consumed; ok is false when buf holds
+// no complete, CRC-intact record at its start (truncated or corrupt).
+func parseRecord(buf []byte) (payload []byte, consumed int, ok bool) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || l > maxRecordLen {
+		return nil, 0, false
+	}
+	end := n + int(l) + 4
+	if end > len(buf) || end < 0 {
+		return nil, 0, false
+	}
+	payload = buf[n : n+int(l)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[end-4:end]) {
+		return nil, 0, false
+	}
+	return payload, end, true
+}
+
 // scanRecords walks the framed records in data, calling fn for each
 // intact one, and returns the byte offset just past the last intact
 // record. A torn or corrupt record stops the scan without error — that
@@ -58,16 +78,8 @@ func appendRecord(dst, payload []byte) []byte {
 func scanRecords(data []byte, fn func(payload []byte) error) (int, error) {
 	off := 0
 	for off < len(data) {
-		l, n := binary.Uvarint(data[off:])
-		if n <= 0 || l > maxRecordLen {
-			break
-		}
-		end := off + n + int(l) + 4
-		if end > len(data) || end < off {
-			break
-		}
-		payload := data[off+n : off+n+int(l)]
-		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[end-4:end]) {
+		payload, consumed, ok := parseRecord(data[off:])
+		if !ok {
 			break
 		}
 		if fn != nil {
@@ -75,9 +87,20 @@ func scanRecords(data []byte, fn func(payload []byte) error) (int, error) {
 				return off, err
 			}
 		}
-		off = end
+		off += consumed
 	}
 	return off, nil
+}
+
+// readCounters tallies segment read traffic. The counters are cumulative
+// over the log's lifetime and atomically updated, so tests and the stats
+// endpoint can assert what a cold start or a windowed query actually
+// touched (e.g. that skipped segments contribute zero bytes).
+type readCounters struct {
+	segmentsRead    atomic.Int64
+	segmentsSkipped atomic.Int64
+	bytesRead       atomic.Int64
+	recordsRead     atomic.Int64
 }
 
 // segMeta describes one sealed (immutable) segment.
@@ -96,6 +119,11 @@ type activeSeg struct {
 	size  int64  // data-region bytes written (including buffered)
 	crc   uint32 // running CRC32 of the data region
 	buf   []byte // pending unflushed bytes
+	// offs holds each record's start offset within the data region, in
+	// append order; record logs seal it into the sidecar extra so lookups
+	// by ordinal can ReadAt a single record instead of decoding the
+	// segment.
+	offs []int64
 }
 
 // seglogHooks lets the owner ride along with segment lifecycle events:
@@ -121,6 +149,9 @@ type seglog struct {
 	sealed  []segMeta
 	active  *activeSeg
 	nextIdx int
+
+	// counters tallies read traffic across all of this log's segments.
+	counters readCounters
 }
 
 func (l *seglog) dataPath(idx int) string {
@@ -200,15 +231,21 @@ func (l *seglog) openSegment(idx int, last bool) error {
 	}
 	region := data[len(segMagic):]
 	count := 0
-	consumed, err := scanRecords(region, func(payload []byte) error {
+	var offs []int64
+	consumed := 0
+	for consumed < len(region) {
+		payload, n, ok := parseRecord(region[consumed:])
+		if !ok {
+			break
+		}
+		offs = append(offs, int64(consumed))
 		count++
 		if l.hooks.onActiveRecord != nil {
-			return l.hooks.onActiveRecord(payload)
+			if err := l.hooks.onActiveRecord(payload); err != nil {
+				return err
+			}
 		}
-		return nil
-	})
-	if err != nil {
-		return err
+		consumed += n
 	}
 	good := int64(len(segMagic) + consumed)
 	if good < int64(len(data)) {
@@ -227,6 +264,7 @@ func (l *seglog) openSegment(idx int, last bool) error {
 		count: count,
 		size:  int64(consumed),
 		crc:   crc32.ChecksumIEEE(region[:consumed]),
+		offs:  offs,
 	}
 	return nil
 }
@@ -248,6 +286,7 @@ func (l *seglog) append(payload []byte) error {
 	}
 	a := l.active
 	start := len(a.buf)
+	a.offs = append(a.offs, a.size)
 	a.buf = appendRecord(a.buf, payload)
 	rec := a.buf[start:]
 	a.crc = crc32.Update(a.crc, crc32.IEEETable, rec)
@@ -319,28 +358,86 @@ func (l *seglog) seal() error {
 	return nil
 }
 
-// readSegment loads and verifies a sealed segment's records.
+// readChunk is the streaming window size for sealed-segment reads.
+const readChunk = 64 << 10
+
+// readSegment streams and verifies a sealed segment's records: the file
+// is read in readChunk-sized windows and each record is decoded in place
+// as soon as the window completes it, so the resident footprint is one
+// window (plus one oversized record, when a payload exceeds it) instead
+// of the whole segment. A running CRC over the data region is checked
+// against the sidecar at the end, together with the record count and
+// region size, preserving the whole-segment corruption guarantees of the
+// old slurping reader. Payloads are only valid during the callback.
 func (l *seglog) readSegment(m segMeta, fn func(payload []byte) error) error {
-	data, err := os.ReadFile(l.dataPath(m.idx))
+	f, err := os.Open(l.dataPath(m.idx))
 	if err != nil {
 		return fmt.Errorf("store: %v", err)
 	}
-	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+	defer f.Close()
+	var magic [len(segMagic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != segMagic {
 		return fmt.Errorf("store: segment %d has a bad header", m.idx)
 	}
-	region := data[len(segMagic):]
-	if int64(len(region)) != m.dataSize || crc32.ChecksumIEEE(region) != m.dataCRC {
+	l.counters.segmentsRead.Add(1)
+	l.counters.bytesRead.Add(int64(len(segMagic)))
+
+	var (
+		window []byte // buffered tail: zero or one partial record + fresh bytes
+		total  int64  // data-region bytes consumed into records
+		count  int
+		crc    uint32
+		sawEOF bool
+	)
+	for {
+		// Decode every complete record in the window, then compact the
+		// partial remainder (if any) to the front.
+		off := 0
+		for off < len(window) {
+			payload, consumed, ok := parseRecord(window[off:])
+			if !ok {
+				break
+			}
+			count++
+			if err := fn(payload); err != nil {
+				return err
+			}
+			crc = crc32.Update(crc, crc32.IEEETable, window[off:off+consumed])
+			total += int64(consumed)
+			off += consumed
+		}
+		window = append(window[:0], window[off:]...)
+		if sawEOF {
+			break
+		}
+		// Refill one chunk past the remainder; a record larger than the
+		// chunk grows the window until it completes.
+		if cap(window) < len(window)+readChunk {
+			grown := make([]byte, len(window), len(window)+readChunk)
+			copy(grown, window)
+			window = grown
+		}
+		n, err := io.ReadFull(f, window[len(window):len(window)+readChunk])
+		window = window[:len(window)+n]
+		l.counters.bytesRead.Add(int64(n))
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			sawEOF = true
+		default:
+			return fmt.Errorf("store: reading segment %d: %v", m.idx, err)
+		}
+	}
+	l.counters.recordsRead.Add(int64(count))
+	// The partial-record remainder still contributes to the region CRC and
+	// size check: a sealed segment must consist of exactly m.count intact
+	// records and nothing else.
+	crc = crc32.Update(crc, crc32.IEEETable, window)
+	total += int64(len(window))
+	if total != m.dataSize || crc != m.dataCRC {
 		return fmt.Errorf("store: segment %d is corrupt (size or checksum mismatch)", m.idx)
 	}
-	count := 0
-	consumed, err := scanRecords(region, func(p []byte) error {
-		count++
-		return fn(p)
-	})
-	if err != nil {
-		return err
-	}
-	if consumed != len(region) || count != m.count {
+	if len(window) != 0 || count != m.count {
 		return fmt.Errorf("store: segment %d is corrupt (%d of %d records intact)", m.idx, count, m.count)
 	}
 	return nil

@@ -371,6 +371,83 @@ func (s *Store) Pin(tick int64) (release func()) {
 	}
 }
 
+// ReadStats reports the store's cumulative segment read traffic:
+// segments streamed, segments skipped by a tick-window or fingerprint
+// probe without reading a byte, and the bytes and records decoded. Tests
+// use it to pin down what a cold start or windowed query actually read.
+type ReadStats struct {
+	SegmentsRead    int64
+	SegmentsSkipped int64
+	BytesRead       int64
+	RecordsRead     int64
+}
+
+// ReadStats returns the cumulative read counters.
+func (s *Store) ReadStats() ReadStats {
+	c := &s.sl.counters
+	return ReadStats{
+		SegmentsRead:    c.segmentsRead.Load(),
+		SegmentsSkipped: c.segmentsSkipped.Load(),
+		BytesRead:       c.bytesRead.Load(),
+		RecordsRead:     c.recordsRead.Load(),
+	}
+}
+
+// EventsRange streams, in append order, the retained events whose tick
+// lies in [minTick, maxTick]. Sealed segments whose sidecar tick range
+// falls entirely outside the window are skipped without reading a byte
+// (counted in ReadStats.SegmentsSkipped); overlapping segments stream
+// and filter per event. The active tail is consulted only when its
+// accumulated range overlaps.
+func (s *Store) EventsRange(minTick, maxTick int64, fn func(Event) error) error {
+	s.gcMu.RLock()
+	defer s.gcMu.RUnlock()
+
+	s.mu.Lock()
+	sealed := append([]segMeta(nil), s.sl.sealed...)
+	infos := append([]segInfo(nil), s.infos...)
+	actCount := 0
+	if s.sl.active != nil {
+		actCount = s.sl.active.count
+	}
+	actMin, actMax := s.actMin, s.actMax
+	var activeData []byte
+	var err error
+	if actCount > 0 && actMin <= maxTick && actMax >= minTick {
+		activeData, err = s.sl.activeSnapshot()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	emit := func(payload []byte) error {
+		ev, err := decodeEventPayload(payload)
+		if err != nil {
+			return err
+		}
+		if ev.Tick < minTick || ev.Tick > maxTick {
+			return nil
+		}
+		return fn(ev)
+	}
+	for i, m := range sealed {
+		if i < len(infos) && (infos[i].maxTick < minTick || infos[i].minTick > maxTick) {
+			s.sl.counters.segmentsSkipped.Add(1)
+			continue
+		}
+		if err := s.sl.readSegment(m, emit); err != nil {
+			return err
+		}
+	}
+	if len(activeData) > 0 {
+		if _, err := scanRecords(activeData, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Events streams every retained event in append order: sealed segments
 // are read and CRC-verified one at a time (the whole log is never
 // materialized), then the active tail. GC is excluded for the duration.
@@ -437,6 +514,7 @@ func (s *Store) LookupEvents(node string, tupleKey string) ([]Event, error) {
 		}
 		ords, ok := idx[fp]
 		if !ok {
+			s.sl.counters.segmentsSkipped.Add(1)
 			continue
 		}
 		next := 0

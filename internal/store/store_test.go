@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -468,5 +469,131 @@ func TestSanitizeName(t *testing.T) {
 		if got := SanitizeName(in); got != want {
 			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestEventsRangeSkipsSegments pins the windowed read path: sealed
+// segments whose tick range lies outside the window are skipped without
+// contributing a single byte to the read counters.
+func TestEventsRangeSkipsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithSegmentEvents(8))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	const n = 36 // 4 sealed segments of 8 plus an active tail of 4
+	for i := 0; i < n; i++ {
+		if err := s.Append(testEvent(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+
+	// A window covering exactly one sealed segment.
+	before := s.ReadStats()
+	var got []Event
+	if err := s.EventsRange(8, 15, func(ev Event) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("EventsRange: %v", err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("EventsRange(8,15) returned %d events, want 8", len(got))
+	}
+	for i, ev := range got {
+		if !reflect.DeepEqual(ev, testEvent(8+i)) {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, testEvent(8+i))
+		}
+	}
+	mid := s.ReadStats()
+	if d := mid.SegmentsRead - before.SegmentsRead; d != 1 {
+		t.Errorf("window over one segment read %d segments, want 1", d)
+	}
+	if d := mid.SegmentsSkipped - before.SegmentsSkipped; d != 3 {
+		t.Errorf("window over one segment skipped %d segments, want 3", d)
+	}
+	if mid.BytesRead == before.BytesRead {
+		t.Error("reading a segment did not move BytesRead")
+	}
+
+	// A window past every sealed segment and before the active tail's
+	// range: every sealed segment skips, and not one byte is read.
+	if err := s.EventsRange(-100, -50, func(Event) error {
+		t.Fatal("empty window yielded an event")
+		return nil
+	}); err != nil {
+		t.Fatalf("EventsRange: %v", err)
+	}
+	after := s.ReadStats()
+	if d := after.BytesRead - mid.BytesRead; d != 0 {
+		t.Errorf("out-of-window read consumed %d bytes, want 0", d)
+	}
+	if d := after.SegmentsSkipped - mid.SegmentsSkipped; d != 4 {
+		t.Errorf("out-of-window read skipped %d segments, want 4", d)
+	}
+	if after.SegmentsRead != mid.SegmentsRead {
+		t.Error("out-of-window read streamed a segment")
+	}
+}
+
+// TestRecordLogPointRead pins the sealed-offset fast path: Get on a
+// sealed segment must cost one ReadAt spanning exactly the record's
+// frame — no whole-segment decode — and a segment whose sidecar predates
+// offset tables must fall back to the decode path and still serve reads.
+func TestRecordLogPointRead(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenRecordLog(dir, "shard_pr", WithRecordsPerSegment(4))
+	if err != nil {
+		t.Fatalf("OpenRecordLog: %v", err)
+	}
+	var want [][]byte
+	for i := 0; i < 11; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 16+i)
+		want = append(want, payload)
+		if _, err := l.Append(payload); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := OpenRecordLog(dir, "shard_pr", WithRecordsPerSegment(4))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	before := r.sl.counters.bytesRead.Load()
+	got, err := r.Get(5) // second sealed segment, middle record
+	if err != nil {
+		t.Fatalf("Get(5): %v", err)
+	}
+	if !bytes.Equal(got, want[5]) {
+		t.Fatalf("Get(5) = %v, want %v", got, want[5])
+	}
+	read := r.sl.counters.bytesRead.Load() - before
+	// Frame layout: uvarint length prefix, payload, 4-byte CRC.
+	frame := int64(binary.PutUvarint(make([]byte, binary.MaxVarintLen64), uint64(len(want[5]))) + len(want[5]) + 4)
+	if read != frame {
+		t.Errorf("point read consumed %d bytes, want the %d-byte record frame", read, frame)
+	}
+	if r.cacheIdx != -1 {
+		t.Error("point read populated the whole-segment cache")
+	}
+
+	// Wipe one segment's offset table to emulate a log written before
+	// offsets existed: Get must fall back to decoding the segment.
+	r.extras[0] = nil
+	r.offIdx, r.offVals = -1, nil
+	got, err = r.Get(1)
+	if err != nil {
+		t.Fatalf("legacy Get(1): %v", err)
+	}
+	if !bytes.Equal(got, want[1]) {
+		t.Fatalf("legacy Get(1) = %v, want %v", got, want[1])
+	}
+	if r.cacheIdx == -1 {
+		t.Error("legacy fallback did not use the whole-segment cache")
 	}
 }
