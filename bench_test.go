@@ -591,6 +591,93 @@ rule t tally(@C, N) :- report(@C, S), N := count().
 			}
 		})
 	}
+
+	// The fallback variants exercise the §4.9 log search: an intra-tick
+	// race (the corrected config value arrives in the probe's tick, after
+	// the probe) empties the forward prediction, so the diagnosis must
+	// enumerate logged mutable events. 20 of the 26 mutable events (77%)
+	// belong to an audit pipeline with no rule path to the symptom; the
+	// static slice prunes them before any replay, and the -noslice
+	// variant measures what those replays would have cost.
+	const raceProgram = `
+table cfg/2 base mutable key(0);
+table probe/1 event base;
+table out/2 event;
+table audit/2 base mutable;
+table auditTrail/2;
+rule fwd out(@N, K, V) :- probe(@N, K), cfg(@N, K, V).
+rule a1  auditTrail(@N, K, V) :- audit(@N, K, V).
+`
+	const auditEvents = 20
+	raceProg := diffprov.MustParse(raceProgram)
+	buildRace := func(b *testing.B) (diffprov.World, *diffprov.Tree, *diffprov.Tree) {
+		b.Helper()
+		sess := diffprov.NewSession(raceProg)
+		cfg := func(val string) diffprov.Tuple {
+			return diffprov.NewTuple("cfg", diffprov.Str("k"), diffprov.Str(val))
+		}
+		ins := func(node string, t diffprov.Tuple, tick int64) {
+			if err := sess.Insert(node, t, tick); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ins("g", cfg("right"), 5)
+		ins("b", cfg("wrong"), 5)
+		for i := 0; i < auditEvents; i++ {
+			ins("b", diffprov.NewTuple("audit", diffprov.Int(int64(i)), diffprov.Int(int64(i))), int64(6+i))
+		}
+		ins("g", diffprov.NewTuple("probe", diffprov.Str("k")), 40)
+		ins("b", diffprov.NewTuple("probe", diffprov.Str("k")), 40)
+		ins("b", cfg("right"), 40) // after the probe within tick 40: the race
+		if err := sess.Run(); err != nil {
+			b.Fatal(err)
+		}
+		_, g, err := sess.Graph()
+		if err != nil {
+			b.Fatal(err)
+		}
+		goodV := g.LastAppear("g", diffprov.NewTuple("out", diffprov.Str("k"), diffprov.Str("right")))
+		badV := g.LastAppear("b", diffprov.NewTuple("out", diffprov.Str("k"), diffprov.Str("wrong")))
+		if goodV == nil || badV == nil {
+			b.Fatal("out tuples not found")
+		}
+		world, err := diffprov.NewWorld(sess)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return world, g.Tree(goodV.ID), g.Tree(badV.ID)
+	}
+	for _, variant := range []struct {
+		name       string
+		opts       diffprov.Options
+		wantSliced int64
+	}{
+		{"fallback-sliced", diffprov.Options{Parallelism: -1}, auditEvents},
+		{"fallback-noslice", diffprov.Options{Parallelism: -1, DisableSlicing: true}, 0},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			world, good, bad := buildRace(b)
+			if _, err := diffprov.Diagnose(good, bad, world, variant.opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var sliced int64
+			for i := 0; i < b.N; i++ {
+				res, err := diffprov.Diagnose(good, bad, world, variant.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Changes) != 1 {
+					b.Fatalf("Δ = %d changes, want 1", len(res.Changes))
+				}
+				if res.Stats.CandidatesSliced != variant.wantSliced {
+					b.Fatalf("CandidatesSliced = %d, want %d", res.Stats.CandidatesSliced, variant.wantSliced)
+				}
+				sliced += res.Stats.CandidatesSliced
+			}
+			b.ReportMetric(float64(sliced)/float64(b.N), "sliced/op")
+		})
+	}
 }
 
 // BenchmarkTreeDiffBaselines compares the §2.5 strawmen on real

@@ -107,13 +107,13 @@ func main() {
 		fmt.Println("== Figure 7: query turnaround (paper: DiffProv ≈ 2x Y!, replay dominates) ==")
 		rows, err := evaluation.Figure7(scale)
 		die(err)
-		fmt.Printf("%-8s %14s %14s %14s %14s %12s %12s %10s %8s\n",
-			"Query", "Y!", "DiffProv", "(replay)", "(reasoning)", "prefix h/m", "evts skipped", "fp hits", "deduped")
+		fmt.Printf("%-8s %14s %14s %14s %14s %12s %12s %10s %8s %7s\n",
+			"Query", "Y!", "DiffProv", "(replay)", "(reasoning)", "prefix h/m", "evts skipped", "fp hits", "deduped", "sliced")
 		for _, r := range rows {
-			fmt.Printf("%-8s %14v %14v %14v %14v %7d/%-4d %12d %10d %8d\n",
+			fmt.Printf("%-8s %14v %14v %14v %14v %7d/%-4d %12d %10d %8d %7d\n",
 				r.Scenario, r.YBang, r.DiffProv, r.DiffProvReplay, r.DiffProvReason,
 				r.Replay.PrefixHits, r.Replay.PrefixMisses, r.Replay.EventsSkipped,
-				r.Diag.FingerprintHits, r.Diag.CandidatesDeduped)
+				r.Diag.FingerprintHits, r.Diag.CandidatesDeduped, r.Diag.CandidatesSliced)
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,6 @@
 // Command diffprovlint runs the repo's custom determinism lints — detnow,
-// maprange, and appendonly (see internal/lint) — over Go package patterns
-// and exits nonzero on any finding.
+// maprange, appendonly, and sealcheck (see internal/lint) — over Go
+// package patterns and exits nonzero on any finding.
 //
 // Usage:
 //

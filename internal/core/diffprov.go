@@ -49,6 +49,15 @@ type Options struct {
 	// differential tests and benchmarks. It never changes results, only
 	// how much work is repeated.
 	DisableFingerprints bool
+	// DisableSlicing turns off static candidate pruning as an ablation
+	// arm. When the §4.9 fallback search enumerates logged mutable
+	// events as counterfactual candidates, events whose table lies
+	// outside the symptom's static slice (ndlog.Slice: no rule path from
+	// the table to the diverging chain) are skipped before any replay is
+	// launched and counted in Stats.CandidatesSliced. The slice is
+	// conservative, so pruned candidates can never succeed: diagnoses
+	// are byte-identical with slicing on or off.
+	DisableSlicing bool
 
 	// sharedMemo, when non-nil, is a replay memo shared across several
 	// Diagnose calls against the same base world; AutoDiagnose sets it so
@@ -97,6 +106,10 @@ type DiagStats struct {
 	// ParallelCandidates counts candidate evaluations executed on pool
 	// workers.
 	ParallelCandidates int64
+	// CandidatesSliced counts fallback candidate events skipped before
+	// any replay because their table is outside the symptom's static
+	// slice (see Options.DisableSlicing).
+	CandidatesSliced int64
 }
 
 // add folds another stats record into the receiver.
@@ -104,6 +117,7 @@ func (s *DiagStats) add(o DiagStats) {
 	s.FingerprintHits += o.FingerprintHits
 	s.CandidatesDeduped += o.CandidatesDeduped
 	s.ParallelCandidates += o.ParallelCandidates
+	s.CandidatesSliced += o.CandidatesSliced
 }
 
 // Round records the changes discovered in one iteration of the main loop.
@@ -156,6 +170,11 @@ type diag struct {
 	align   map[alignKey]ndlog.At
 	// pool evaluates minimize candidates in parallel (nil = sequential).
 	pool *candidatePool
+	// sliceOnce/slice lazily cache the static slice of the symptom table
+	// (the good chain's root) used to prune fallback candidates; nil
+	// when slicing is disabled (see fallback.go).
+	sliceOnce sync.Once
+	slice     *ndlog.SliceResult
 }
 
 // statsSnapshot reads the counters after all workers have quiesced.
@@ -164,6 +183,7 @@ func (d *diag) statsSnapshot() DiagStats {
 		FingerprintHits:    atomic.LoadInt64(&d.stats.FingerprintHits),
 		CandidatesDeduped:  atomic.LoadInt64(&d.stats.CandidatesDeduped),
 		ParallelCandidates: atomic.LoadInt64(&d.stats.ParallelCandidates),
+		CandidatesSliced:   atomic.LoadInt64(&d.stats.CandidatesSliced),
 	}
 }
 
@@ -265,12 +285,25 @@ func Diagnose(ctx context.Context, goodTree, badTree *provenance.Tree, world Wor
 			return nil, err
 		}
 		if len(d.pending) == 0 {
-			return nil, &DiagnosisError{
-				Kind:   NoProgress,
-				Detail: fmt.Sprintf("divergence at %s on %s but no applicable change found (possible race condition, §4.9)", div.expected.Tuple, div.expected.Node),
-				Tuple:  div.expected.Tuple,
-				Node:   div.expected.Node,
+			// The §4.4 prediction could not bind a change: every side of
+			// the diverging derivation already exists in the bad world
+			// (an intra-tick race) or the only applicable change was
+			// applied in an earlier round and swallowed again. Fall back
+			// to searching the logged mutable events themselves (§4.9),
+			// pruned by the symptom's static slice.
+			c, err := d.fallbackChange(ctx, world, chainG, seedB, div)
+			if err != nil {
+				return nil, err
 			}
+			if c == nil {
+				return nil, &DiagnosisError{
+					Kind:   NoProgress,
+					Detail: fmt.Sprintf("divergence at %s on %s but no applicable change found (possible race condition, §4.9)", div.expected.Tuple, div.expected.Node),
+					Tuple:  div.expected.Tuple,
+					Node:   div.expected.Node,
+				}
+			}
+			d.pending = []replay.Change{*c}
 		}
 
 		// Step 4: update T_B (§4.6) by rolling the clone forward.

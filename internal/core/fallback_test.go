@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+)
+
+// raceProgram models a config-distribution race: a probe is answered from
+// the config table, and an unrelated audit pipeline generates mutable
+// noise that a static slice of "out" must prune.
+const raceProgram = `
+table cfg/2 base mutable key(0);  // (key, value)
+table probe/1 event base;         // (key)
+table out/2 event;                // (key, value): the observable
+table audit/2 base mutable;       // unrelated noise, outside the slice
+table auditTrail/2;
+
+rule fwd out(@N, K, V) :- probe(@N, K), cfg(@N, K, V).
+rule a1  auditTrail(@N, K, V) :- audit(@N, K, V).
+`
+
+func cfgT(key, val string) ndlog.Tuple {
+	return ndlog.NewTuple("cfg", ndlog.Str(key), ndlog.Str(val))
+}
+
+func probeT(key string) ndlog.Tuple {
+	return ndlog.NewTuple("probe", ndlog.Str(key))
+}
+
+func outT(key, val string) ndlog.Tuple {
+	return ndlog.NewTuple("out", ndlog.Str(key), ndlog.Str(val))
+}
+
+// auditNoiseEvents is how many out-of-slice mutable base events the race
+// session logs; each must be slice-pruned before replay.
+const auditNoiseEvents = 10
+
+// buildRaceSession constructs the §4.9 intra-tick race: on node b the
+// corrected config value arrives in the same tick as the probe, but after
+// it, so the probe is answered from the stale value. Node g receives the
+// corrected value long before its probe and answers correctly. The audit
+// noise is mutable but has no rule path to "out".
+func buildRaceSession(t testing.TB) *replay.Session {
+	t.Helper()
+	s := replay.NewSession(ndlog.MustParse(raceProgram))
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.Insert("g", cfgT("k", "right"), 5))
+	must(s.Insert("b", cfgT("k", "wrong"), 5))
+	for i := 0; i < auditNoiseEvents; i++ {
+		must(s.Insert("b", ndlog.NewTuple("audit", ndlog.Int(int64(i)), ndlog.Int(int64(i))), int64(6+i)))
+	}
+	must(s.Insert("g", probeT("k"), 40))
+	must(s.Insert("b", probeT("k"), 40))
+	// The race: scheduled after the probe within tick 40, so the keyed
+	// replacement is invisible to the probe's join.
+	must(s.Insert("b", cfgT("k", "right"), 40))
+	must(s.Run())
+	return s
+}
+
+func diagnoseRace(t testing.TB, opts Options) *Result {
+	t.Helper()
+	res, _ := diagnoseRaceSession(t, opts)
+	return res
+}
+
+func diagnoseRaceSession(t testing.TB, opts Options) (*Result, *replay.Session) {
+	t.Helper()
+	s := buildRaceSession(t)
+	_, g, err := s.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodAp := g.LastAppear("g", outT("k", "right"))
+	badAp := g.LastAppear("b", outT("k", "wrong"))
+	if goodAp == nil || badAp == nil {
+		t.Fatalf("missing arrivals: good=%v bad=%v", goodAp, badAp)
+	}
+	world, err := NewWorld(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Diagnose(context.Background(), g.Tree(goodAp.ID), g.Tree(badAp.ID), world, opts)
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	return res, s
+}
+
+func TestFallbackDiagnosesIntraTickRace(t *testing.T) {
+	res := diagnoseRace(t, Options{})
+	if len(res.Changes) != 1 {
+		t.Fatalf("Δ = %v, want exactly 1 change", res.Changes)
+	}
+	c := res.Changes[0]
+	if !c.Insert || c.Node != "b" || !c.Tuple.Equal(cfgT("k", "right")) || c.Tick != 39 {
+		t.Fatalf("change = %v, want Insert b cfg(k,right)@39 (the update, one tick earlier)", c)
+	}
+	if res.Stats.CandidatesSliced != auditNoiseEvents {
+		t.Errorf("CandidatesSliced = %d, want %d (one per out-of-slice audit event)",
+			res.Stats.CandidatesSliced, auditNoiseEvents)
+	}
+}
+
+func TestFallbackDisableSlicingIsByteIdentical(t *testing.T) {
+	base, baseSess := diagnoseRaceSession(t, Options{})
+	ablated, ablatedSess := diagnoseRaceSession(t, Options{DisableSlicing: true})
+	if ablated.Stats.CandidatesSliced != 0 {
+		t.Errorf("CandidatesSliced = %d with slicing disabled, want 0", ablated.Stats.CandidatesSliced)
+	}
+	if base.Stats.CandidatesSliced == 0 {
+		t.Errorf("CandidatesSliced = 0 with slicing enabled, want > 0")
+	}
+	if a, b := fmt.Sprint(base.Changes), fmt.Sprint(ablated.Changes); a != b {
+		t.Errorf("changes diverge: with slicing %s, without %s", a, b)
+	}
+	if a, b := len(base.Rounds), len(ablated.Rounds); a != b {
+		t.Errorf("rounds diverge: with slicing %d, without %d", a, b)
+	}
+	// Slicing's only observable effect is fewer counterfactual replays.
+	if baseSess.ReplayCount >= ablatedSess.ReplayCount {
+		t.Errorf("replays: with slicing %d, without %d — pruning saved nothing",
+			baseSess.ReplayCount, ablatedSess.ReplayCount)
+	}
+}
+
+func TestFallbackParallelMatchesSequential(t *testing.T) {
+	seq := diagnoseRace(t, Options{Parallelism: -1})
+	par := diagnoseRace(t, Options{Parallelism: 8})
+	if a, b := fmt.Sprint(seq.Changes), fmt.Sprint(par.Changes); a != b {
+		t.Errorf("changes diverge: sequential %s, parallel %s", a, b)
+	}
+	if seq.Stats.CandidatesSliced != par.Stats.CandidatesSliced {
+		t.Errorf("CandidatesSliced: sequential %d, parallel %d",
+			seq.Stats.CandidatesSliced, par.Stats.CandidatesSliced)
+	}
+}

@@ -69,6 +69,15 @@ type cumulativeWorld interface {
 	appliedChanges() []replay.Change
 }
 
+// eventLister exposes the base-event log of the ORIGINAL execution, in
+// schedule order, so the §4.9 fallback can enumerate logged mutable
+// events as counterfactual candidates. Imperative substrates (the
+// simulated MapReduce jobs) have no event log and do not implement it;
+// diagnoses over them simply skip the fallback.
+type eventLister interface {
+	BaseEvents() []replay.Event
+}
+
 // ndlogWorld adapts a replay.Session (plus accumulated changes) to World.
 type ndlogWorld struct {
 	session *replay.Session
@@ -132,6 +141,11 @@ func (w *ndlogWorld) Apply(ctx context.Context, changes []replay.Change) (World,
 }
 
 func (w *ndlogWorld) appliedChanges() []replay.Change { return w.changes }
+
+// BaseEvents returns the original execution's logged base events in
+// schedule order (injected counterfactual changes are not part of the
+// log; they are the w.changes overlay).
+func (w *ndlogWorld) BaseEvents() []replay.Event { return w.session.Log().Events() }
 
 // ForkWorker clones the session (sharing the log contents, the memoized
 // query-time replay, and the prefix cache) so the worker's counterfactual

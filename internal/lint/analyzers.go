@@ -10,7 +10,7 @@ import (
 
 // All returns the repo's determinism analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{DetNow, MapRange, AppendOnly}
+	return []*Analyzer{DetNow, MapRange, AppendOnly, SealCheck}
 }
 
 // prefixMatch matches a package path equal to, or nested under, any of
@@ -273,5 +273,107 @@ func checkGuardedWrite(pass *Pass, e ast.Expr) {
 		}
 	}
 	pass.Reportf(se.Pos(), "write to %s.%s outside the recording layer (allowed: %s)",
+		key[0], key[1], strings.Join(allowed, ", "))
+}
+
+// SealCheck confines writes to copy-on-write-shared engine and graph
+// structures to the CoW layer.
+//
+// Prefix forks share tables, support indexes, aggregate groups, and
+// provenance vertexes between a sealed parent and its children; a write
+// that bypasses the cow.go helpers (writableTable, histAppend,
+// mutableVertex, ...) mutates state another fork can still observe. The
+// compiler cannot see the seal, so this analyzer pins each shared
+// structure to the files that implement its discipline: cow.go and
+// fork.go always, plus the few pre-seal construction sites (the engine
+// creates tables and support indexes while it is still the only owner;
+// the recorder appends graph indexes before any fork exists).
+var SealCheck = &Analyzer{
+	Name:  "sealcheck",
+	Doc:   "confine writes to CoW-shared structures to the cow/fork layer",
+	Match: prefixMatch("repro/internal/ndlog", "repro/internal/provenance"),
+	Run:   runSealCheck,
+}
+
+// sealedFields maps (owner type, field) to the base filenames allowed to
+// write or delete through it. Composite-literal construction is not a
+// selector write and stays unconstrained: building a fresh, unshared
+// value is always legal.
+var sealedFields = map[[2]string][]string{
+	// ndlog: per-table interval history and rows are forked CoW.
+	{"table", "hist"}: {"cow.go", "fork.go"},
+	// A node's table map is shared until the first write to a table.
+	{"node", "tables"}: {"cow.go", "fork.go", "engine.go"},
+	// The support index backing provenance invalidation; the engine
+	// maintains it pre-seal (indexSupport/unindexSupport).
+	{"Engine", "dependents"}: {"cow.go", "fork.go", "engine.go"},
+	// Aggregate delta-chain groups fork lazily.
+	{"Engine", "aggGroups"}: {"cow.go", "fork.go"},
+	// provenance: the CoW overlay itself, and the graph indexes the
+	// recorder appends to pre-seal.
+	{"Graph", "redirect"}:    {"cow.go"},
+	{"Graph", "openExist"}:   {"cow.go", "recorder.go"},
+	{"Graph", "byDerive"}:    {"recorder.go"},
+	{"Graph", "appearByRef"}: {"recorder.go"},
+	{"Graph", "existByRef"}:  {"recorder.go"},
+	{"Graph", "headAppear"}:  {"recorder.go"},
+}
+
+func runSealCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, e := range st.Lhs {
+					checkSealedWrite(pass, e)
+				}
+			case *ast.IncDecStmt:
+				checkSealedWrite(pass, st.X)
+			case *ast.CallExpr:
+				// delete(s.field, k) mutates the shared map too.
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "delete" && len(st.Args) == 2 {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						checkSealedWrite(pass, st.Args[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSealedWrite(pass *Pass, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	se, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	sel := pass.Info.Selections[se]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	key := [2]string{namedOf(sel.Recv()), sel.Obj().Name()}
+	allowed, sealed := sealedFields[key]
+	if !sealed {
+		return
+	}
+	file := filepath.Base(pass.Fset.Position(se.Pos()).Filename)
+	for _, ok := range allowed {
+		if file == ok {
+			return
+		}
+	}
+	pass.Reportf(se.Pos(), "write to CoW-shared %s.%s outside the seal discipline (allowed: %s)",
 		key[0], key[1], strings.Join(allowed, ", "))
 }

@@ -230,3 +230,62 @@ func TestLoadRejectsUnknownDir(t *testing.T) {
 		t.Fatal("want error for missing package dir")
 	}
 }
+
+const sealCheckSrc = `package ndlog
+type Interval struct{ A, B int64 }
+type table struct{ hist map[string][]Interval }
+type node struct{ tables map[string]*table }
+type Engine struct {
+	dependents map[string][]int
+	aggGroups  map[string]*int
+}
+func f(e *Engine, n *node, tb *table) {
+	tb.hist["k"] = nil
+	n.tables["t"] = tb
+	e.dependents["r"] = append(e.dependents["r"], 1)
+	delete(e.aggGroups, "g")
+}
+`
+
+func TestSealCheckFlagsWritesOutsideCowLayer(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "other.go", sealCheckSrc)
+	wantFindings(t, runOn(t, pkg, SealCheck),
+		"other.go:10:2: sealcheck: write to CoW-shared table.hist",
+		"other.go:11:2: sealcheck: write to CoW-shared node.tables",
+		"other.go:12:2: sealcheck: write to CoW-shared Engine.dependents",
+		"other.go:13:9: sealcheck: write to CoW-shared Engine.aggGroups")
+}
+
+func TestSealCheckAllowsCowLayerFiles(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/ndlog", "cow.go", sealCheckSrc)
+	wantFindings(t, runOn(t, pkg, SealCheck))
+}
+
+func TestSealCheckEngineConstructionSitesStayLegal(t *testing.T) {
+	// engine.go may create tables and maintain the support index
+	// (pre-seal construction), but must not touch table histories or
+	// fork aggregate groups.
+	pkg := loadSrc(t, "repro/internal/ndlog", "engine.go", sealCheckSrc)
+	wantFindings(t, runOn(t, pkg, SealCheck),
+		"engine.go:10:2: sealcheck: write to CoW-shared table.hist",
+		"engine.go:13:9: sealcheck: write to CoW-shared Engine.aggGroups")
+}
+
+func TestSealCheckGuardsGraphIndexes(t *testing.T) {
+	pkg := loadSrc(t, "repro/internal/provenance", "distributed.go", `package provenance
+type Vertex struct{ ID int }
+type Graph struct {
+	redirect  map[int]*Vertex
+	openExist map[string]int
+}
+type shard struct{ openExist map[string]int } // distinct type: not guarded
+func f(g *Graph, s *shard, v *Vertex) {
+	g.redirect[1] = v
+	g.openExist["k"] = 2
+	s.openExist["k"] = 3
+}
+`)
+	wantFindings(t, runOn(t, pkg, SealCheck),
+		"distributed.go:9:2: sealcheck: write to CoW-shared Graph.redirect",
+		"distributed.go:10:2: sealcheck: write to CoW-shared Graph.openExist")
+}

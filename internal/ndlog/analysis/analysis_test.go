@@ -240,3 +240,39 @@ func formatAll(r *Result) string {
 	r.Format(&sb)
 	return sb.String()
 }
+
+// TestND2xxExample pins the dependency-graph diagnostics on the seeded
+// examples/ndlog/bad/nd2xx.ndlog to exact positions: the same file CI
+// requires `diffprov vet` to fail on. Each (code, line, col) here is a
+// contract — golden positions the checker must keep stable.
+func TestND2xxExample(t *testing.T) {
+	res, err := AnalyzeFile("../../../examples/ndlog/bad/nd2xx.ndlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		code string
+		line int
+		col  int
+	}{
+		{ndlog.CodeNegation, 18, 48},
+		{ndlog.CodeNegationCycle, 18, 48},
+		{ndlog.CodeCartesianJoin, 19, 44},
+		{ndlog.CodeUnreachable, 20, 6},
+		{ndlog.CodeUnreachable, 21, 6},
+		{ndlog.CodeAggOverAgg, 25, 6},
+	}
+	if len(res.Diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(res.Diags), len(want), formatAll(res))
+	}
+	for i, w := range want {
+		d := res.Diags[i]
+		if d.Code != w.code || d.Pos.Line != w.line || d.Pos.Col != w.col {
+			t.Errorf("diag %d = %s at %d:%d, want %s at %d:%d",
+				i, d.Code, d.Pos.Line, d.Pos.Col, w.code, w.line, w.col)
+		}
+	}
+	if res.Errors() != 1 || res.Warnings() != 5 {
+		t.Errorf("counts = %d errors, %d warnings, want 1/5", res.Errors(), res.Warnings())
+	}
+}

@@ -25,10 +25,12 @@ import (
 // predicates (CodeUndefined), arity mismatches (CodeArity), unknown or
 // misused builtins (CodeBuiltin), location-specifier well-formedness
 // (CodeLocation, CodeImplicitLoc), counting-rule restrictions
-// (CodeAggregate), stratifiable aggregation (CodeStratify), unused and
-// underived predicates (CodeUnusedTable, CodeUnderivedTable), column
-// kind conflicts (CodeTypeConflict), and duplicated rule bodies
-// (CodeShadowedRule).
+// (CodeAggregate), stratifiable aggregation (CodeStratify), negated
+// atoms (CodeNegation), unused and underived predicates
+// (CodeUnusedTable, CodeUnderivedTable), column kind conflicts
+// (CodeTypeConflict), duplicated rule bodies (CodeShadowedRule), and the
+// dependency-graph family of slice.go (CodeCartesianJoin,
+// CodeUnreachable, CodeNegationCycle, CodeAggOverAgg).
 func AnalyzeProgram(p *Program) []Diag {
 	var ds []Diag
 	for _, r := range p.rules {
@@ -39,6 +41,7 @@ func AnalyzeProgram(p *Program) []Diag {
 	ds = append(ds, analyzeStratification(p)...)
 	ds = append(ds, analyzeTypes(p)...)
 	ds = append(ds, analyzeShadowing(p)...)
+	ds = append(ds, analyzeDeps(p)...)
 	sortDiags(ds)
 	return ds
 }
@@ -75,20 +78,27 @@ func analyzeRule(p *Program, r *Rule) []Diag {
 	bound := map[string]bool{}
 	for i := range r.Body {
 		b := &r.Body[i]
-		if b.Loc != nil {
-			if v, ok := b.Loc.(Var); ok {
-				bound[string(v)] = true
+		// Negated atoms bind nothing: the rule fires when NO matching
+		// tuple exists, so there is no witness to take values from.
+		if !b.Negated {
+			if b.Loc != nil {
+				if v, ok := b.Loc.(Var); ok {
+					bound[string(v)] = true
+				}
 			}
-		}
-		for _, arg := range b.Args {
-			if v, ok := arg.(Var); ok {
-				bound[string(v)] = true
+			for _, arg := range b.Args {
+				if v, ok := arg.(Var); ok {
+					bound[string(v)] = true
+				}
 			}
 		}
 		if d := p.Decl(b.Table); d == nil {
 			report(b.Pos, Error, CodeUndefined, "rule %s: unknown table %s", r.Name, b.Table)
 		} else if len(b.Args) != d.Arity {
 			report(b.Pos, Error, CodeArity, "rule %s: %s has arity %d, used with %d args", r.Name, b.Table, d.Arity, len(b.Args))
+		}
+		if b.Negated {
+			report(b.Pos, Error, CodeNegation, "rule %s: negated atom %s is analyzed but not executable by this engine", r.Name, *b)
 		}
 	}
 	if r.CountVar != "" {
@@ -101,6 +111,23 @@ func analyzeRule(p *Program, r *Rule) []Diag {
 			}
 		}
 		bound[a.Var] = true
+	}
+	for i := range r.Body {
+		b := &r.Body[i]
+		if !b.Negated {
+			continue
+		}
+		vars := append([]Expr(nil), b.Args...)
+		if b.Loc != nil {
+			vars = append(vars, b.Loc)
+		}
+		for _, arg := range vars {
+			for _, v := range FreeVars(arg) {
+				if !bound[v] {
+					report(b.Pos, Error, CodeUnsafe, "rule %s: negated atom %s uses variable %s not bound by a positive atom", r.Name, *b, v)
+				}
+			}
+		}
 	}
 	for _, w := range r.Where {
 		for _, v := range FreeVars(w) {
@@ -287,9 +314,10 @@ func analyzeUsage(p *Program) []Diag {
 // analyzeStratification rejects aggregation through recursion: a
 // counting rule whose own output can (transitively) derive the event
 // table it counts would have to retract and re-derive its aggregate
-// forever. The NDlog dialect has no negation, so aggregation is the only
-// non-monotonic construct; the check runs over the table dependency
-// graph (body table -> head table per rule).
+// forever. The check runs over the table dependency graph (body table ->
+// head table per rule). Negation — the other non-monotonic construct,
+// parsed but not executable (CodeNegation) — gets the analogous cycle
+// check in analyzeDeps (CodeNegationCycle).
 func analyzeStratification(p *Program) []Diag {
 	succ := map[string][]string{}
 	for _, r := range p.rules {

@@ -62,12 +62,21 @@ const (
 	CodeDuplicateDecl = "ND008" // duplicate table declaration
 	CodeDuplicateRule = "ND009" // duplicate rule name
 	CodeAggregate     = "ND010" // counting-rule restriction violated
+	CodeNegation      = "ND011" // negated atom: analyzed but not executable by this engine
 
 	CodeUnusedTable    = "ND101" // table never referenced by any rule
 	CodeUnderivedTable = "ND102" // derived table read by rules but never derived
 	CodeTypeConflict   = "ND103" // column used with conflicting value kinds
 	CodeShadowedRule   = "ND104" // rule duplicates another rule's head and body
 	CodeImplicitLoc    = "ND105" // head atom without an explicit @loc specifier
+
+	// ND2xx: dependency-graph diagnostics (see slice.go). All warnings:
+	// the program runs, but the flagged construct is either expensive or
+	// can never matter.
+	CodeCartesianJoin  = "ND201" // join shares no variables and no index can cover it
+	CodeUnreachable    = "ND202" // rule's head can never influence any output table
+	CodeNegationCycle  = "ND203" // negation inside a dependency cycle (not stratifiable)
+	CodeAggOverAgg     = "ND204" // aggregate counting another aggregate's output
 )
 
 // Diag is one positioned analysis diagnostic.

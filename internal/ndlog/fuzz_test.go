@@ -83,3 +83,50 @@ func FuzzParseLoose(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAnalyzeProgram drives loose-parser-recovered programs through the
+// whole-program analysis and the static slicer: neither may panic, the
+// slice must contain its symptom, and it may only name tables the
+// program itself mentions.
+func FuzzAnalyzeProgram(f *testing.F) {
+	f.Add("table t/1 base;\nrule r t2(X) :- t(X).", "t2")
+	f.Add(sliceProgram, "out")
+	f.Add("table a/1\ntable b/2;\nrule r b(@X, X, Y) :- b(@X, X, Y).", "b")
+	f.Add("table t/1 base;\ntable s/1;\nrule r s(X) :- t(X), !s(X).", "s")
+	f.Add("table ev/1 event base; table agg/1; rule c agg(@N, C) :- ev(@N, X), C := count().", "agg")
+	f.Add("rule broken", "nosuch")
+	f.Fuzz(func(t *testing.T, src, symptom string) {
+		prog, _ := ParseLoose(src)
+		_ = AnalyzeProgram(prog)
+		decls := map[string]bool{}
+		for _, tb := range prog.Tables() {
+			decls[tb] = true
+		}
+		mentioned := map[string]bool{}
+		for _, r := range prog.Rules() {
+			mentioned[r.Head.Table] = true
+			for i := range r.Body {
+				mentioned[r.Body[i].Table] = true
+			}
+		}
+		for _, sym := range append(prog.Tables(), symptom) {
+			s := Slice(prog, sym)
+			if !s.Contains(sym) {
+				t.Fatalf("slice of %q does not contain its own symptom", sym)
+			}
+			for tb := range s.Tables {
+				if tb != sym && !decls[tb] && !mentioned[tb] {
+					t.Fatalf("slice of %q includes %q, which the program never mentions", sym, tb)
+				}
+			}
+			for _, tb := range s.Order {
+				if !decls[tb] {
+					t.Fatalf("slice Order includes undeclared table %q", tb)
+				}
+			}
+			if len(s.Rules) > len(prog.Rules()) {
+				t.Fatalf("slice has more rules than the program")
+			}
+		}
+	})
+}

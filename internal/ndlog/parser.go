@@ -107,11 +107,18 @@ func (p *parser) advance() token {
 	return t
 }
 
+// expectSym consumes the next token when it is the expected symbol. On a
+// mismatch it reports the error WITHOUT consuming the offending token:
+// loose-mode recovery resynchronizes at the next 'table'/'rule' keyword,
+// and if the mismatched token is that very keyword (a statement missing
+// its terminator), consuming it would silently swallow the whole next
+// statement and anchor later diagnostics at the wrong position.
 func (p *parser) expectSym(s string) error {
-	t := p.advance()
+	t := p.peek()
 	if t.kind != tokSym || t.text != s {
 		return errAt(t, "expected %q, got %s", s, t)
 	}
+	p.advance()
 	return nil
 }
 
@@ -287,9 +294,34 @@ func (p *parser) parseRule() error {
 	return p.prog.AddRule(r)
 }
 
+// peekAt returns the token n positions ahead, clamped to the trailing EOF.
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
 func (p *parser) parseBodyItem(r *Rule) error {
 	t := p.peek()
 	switch {
+	case (t.kind == tokSym && t.text == "!" || t.kind == tokIdent && t.text == "not") &&
+		p.peekAt(1).kind == tokIdent &&
+		p.peekAt(2).kind == tokSym && p.peekAt(2).text == "(":
+		// Negated body atom: `!t(...)` or `not t(...)`. Parsed and
+		// analyzed (safety, slicing, stratification) but not executable:
+		// AnalyzeProgram reports CodeNegation, so strict Parse and
+		// Engine.Run refuse the program while `diffprov vet` and
+		// `diffprov slice` still reason about it.
+		p.advance() // "!" or "not"
+		a, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		a.Negated = true
+		r.Body = append(r.Body, a)
+		return nil
+
 	case t.kind == tokIdent && t.text == "argmax":
 		p.advance()
 		v := p.advance()

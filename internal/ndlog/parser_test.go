@@ -369,3 +369,83 @@ func newTestRand(seed int64) func() uint64 {
 		return z ^ (z >> 31)
 	}
 }
+
+// TestParseLooseRecoveryPositions pins the recovery behavior around a
+// missing statement terminator: the offending token must NOT be consumed
+// by the failed expectation, so the diagnostic anchors at the exact
+// token and the following statement still parses. (A former bug had
+// expectSym swallow the next statement's 'table'/'rule' keyword, which
+// dropped that whole statement and produced spurious downstream
+// diagnostics with wrong anchors.)
+func TestParseLooseRecoveryPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantCol  int
+		check    func(t *testing.T, p *Program)
+	}{
+		{
+			name: "missing semicolon before next decl",
+			src: `table a/1
+table b/2;
+rule r b(@X, X, Y) :- b(@X, X, Y).
+`,
+			wantLine: 2, wantCol: 1,
+			check: func(t *testing.T, p *Program) {
+				// The malformed declaration itself is dropped; the
+				// statements after the recovery point must all survive.
+				if p.Decl("b") == nil {
+					t.Error("decl b swallowed by recovery")
+				}
+				if p.Rule("r") == nil {
+					t.Error("rule r lost")
+				}
+			},
+		},
+		{
+			name: "missing period before next rule",
+			src: `table b/2;
+rule r1 b(@X, X, Y) :- b(@X, X, Y)
+rule r2 b(@X, X, Y) :- b(@X, X, Y).
+`,
+			wantLine: 3, wantCol: 1,
+			check: func(t *testing.T, p *Program) {
+				if p.Rule("r2") == nil {
+					t.Error("rule r2 swallowed by recovery")
+				}
+			},
+		},
+		{
+			name: "garbage token anchors exactly",
+			src: `table b/2;
+rule r1 b(@X, X, ;) :- b(@X, X, Y).
+rule r2 b(@X, X, Y) :- b(@X, X, Y).
+`,
+			wantLine: 2, wantCol: 18,
+			check: func(t *testing.T, p *Program) {
+				if p.Rule("r2") == nil {
+					t.Error("rule r2 lost")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, diags := ParseLoose(tc.src)
+			var syntax []Diag
+			for _, d := range diags {
+				if d.Code == CodeSyntax {
+					syntax = append(syntax, d)
+				}
+			}
+			if len(syntax) != 1 {
+				t.Fatalf("want exactly one syntax diagnostic, got %v", diags)
+			}
+			if syntax[0].Pos.Line != tc.wantLine || syntax[0].Pos.Col != tc.wantCol {
+				t.Errorf("diagnostic at %s, want %d:%d (%s)", syntax[0].Pos, tc.wantLine, tc.wantCol, syntax[0].Msg)
+			}
+			tc.check(t, p)
+		})
+	}
+}

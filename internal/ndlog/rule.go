@@ -14,6 +14,14 @@ type Atom struct {
 	Table string
 	Loc   Expr // nil means "local" (the node evaluating the rule)
 	Args  []Expr
+	// Negated marks a negated body atom (`!t(...)` or `not t(...)`):
+	// the rule fires only when no matching tuple exists. The engine does
+	// not execute negation — AnalyzeProgram reports it as CodeNegation
+	// (an error) — but the parser and the dependency analyses
+	// (slice.go) understand it, so sliced/vetted programs written in the
+	// wider NDlog dialect are still analyzable. Head atoms are never
+	// negated.
+	Negated bool
 	// Pos is the source position of the predicate name, when the atom
 	// came from parsed text (zero for API-built atoms).
 	Pos Pos
@@ -21,6 +29,9 @@ type Atom struct {
 
 func (a Atom) String() string {
 	var sb strings.Builder
+	if a.Negated {
+		sb.WriteByte('!')
+	}
 	sb.WriteString(a.Table)
 	sb.WriteByte('(')
 	if a.Loc != nil {

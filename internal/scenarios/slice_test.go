@@ -1,0 +1,56 @@
+package scenarios_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSliceDifferential proves the slicing soundness claim: for every
+// replayable Table 1 scenario, Diagnose returns byte-identical results
+// with static candidate slicing enabled (the default) and disabled, both
+// sequentially and with 8-way candidate parallelism. Slicing may only
+// change how many counterfactual replays run — never what is concluded.
+func TestSliceDifferential(t *testing.T) {
+	ctx := context.Background()
+	for _, s := range replayable(t) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			configs := []struct {
+				name string
+				opts core.Options
+			}{
+				{"sequential", core.Options{Parallelism: -1, Minimize: true}},
+				{"sequential-noslice", core.Options{Parallelism: -1, Minimize: true, DisableSlicing: true}},
+				{"parallel8", core.Options{Parallelism: 8, Minimize: true}},
+				{"parallel8-noslice", core.Options{Parallelism: 8, Minimize: true, DisableSlicing: true}},
+			}
+			var baseline string
+			for i, cfg := range configs {
+				iso, err := s.Isolated()
+				if err != nil {
+					t.Fatalf("%s: Isolated: %v", cfg.name, err)
+				}
+				res, err := iso.DiagnoseOptions(ctx, cfg.opts)
+				if err != nil {
+					t.Fatalf("%s: Diagnose: %v", cfg.name, err)
+				}
+				if cfg.opts.DisableSlicing && res.Stats.CandidatesSliced != 0 {
+					t.Errorf("%s: CandidatesSliced = %d with slicing disabled", cfg.name, res.Stats.CandidatesSliced)
+				}
+				if i == 0 {
+					baseline = serializeResult(res)
+					if err := s.Check(res); err != nil {
+						t.Fatalf("%s: diagnosis check: %v", cfg.name, err)
+					}
+					continue
+				}
+				if got := serializeResult(res); got != baseline {
+					t.Errorf("%s: result diverges from sequential baseline:\n--- baseline ---\n%s\n--- %s ---\n%s",
+						cfg.name, baseline, cfg.name, got)
+				}
+			}
+		})
+	}
+}

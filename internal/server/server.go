@@ -331,6 +331,7 @@ type diagnosis struct {
 	FingerprintHits    int64 `json:"fingerprintHits,omitempty"`
 	CandidatesDeduped  int64 `json:"candidatesDeduped,omitempty"`
 	ParallelCandidates int64 `json:"parallelCandidates,omitempty"`
+	CandidatesSliced   int64 `json:"candidatesSliced,omitempty"`
 
 	Reference string `json:"reference,omitempty"`
 }
@@ -352,6 +353,7 @@ func diagnosisOf(name string, res *core.Result, elapsed time.Duration) diagnosis
 		FingerprintHits:    res.Stats.FingerprintHits,
 		CandidatesDeduped:  res.Stats.CandidatesDeduped,
 		ParallelCandidates: res.Stats.ParallelCandidates,
+		CandidatesSliced:   res.Stats.CandidatesSliced,
 	}
 	for _, c := range res.Changes {
 		d.Changes = append(d.Changes, c.String())
