@@ -402,13 +402,17 @@ func BenchmarkAblationSelectiveReplay(b *testing.B) {
 	})
 }
 
-// BenchmarkCounterfactualReplay measures checkpoint-anchored incremental
-// roll-forward against the from-scratch path: a long synthetic log of N
-// base events with a counterfactual change injected near the end (tick
-// N-10, the UPDATETREE pattern — changes land "shortly before they are
-// needed"). The from-scratch path re-executes all N events per replay;
-// the incremental path forks a cached prefix and pays only for the
-// suffix, so at N=10000 it must be at least ~5x faster per replay.
+// BenchmarkCounterfactualReplay measures the three counterfactual replay
+// strategies against each other on a long synthetic log of N base events
+// with a change injected near the end (tick N-10, the UPDATETREE pattern
+// — changes land "shortly before they are needed"). The from-scratch
+// path re-executes all N events per replay; the incremental (full-
+// suffix) path forks a cached prefix shortly before the change and
+// re-fires the suffix; the delta path forks the fully evaluated base run
+// and propagates only the change set through the engine's semi-naïve
+// delta phase, re-firing nothing. At N=10000 incremental must beat
+// scratch by at least ~5x, and delta must beat incremental by at least
+// ~3x on the late change.
 func BenchmarkCounterfactualReplay(b *testing.B) {
 	const replayProgram = `
 table edge/2 base mutable;
@@ -421,10 +425,12 @@ rule j hit(S, D) :- probe(@r, S), edge(@r, S, D).
 		for _, mode := range []struct {
 			name        string
 			incremental bool
-		}{{"incremental", true}, {"scratch", false}} {
+			delta       bool
+		}{{"delta", true, true}, {"incremental", true, false}, {"scratch", false, false}} {
 			b.Run(fmt.Sprintf("N=%d/%s", n, mode.name), func(b *testing.B) {
 				sess := replay.NewSession(prog,
 					replay.WithIncrementalReplay(mode.incremental),
+					replay.WithDeltaReplay(mode.delta),
 					replay.WithCheckpointEvery(int64(n/16)))
 				if err := sess.Insert("r", ndlog.NewTuple("edge", ndlog.Int(1), ndlog.Int(2)), 0); err != nil {
 					b.Fatal(err)

@@ -37,6 +37,7 @@ func main() {
 		refcheck  = flag.Bool("refcheck", false, "§6.3: unsuitable-reference queries")
 		coldstart = flag.Bool("coldstart", false, "segmented-store cold start: record SDN1, replay it out of segments")
 		fork      = flag.Bool("fork", false, "prefix fork cost: copy-on-write vs deep fork by state size")
+		delta     = flag.Bool("delta", false, "delta replay ablation: diagnosis with semi-naïve delta trials vs full-suffix re-fire")
 		scaleStr  = flag.String("scale", "small", "workload scale: small or paper")
 	)
 	flag.Parse()
@@ -51,10 +52,10 @@ func main() {
 		os.Exit(2)
 	}
 	if *all {
-		*table1, *fig5, *fig6, *fig7, *fig8, *latency, *stanford, *refcheck, *coldstart, *fork =
-			true, true, true, true, true, true, true, true, true, true
+		*table1, *fig5, *fig6, *fig7, *fig8, *latency, *stanford, *refcheck, *coldstart, *fork, *delta =
+			true, true, true, true, true, true, true, true, true, true, true
 	}
-	if !(*table1 || *fig5 || *fig6 || *fig7 || *fig8 || *latency || *stanford || *refcheck || *coldstart || *fork) {
+	if !(*table1 || *fig5 || *fig6 || *fig7 || *fig8 || *latency || *stanford || *refcheck || *coldstart || *fork || *delta) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -177,6 +178,20 @@ func main() {
 			res.Events, res.Checkpoints, res.Segments, res.StoreBytes, res.Record)
 		fmt.Printf("recovered: cold start out of segments in %v (checkpoints reused, log verified)\n",
 			res.Recover)
+		fmt.Println()
+	}
+
+	if *delta {
+		fmt.Println("== Delta replay ablation: counterfactual trials via semi-naïve delta vs full-suffix re-fire ==")
+		rows, err := evaluation.DeltaReplay(scale)
+		die(err)
+		fmt.Printf("%-8s %14s %14s %9s %9s %9s %14s\n",
+			"Query", "delta_ns", "suffix_ns", "refired", "skipped", "dirty", "suffix_refired")
+		for _, r := range rows {
+			fmt.Printf("%-8s %14d %14d %9d %9d %9d %14d\n",
+				r.Scenario, r.Delta.Nanoseconds(), r.Suffix.Nanoseconds(),
+				r.ReFired, r.Skipped, r.Dirty, r.SuffixReFired)
+		}
 		fmt.Println()
 	}
 

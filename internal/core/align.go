@@ -127,6 +127,15 @@ func (d *diag) firstDivergence(chainG []gLevel, w World, seedB ndlog.At) (*diver
 				if ha < 0 || g.Vertex(ha).Node != expected.Node {
 					continue
 				}
+				// The graph is append-only, so a derivation the
+				// counterfactual phase erased (delta replay: the timely run
+				// with the changes applied would never have fired it) still
+				// has its vertexes; the world's history is the authority on
+				// whether the head occurrence still happened.
+				hv := g.Vertex(ha)
+				if !w.Exists(hv.Node, hv.Tuple, hv.At) {
+					continue
+				}
 				match = ha
 				break
 			}

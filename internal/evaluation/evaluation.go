@@ -88,10 +88,13 @@ type Fig7Row struct {
 	// DiffProvReason is the reasoning portion (seed finding, divergence
 	// detection, making tuples appear).
 	DiffProvReason time.Duration
-	// Replay reports the incremental roll-forward activity of the
-	// differential query: prefix cache hits/misses, fork time, and the
-	// logged base events the forked replays skipped (zero for the
-	// imperative scenarios, which have no replay session).
+	// Replay reports the incremental roll-forward and delta-replay
+	// activity of the differential query: prefix cache hits/misses, fork
+	// time, the logged base events the forked replays skipped, the
+	// events counterfactual replays re-fired after the fork point (zero
+	// on cache hits with delta replay on), and the (node, table) pairs
+	// the delta phases touched (zero for the imperative scenarios, which
+	// have no replay session).
 	Replay replay.ReplayStats
 	// Diag reports the fingerprint and parallel-evaluation activity of
 	// the differential query (alignment memo hits, deduplicated
@@ -146,6 +149,83 @@ func Figure7(scale scenarios.Scale) ([]Fig7Row, error) {
 		row.Diag = res.Stats
 		if s.BadSession != nil {
 			row.Replay = s.BadSession.Stats
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DeltaRow is one row of the delta-replay ablation: the same scenario
+// diagnosis timed with delta replay on (counterfactual trials anchor at
+// the fully-evaluated end of the log and push the change set through
+// the semi-naïve delta phase) and off (trials anchor before the
+// earliest change and re-fire the whole suffix).
+type DeltaRow struct {
+	Scenario string
+	// Delta and Suffix are the wall-clock diagnosis times of the two
+	// arms (replay to extract the trees included in both).
+	Delta, Suffix time.Duration
+	// ReFired, Skipped, and Dirty are the delta arm's cumulative
+	// counters across every counterfactual trial: suffix events
+	// re-fired after the fork point (zero when every trial anchors at
+	// end-of-log), logged base events the forks did not re-execute, and
+	// (node, table) pairs the delta phases touched.
+	ReFired, Skipped, Dirty int64
+	// SuffixReFired is the full-suffix arm's re-fire count, for
+	// contrast: the work the delta path avoids.
+	SuffixReFired int64
+}
+
+// DeltaReplay times every replayable Table 1 scenario's diagnosis with
+// delta replay on and off. Imperative scenarios (no replay session) are
+// skipped — they have no suffix to re-fire.
+func DeltaReplay(scale scenarios.Scale) ([]DeltaRow, error) {
+	var rows []DeltaRow
+	for _, name := range scenarios.Names() {
+		s, err := scenarios.Build(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		if s.BadSession == nil {
+			continue
+		}
+		prog := s.BadSession.Program()
+		log := s.BadSession.Log()
+		row := DeltaRow{Scenario: name}
+		for _, delta := range []bool{true, false} {
+			sess, err := replay.FromLog(prog, log,
+				replay.WithIncrementalReplay(true),
+				replay.WithDeltaReplay(delta),
+				replay.WithCheckpointEvery(4))
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			_, g, err := sess.Graph()
+			if err != nil {
+				return nil, err
+			}
+			badTree := g.Tree(s.Bad.Vertex.ID)
+			if badTree == nil {
+				return nil, fmt.Errorf("%s: bad vertex %d missing from replayed graph", name, s.Bad.Vertex.ID)
+			}
+			world, err := core.NewWorld(sess)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.Diagnose(context.Background(), s.Good, badTree, world, core.Options{}); err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if delta {
+				row.Delta = elapsed
+				row.ReFired = sess.Stats.EventsReFired
+				row.Skipped = sess.Stats.EventsSkipped
+				row.Dirty = sess.Stats.DirtyTables
+			} else {
+				row.Suffix = elapsed
+				row.SuffixReFired = sess.Stats.EventsReFired
+			}
 		}
 		rows = append(rows, row)
 	}

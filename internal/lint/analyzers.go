@@ -300,8 +300,11 @@ var SealCheck = &Analyzer{
 // selector write and stays unconstrained: building a fresh, unshared
 // value is always legal.
 var sealedFields = map[[2]string][]string{
-	// ndlog: per-table interval history and rows are forked CoW.
-	{"table", "hist"}: {"cow.go", "fork.go"},
+	// ndlog: per-table interval history and rows are forked CoW. The
+	// counterfactual phase rewrites history through delta.go's helpers
+	// (histRemoveOcc, histBackdateFrom, histCloseAt), which follow the
+	// same copy-on-first-write discipline as histCloseLast.
+	{"table", "hist"}: {"cow.go", "fork.go", "delta.go"},
 	// A node's table map is shared until the first write to a table.
 	{"node", "tables"}: {"cow.go", "fork.go", "engine.go"},
 	// The support index backing provenance invalidation; the engine

@@ -56,6 +56,10 @@ func (e *Engine) Seal() {
 	for _, n := range e.nodes {
 		for _, tb := range n.tables {
 			if !tb.sealed {
+				// Engine-private table: safe to restructure before it
+				// freezes (already-sealed tables are shared with a
+				// frozen base and must not be touched).
+				tb.flattenOccs()
 				tb.sealed = true
 			}
 		}

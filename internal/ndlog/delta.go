@@ -1,0 +1,1130 @@
+package ndlog
+
+// Delta (counterfactual-phase) evaluation.
+//
+// A counterfactual replay injects a small change set against an execution
+// that has already been evaluated in full. Re-running the whole suffix of
+// the log re-derives everything the base run derived just to reach the
+// handful of derivations the changes actually perturb. Delta evaluation
+// avoids that: changes scheduled through ScheduleCFInsert/ScheduleCFDelete
+// go onto a separate counterfactual work heap, the main heap drains first
+// (unperturbed — in a fork of a fully evaluated base run that is a no-op
+// beyond pending spill items), and only then does Run switch into the
+// counterfactual phase and propagate the changes semi-naively:
+//
+//   - An inserted tuple appears, triggers its rules normally (the delta
+//     join probes the same hash indexes as the main phase, as-of the
+//     change stamp), and then RE-FIRES every later occurrence of a sibling
+//     body atom with the new row pinned at its position — exactly the
+//     firings the base run's suffix would have produced had the row been
+//     present. The as-of join makes the max-stamp element of each binding
+//     its only effective trigger, so every new binding fires exactly once.
+//   - A deleted tuple retracts one base support; support counting cascades
+//     the underivation to every derivation that transitively depended on
+//     the row (DRed's delete phase — the re-derive phase is subsumed by
+//     support counting for plain rules).
+//   - Argmax rules need genuine re-derivation: when a retraction removes
+//     an argmax winner whose trigger fired after the change, or a new row
+//     displaces a winner, the trigger is re-evaluated in full
+//     (reevalArgMax) and the head flipped to the new winner.
+//   - count() aggregates extend their delta chains from the end-state
+//     group exactly as a timely firing at the change tick would, since
+//     contributor events are append-only.
+//
+// Byte-identity with full-suffix replay falls out by construction: both
+// arms finish the main phase with identical state and counters (the
+// full-suffix arm re-runs the suffix unperturbed because changes no
+// longer interleave with it), and then execute the identical
+// counterfactual phase. The differential suites assert this across every
+// scenario, sequential and parallel, CoW on and off.
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// eventOcc records one event-tuple occurrence on a table, so the
+// counterfactual phase can re-enumerate event triggers that fired in the
+// main phase. Appended in processing order; occSorted tracks the
+// stamp-sorted prefix for binary search.
+type eventOcc struct {
+	tuple Tuple
+	at    Stamp
+}
+
+// occAppend records an event occurrence, maintaining the sorted-prefix
+// length (main-phase appends are stamp-monotone; counterfactual appends
+// land in a short unsorted tail). On a forked table the occs backing is
+// shared with the parent, so appends go to the private occsTail — a
+// reallocating append of the whole log would cost O(#occurrences) per
+// counterfactual trial.
+func (tb *table) occAppend(t Tuple, st Stamp) {
+	if tb.occsShared {
+		tb.occsTail = append(tb.occsTail, eventOcc{tuple: t, at: st})
+		return
+	}
+	if tb.occSorted == len(tb.occs) &&
+		(tb.occSorted == 0 || !st.Before(tb.occs[tb.occSorted-1].at)) {
+		tb.occSorted++
+	}
+	tb.occs = append(tb.occs, eventOcc{tuple: t, at: st})
+}
+
+// flattenOccs folds a shared occurrence log and its private tail into
+// one engine-owned array, re-extending the sorted prefix over the
+// folded entries. Seal calls it on each written table entering the
+// prefix cache: forks copy the tail on clone-on-first-write, so a long
+// tail — a checkpoint fork that ran a long suffix to the anchor — would
+// otherwise be re-copied by every counterfactual trial forked off the
+// cached prefix.
+func (tb *table) flattenOccs() {
+	if !tb.occsShared {
+		return
+	}
+	occs := make([]eventOcc, 0, len(tb.occs)+len(tb.occsTail))
+	occs = append(occs, tb.occs...)
+	occs = append(occs, tb.occsTail...)
+	tb.occs = occs
+	tb.occsTail = nil
+	tb.occsShared = false
+	for tb.occSorted < len(tb.occs) &&
+		(tb.occSorted == 0 || !tb.occs[tb.occSorted].at.Before(tb.occs[tb.occSorted-1].at)) {
+		tb.occSorted++
+	}
+}
+
+// noteOrderAppend maintains the stamp-sorted prefix length of tb.order;
+// called just after a row is appended.
+func (tb *table) noteOrderAppend() {
+	i := len(tb.order) - 1
+	if tb.orderSorted == i &&
+		(i == 0 || !tb.order[i].appearedAt.Before(tb.order[i-1].appearedAt)) {
+		tb.orderSorted++
+	}
+}
+
+// ScheduleCFInsert schedules a counterfactual base-tuple insertion. It
+// allocates the next base-band stamp exactly like ScheduleInsert, but the
+// work item goes on the counterfactual heap: Run evaluates it only after
+// the main heap drains, propagating its consequences as deltas.
+func (e *Engine) ScheduleCFInsert(nodeName string, t Tuple, tick int64) error {
+	return e.scheduleCF(nodeName, t, tick, wkInsertBase)
+}
+
+// ScheduleCFDelete schedules a counterfactual base-tuple deletion; see
+// ScheduleCFInsert.
+func (e *Engine) ScheduleCFDelete(nodeName string, t Tuple, tick int64) error {
+	return e.scheduleCF(nodeName, t, tick, wkDeleteBase)
+}
+
+func (e *Engine) scheduleCF(nodeName string, t Tuple, tick int64, kind workKind) error {
+	if e.sealed {
+		return errSealed
+	}
+	d := e.prog.Decl(t.Table)
+	if d == nil {
+		return fmt.Errorf("ndlog: counterfactual change to undeclared table %s", t.Table)
+	}
+	if !d.Base {
+		return fmt.Errorf("ndlog: table %s is not a base table", t.Table)
+	}
+	if kind == wkInsertBase && len(t.Args) != d.Arity {
+		return fmt.Errorf("ndlog: %s has arity %d, got %d args", t.Table, d.Arity, len(t.Args))
+	}
+	if kind == wkDeleteBase && d.Event {
+		return fmt.Errorf("ndlog: cannot delete event tuple %s", t)
+	}
+	if !e.cfMarksSet {
+		// Everything allocated from here on is counterfactual-era; isCF
+		// relies on these marks to tell counterfactual rows from main rows.
+		e.cfMarksSet = true
+		if e.seqBand == 0 {
+			e.cfBaseMark = e.seq
+		} else {
+			e.cfBaseMark = e.baseSeq
+		}
+		e.cfSeqMark = ^uint64(0) // no internal cf stamps until the drain starts
+	}
+	st, err := e.scheduleStamp(tick)
+	if err != nil {
+		return err
+	}
+	heap.Push(&e.cfQueue, &workItem{stamp: st, kind: kind, node: nodeName, tuple: t})
+	return nil
+}
+
+// isCF reports whether a stamp was allocated in the counterfactual era:
+// a base-band sequence past the first ScheduleCF call, or an internal
+// sequence past the start of the counterfactual drain.
+func (e *Engine) isCF(st Stamp) bool {
+	if !e.cfMarksSet {
+		return false
+	}
+	if e.seqBand == 0 {
+		return st.Seq > e.cfBaseMark
+	}
+	if st.Seq < e.seqBand {
+		return st.Seq > e.cfBaseMark
+	}
+	return st.Seq > e.cfSeqMark
+}
+
+// runCF drains the counterfactual heap in stamp order. Called by Run once
+// the main heap is empty; derivations spawned during the phase route back
+// onto the counterfactual heap (see derive), so the phase runs to its own
+// fixpoint. After each item the queued argmax re-evaluations are drained
+// in deterministic order.
+func (e *Engine) runCF() error {
+	if e.cfQueue.Len() == 0 {
+		return nil
+	}
+	e.cfPhase = true
+	defer func() { e.cfPhase = false }()
+	if e.cfSeqMark == ^uint64(0) {
+		e.cfSeqMark = e.seqBand + e.seq
+	}
+	if e.cfDirty == nil {
+		e.cfDirty = map[string]struct{}{}
+	}
+	for e.cfQueue.Len() > 0 {
+		it := heap.Pop(&e.cfQueue).(*workItem)
+		if e.now.Before(it.stamp) {
+			e.now = it.stamp
+		}
+		if err := e.process(it); err != nil {
+			return err
+		}
+		if err := e.drainCFReevals(); err != nil {
+			return err
+		}
+	}
+	e.stats.DirtyTables = len(e.cfDirty)
+	return nil
+}
+
+// cfMarkDirty records that counterfactual propagation touched a table on
+// a node; Stats.DirtyTables reports how many distinct (node, table) pairs
+// the change set actually perturbed.
+func (e *Engine) cfMarkDirty(nodeName, tableName string) {
+	e.cfDirty[nodeName+"|"+tableName] = struct{}{}
+}
+
+// refireForRow re-fires the rules a freshly appeared counterfactual state
+// row participates in, against every main-phase occurrence of a sibling
+// body atom later than the row's appearance. The row is pinned at its
+// atom position and the later occurrence drives the join as the delta, so
+// each re-firing reproduces exactly the firing the base run would have
+// performed had the row existed — at the occurrence's own stamp, joining
+// state as of that stamp. Occurrences at or before the row's appearance
+// need no re-fire: the row's own appearance already triggered those rules
+// (class-a), and the as-of join covers earlier state. A non-zero until
+// bounds the window from above: a backdated row (cfBackdateRow) was
+// present from its original appearance on, so occurrences past it fired
+// with the row in the base run already.
+func (e *Engine) refireForRow(nodeName string, rw *row, s, until Stamp) error {
+	for _, ref := range e.prog.triggers(rw.tuple.Table) {
+		r := ref.rule
+		if r.CountVar != "" {
+			continue // aggregate bodies are single event atoms; a state row never matches
+		}
+		// The pinned atom must actually unify with the row before any
+		// enumeration (cheap pre-filter; the pinned join re-checks).
+		if !quickMatch(r.Body[ref.atom], Env{}, rw.tuple) {
+			continue
+		}
+		for q := range r.Body {
+			if q == ref.atom {
+				continue
+			}
+			if err := e.refireAtomOccurrences(r, ref.atom, nodeName, rw, q, s, until); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// refireAtomOccurrences enumerates the main-phase occurrences of body
+// atom q (events from the occurrence log, state rows from the appearance
+// order) with stamps after s — and, when until is non-zero, before until
+// — firing rule r for each with the counterfactual row pinned at atom p.
+// Argmax rules re-evaluate the full trigger instead of a pinned fire.
+func (e *Engine) refireAtomOccurrences(r *Rule, p int, pinNode string, pin *row, q int, s, until Stamp) error {
+	atom := r.Body[q]
+	decl := e.prog.Decl(atom.Table)
+	if decl == nil {
+		return fmt.Errorf("ndlog: rule %s: unknown table %s", r.Name, atom.Table)
+	}
+	for _, nn := range e.nodeOrder {
+		n := e.nodes[nn]
+		tb := n.tables[atom.Table]
+		if tb == nil {
+			continue
+		}
+		if decl.Event {
+			fire := func(o eventOcc) error {
+				if !s.Before(o.at) || e.isKilledOcc(o.at.Seq) {
+					return nil
+				}
+				if until != (Stamp{}) && !o.at.Before(until) {
+					return nil
+				}
+				return e.refireAt(r, p, pinNode, pin, q, nn, o.tuple, o.at)
+			}
+			// Sorted prefix by binary search, then the short unsorted
+			// tail, then the fork-private counterfactual tail.
+			i := sort.Search(tb.occSorted, func(i int) bool { return s.Before(tb.occs[i].at) })
+			for ; i < len(tb.occs); i++ {
+				if err := fire(tb.occs[i]); err != nil {
+					return err
+				}
+			}
+			for _, o := range tb.occsTail {
+				if err := fire(o); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		i := sort.Search(tb.orderSorted, func(i int) bool { return s.Before(tb.order[i].appearedAt) })
+		for ; i < len(tb.order); i++ {
+			o := tb.order[i]
+			// Dead rows need no re-fire: a firing at their appearance would
+			// have been retracted when they died (main-phase death), or the
+			// row was killed by the change set itself and in a timely run
+			// would never have appeared.
+			if o.dead || !s.Before(o.appearedAt) {
+				continue
+			}
+			if until != (Stamp{}) && !o.appearedAt.Before(until) {
+				continue
+			}
+			if err := e.refireAt(r, p, pinNode, pin, q, nn, o.tuple, o.appearedAt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// refireAt fires rule r once for a single re-enumerated trigger
+// occurrence: a pinned fire for plain rules, a full trigger
+// re-evaluation for argmax rules.
+func (e *Engine) refireAt(r *Rule, p int, pinNode string, pin *row, q int, nodeName string, delta Tuple, st Stamp) error {
+	if r.ArgMax != "" {
+		cause := At{Node: pinNode, Tuple: pin.tuple, Stamp: pin.appearedAt}
+		return e.reevalArgMax(r, q, nodeName, delta, st, cause)
+	}
+	e.rfPin, e.rfPinAtom, e.rfPinNode = pin, p, pinNode
+	e.stats.CFRefires++
+	err := e.fireRule(r, q, nodeName, delta, st)
+	e.rfPin = nil
+	return err
+}
+
+// joinPinned matches the pinned counterfactual row — and only it — at
+// body atom next, extending the binding and recursing like joinAtom.
+// Restricting the pinned position to the new row is what makes a delta
+// re-fire derive only the bindings the change introduced: bindings over
+// main-phase rows alone were already derived by the base run.
+func (e *Engine) joinPinned(r *Rule, deltaAtom int, evalNode string, b binding, next int, st Stamp) ([]binding, error) {
+	atom := r.Body[next]
+	rw, nodeName := e.rfPin, e.rfPinNode
+	locNode, locKnown, err := resolveLoc(atom.Loc, evalNode, b.env)
+	if err != nil {
+		return nil, fmt.Errorf("ndlog: rule %s: %v", r.Name, err)
+	}
+	if locKnown && locNode != nodeName {
+		return nil, nil
+	}
+	if rw.dead || st.Before(rw.appearedAt) {
+		return nil, nil
+	}
+	if !quickMatch(atom, b.env, rw.tuple) {
+		return nil, nil
+	}
+	env2 := b.env.Clone()
+	if !unifyAtom(atom, nodeName, rw.tuple, env2) {
+		return nil, nil
+	}
+	b2 := binding{env: env2, body: make([]At, len(b.body))}
+	copy(b2.body, b.body)
+	b2.body[next] = At{Node: nodeName, Tuple: rw.tuple, Stamp: rw.appearedAt}
+	return e.joinRest(r, deltaAtom, evalNode, b2, next+1, st)
+}
+
+// cfBackdateRow moves an already-live row's appearance back to a
+// counterfactual base insertion's stamp: the main run inserted the same
+// tuple later, so in the timely run the row exists from st on. Three
+// consequences follow. The row's live history interval opens at st.
+// Trigger occurrences inside the widened window (st, old appearance) are
+// re-fired with the row pinned — occurrences past the old appearance
+// fired with the row in the base run already. And on a keyed table the
+// generation the main-run insert displaced gives up the window too: its
+// death moves back to st, and the event firings it fed in between are
+// erased, because the timely run had replaced it before they triggered
+// (the §4.9 intra-tick race: the corrected config arrived after the
+// probe; inserting it a tick earlier must both erase the stale answer
+// and derive the correct one).
+func (e *Engine) cfBackdateRow(nodeName string, tb *table, decl *TableDecl, r *row, st Stamp) error {
+	old := r.appearedAt
+	histBackdateFrom(tb, r.key, old.Seq, st)
+	r.appearedAt = st
+	// Backdating can break the appearance-order sorted prefix at the
+	// row's position; shrink it so binary searches stay sound.
+	for i, o := range tb.order {
+		if o == r {
+			if i < tb.orderSorted && i > 0 && o.appearedAt.Before(tb.order[i-1].appearedAt) {
+				tb.orderSorted = i
+			}
+			break
+		}
+	}
+	e.cfMarkDirty(nodeName, decl.Name)
+	if tb.keyIdx != nil {
+		pk := primaryKey(decl, r.tuple)
+		cause := At{Node: nodeName, Tuple: r.tuple, Stamp: st}
+		for _, o := range tb.order {
+			if o == r || !o.dead || o.key == r.key || primaryKey(decl, o.tuple) != pk {
+				continue
+			}
+			// The displaced generation is the one that died exactly when r
+			// appeared and was live at st; anything between st and the old
+			// appearance is a multi-generation interleave we leave as-is.
+			for _, iv := range tb.histOf(o.key) {
+				if iv.Open || iv.From.Seq != o.appearedAt.Seq || iv.To.Seq != old.Seq || st.Before(iv.From) {
+					continue
+				}
+				histCloseAt(tb, o.key, o.appearedAt.Seq, st)
+				e.eraseEventConsumers(nodeName+"|"+o.key, o.appearedAt.Seq, cause, st, true)
+				break
+			}
+		}
+	}
+	return e.refireForRow(nodeName, r, st, old)
+}
+
+// histBackdateFrom moves the start of the interval opened at seq back to
+// st, copying the effective base history on a clone's first local write
+// (like histCloseLast).
+func histBackdateFrom(tb *table, key string, seq uint64, st Stamp) {
+	ivs, ok := tb.hist[key]
+	if !ok && tb.histBase != nil {
+		base := tb.histBase.histOf(key)
+		if len(base) == 0 {
+			return
+		}
+		ivs = append([]Interval(nil), base...)
+	}
+	for i, iv := range ivs {
+		if iv.From.Seq == seq {
+			ivs[i].From = st
+			tb.hist[key] = ivs
+			return
+		}
+	}
+}
+
+// histCloseAt moves the end of the interval opened at seq back to st
+// (closing it if still open); same copy-on-write discipline as
+// histBackdateFrom.
+func histCloseAt(tb *table, key string, seq uint64, st Stamp) {
+	ivs, ok := tb.hist[key]
+	if !ok && tb.histBase != nil {
+		base := tb.histBase.histOf(key)
+		if len(base) == 0 {
+			return
+		}
+		ivs = append([]Interval(nil), base...)
+	}
+	for i, iv := range ivs {
+		if iv.From.Seq == seq {
+			ivs[i].To = st
+			ivs[i].Open = false
+			tb.hist[key] = ivs
+			return
+		}
+	}
+}
+
+// evConsumer records one event-head derivation: which occurrence it
+// produced (node, tuple, headAt, deriveID) and which body elements fed it.
+// Derived events have no rows, so the support-counting cascade cannot
+// retract them; the counterfactual phase erases their occurrences through
+// these records instead (DRed's delete phase, extended to events).
+type evConsumer struct {
+	deriveID int64
+	rule     string
+	node     string
+	tuple    Tuple
+	headAt   Stamp // the occurrence's delivery stamp
+	trig     At    // the body element that triggered the firing
+	trigAtom int   // its body atom index
+	body     []bodyRef
+}
+
+// registerEventDeriv indexes an event-head derivation under each of its
+// body elements, at delivery time (process). The body slice is the
+// support's, write-once and shared.
+func (e *Engine) registerEventDeriv(d *Derivation, body []bodyRef) {
+	c := evConsumer{
+		deriveID: d.ID,
+		rule:     d.Rule,
+		node:     d.Head.Node,
+		tuple:    d.Head.Tuple,
+		headAt:   d.Head.Stamp,
+		trig:     d.Body[d.Trigger],
+		trigAtom: d.Trigger,
+		body:     body,
+	}
+	for _, b := range body {
+		e.appendEvDep(b.node+"|"+b.key, c)
+	}
+}
+
+// appendEvDep appends an event consumer under a body-element ref. A
+// fork's local entry holds only the consumers the fork itself registers
+// (a tail); the base chain's frozen lists are never copied — evDepsOf
+// concatenates on read, which is rare (erasure) while registration is
+// per-derivation hot.
+func (e *Engine) appendEvDep(ref string, c evConsumer) {
+	if e.evDeps == nil {
+		e.evDeps = map[string][]evConsumer{}
+	}
+	e.evDeps[ref] = append(e.evDeps[ref], c)
+}
+
+// evDepsOf returns the effective consumer list for a body-element ref:
+// the copy-on-write chain's entries oldest-first (base registrations
+// precede the fork's tail). Entries are never deleted (stale ones are
+// filtered by body sequence number at use), so there are no tombstones
+// to honor. The returned slice may alias a single chain link's frozen
+// storage; do not mutate.
+func (e *Engine) evDepsOf(ref string) []evConsumer {
+	if e.cowBase == nil {
+		return e.evDeps[ref]
+	}
+	base := e.cowBase.evDepsOf(ref)
+	local := e.evDeps[ref]
+	if len(local) == 0 {
+		return base
+	}
+	if len(base) == 0 {
+		return local
+	}
+	return append(append(make([]evConsumer, 0, len(base)+len(local)), base...), local...)
+}
+
+// forEachEvDeps visits every ref's effective (chain-concatenated)
+// consumer list exactly once; used to materialize the overlay on deep
+// forks.
+func (e *Engine) forEachEvDeps(fn func(ref string, deps []evConsumer)) {
+	if e.cowBase == nil {
+		for ref, deps := range e.evDeps {
+			fn(ref, deps)
+		}
+		return
+	}
+	seen := map[string]bool{}
+	for en := e; en != nil; en = en.cowBase {
+		for ref := range en.evDeps {
+			if seen[ref] {
+				continue
+			}
+			seen[ref] = true
+			fn(ref, e.evDepsOf(ref))
+		}
+	}
+}
+
+// isKilledOcc reports whether the counterfactual phase erased the event
+// occurrence with this stamp sequence (stamp sequences are unique).
+func (e *Engine) isKilledOcc(seq uint64) bool {
+	for en := e; en != nil; en = en.cowBase {
+		if _, ok := en.killedOccs[seq]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) killOcc(seq uint64) {
+	if e.killedOccs == nil {
+		e.killedOccs = map[uint64]struct{}{}
+	}
+	e.killedOccs[seq] = struct{}{}
+}
+
+// eraseEventConsumers erases the event occurrences derived from a body
+// element that a counterfactual retraction just removed. With gate set
+// (the element existed until st and then died), only firings triggered
+// after st are erased — earlier firings happened in the timely run too.
+// Without it (the element's own occurrence was erased, so it never
+// happened in the counterfactual timeline), every consumer goes.
+func (e *Engine) eraseEventConsumers(ref string, bodySeq uint64, cause At, st Stamp, gate bool) {
+	deps := e.evDepsOf(ref)
+	if len(deps) == 0 {
+		return
+	}
+	// Snapshot: the cascade can append to other refs' lists via the map.
+	snap := append([]evConsumer(nil), deps...)
+	for _, c := range snap {
+		match := false
+		for _, b := range c.body {
+			if b.seq == bodySeq {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if gate && !st.Before(c.trig.Stamp) {
+			continue
+		}
+		e.eraseOccurrence(c, cause, st)
+		if gate {
+			// The body element existed at the trigger but the timely run
+			// loses it by then; an argmax trigger would have fired anyway
+			// and chosen the next-best winner — re-evaluate it. (Plain
+			// rules need nothing: bindings over other rows were separate
+			// firings and still stand. Ungated erasure needs nothing
+			// either: events only join as triggers, so the erased
+			// occurrence was the consumer's trigger and never happened.)
+			if r := e.prog.Rule(c.rule); r != nil && r.ArgMax != "" {
+				e.cfReevals = append(e.cfReevals, cfReeval{
+					rule: r, atom: c.trigAtom, node: c.trig.Node,
+					tuple: c.trig.Tuple, st: c.trig.Stamp,
+					cause: cause,
+				})
+			}
+		}
+	}
+}
+
+// eraseOccurrence erases one derived event occurrence: the timely run the
+// counterfactual phase reconstructs would never have fired it. The
+// occurrence's zero-length history interval is removed (so Exists,
+// ExistsEver, History, and TuplesAt no longer see it), the stamp is
+// marked killed (so delta re-fires skip it and a pending delivery is
+// dropped), an underivation is emitted, and the erasure cascades: count()
+// groups it contributed to are decremented, state rows it supported are
+// retracted, and event occurrences derived from it are erased in turn.
+func (e *Engine) eraseOccurrence(c evConsumer, cause At, st Stamp) {
+	if e.isKilledOcc(c.headAt.Seq) {
+		return
+	}
+	e.killOcc(c.headAt.Seq)
+	decl := e.prog.Decl(c.tuple.Table)
+	if decl == nil {
+		return
+	}
+	n := e.nodeFor(c.node)
+	tb := e.writableTable(n, e.tableFor(n, decl))
+	histRemoveOcc(tb, c.tuple.Key(), c.headAt.Seq)
+	e.cfMarkDirty(c.node, c.tuple.Table)
+	e.deriveID++
+	e.obs.OnUnderive(Underivation{
+		ID:       e.deriveID,
+		DeriveID: c.deriveID,
+		Rule:     c.rule,
+		Node:     c.node,
+		Head:     At{Node: c.node, Tuple: c.tuple, Stamp: e.nextStamp(st.T)},
+		Cause:    cause,
+	})
+	occ := At{Node: c.node, Tuple: c.tuple, Stamp: c.headAt}
+	// count() groups the occurrence contributed to shrink by one.
+	for _, ref := range e.prog.triggers(c.tuple.Table) {
+		if ref.rule.CountVar != "" {
+			e.cfAggregateErase(ref.rule, c.node, c.tuple, occ, st)
+		}
+	}
+	// State rows supported by the occurrence lose that support. Aggregate
+	// heads are skipped: the group decrement above already replaced them.
+	occRef := c.node + "|" + c.tuple.Key()
+	for _, dep := range append([]dependentRef(nil), e.depsOf(occRef)...) {
+		e.retractSupportIf(dep, c.headAt.Seq, occ, st)
+	}
+	// Event occurrences derived from this one never happened either.
+	e.eraseEventConsumers(occRef, c.headAt.Seq, occ, st, false)
+}
+
+// histRemoveOcc removes an event occurrence's zero-length interval from a
+// key's history, copying the effective base history on a clone's first
+// local write (like histCloseLast).
+func histRemoveOcc(tb *table, key string, seq uint64) {
+	ivs, ok := tb.hist[key]
+	if !ok && tb.histBase != nil {
+		base := tb.histBase.histOf(key)
+		if len(base) == 0 {
+			return
+		}
+		ivs = append([]Interval(nil), base...)
+	}
+	for i, iv := range ivs {
+		if !iv.Open && iv.From == iv.To && iv.From.Seq == seq {
+			tb.hist[key] = append(ivs[:i], ivs[i+1:]...)
+			return
+		}
+	}
+}
+
+// retractSupportIf retracts one dependent's support only if that support
+// actually contains the erased occurrence (dependent refs carry no body
+// sequence, and the same node|key can occur more than once) and the
+// support is not an aggregate delta (the group decrement handles those).
+func (e *Engine) retractSupportIf(dep dependentRef, bodySeq uint64, cause At, st Stamp) {
+	n := e.nodes[dep.node]
+	if n == nil {
+		return
+	}
+	var r *row
+	for _, t := range n.tables {
+		if rw, ok := t.live[dep.key]; ok {
+			r = rw
+			break
+		}
+	}
+	if r == nil {
+		return
+	}
+	for _, s := range r.supports {
+		if s.deriveID != dep.deriveID {
+			continue
+		}
+		if ru := e.prog.Rule(s.rule); ru != nil && ru.CountVar != "" {
+			return
+		}
+		for _, b := range s.body {
+			if b.seq == bodySeq {
+				e.retractSupport(dep, cause, st)
+				return
+			}
+		}
+		return
+	}
+}
+
+// cfAggregateErase removes one erased contributor from a counting rule's
+// group: the previous head is retracted and a head with the decremented
+// count derived, linked into the delta chain as a removal (AggRemove) so
+// provenance folds subtract the contributor instead of adding it. A group
+// whose count reaches zero simply loses its head. Mirrors fireAggregate
+// with the sign flipped; invariant breaks (the contributor never matched,
+// the group is empty, the head fails to evaluate) count as
+// AggRetractMisses, which the differential suites assert stay zero.
+func (e *Engine) cfAggregateErase(r *Rule, nodeName string, t Tuple, occ At, st Stamp) {
+	env := Env{}
+	if !unifyAtom(r.Body[0], nodeName, t, env) {
+		return
+	}
+	b := binding{env: env, body: []At{occ}}
+	ok, err := e.finishBinding(r, &b)
+	if err != nil {
+		e.stats.AggRetractMisses++
+		return
+	}
+	if !ok {
+		return // the occurrence never contributed (constraint filtered it)
+	}
+	destNode, known, err := resolveLoc(r.Head.Loc, nodeName, b.env)
+	if err != nil || !known {
+		e.stats.AggRetractMisses++
+		return
+	}
+	gk := e.groupKey(r, nodeName, b.env)
+	g := e.aggGroupFor(gk)
+	if g.count == 0 || !g.prevSet {
+		e.stats.AggRetractMisses++
+		return
+	}
+	// Evaluate the decremented head before mutating the group, so an
+	// evaluation error leaves it untouched (like fireAggregate).
+	env2 := b.env.Clone()
+	env2[r.CountVar] = Int(g.count - 1)
+	args := make([]Value, len(r.Head.Args))
+	for i, expr := range r.Head.Args {
+		v, err := expr.Eval(env2)
+		if err != nil {
+			e.stats.AggRetractMisses++
+			return
+		}
+		args[i] = v
+	}
+	g.count--
+	prevID := g.prevID
+	e.retractDerived(destNode, g.prev, g.prevID, occ, st)
+	if g.count == 0 {
+		g.prev, g.prevID, g.prevSet = Tuple{}, 0, false
+		return
+	}
+	head := Tuple{Table: r.Head.Table, Args: args}
+	e.stats.Derivations++
+	e.deriveID++
+	d := &Derivation{
+		ID:        e.deriveID,
+		Rule:      r.Name,
+		Node:      nodeName,
+		Body:      []At{occ},
+		Trigger:   0,
+		AggPrev:   prevID,
+		AggCount:  g.count,
+		AggRemove: true,
+	}
+	hst := e.nextStamp(st.T)
+	d.Head = At{Node: destNode, Tuple: head, Stamp: hst}
+	g.prev, g.prevID, g.prevSet = head.Clone(), d.ID, true
+	e.obs.OnDerive(*d)
+	sup := support{deriveID: d.ID, rule: d.Rule, body: bodyRefsOf(d)}
+	if err := e.appear(destNode, head, hst, d.ID, sup); err != nil {
+		e.stats.AggRetractMisses++
+	}
+}
+
+// amKey canonically identifies an argmax trigger occurrence: the rule
+// plus the (node, key, seq) of the triggering element. Every binding a
+// trigger produces shares it, so it keys "the derivation this trigger
+// currently supports".
+func amKey(ruleName, node, key string, seq uint64) string {
+	return ruleName + "|" + node + "|" + key + "|" + strconv.FormatUint(seq, 10)
+}
+
+// amEntry records the argmax winner currently derived for one trigger
+// occurrence: the head it derived (for retraction when a counterfactual
+// change flips the winner) and the winning binding's canonical key (to
+// detect that the winner is unchanged). Entries are write-once; updates
+// store a fresh entry.
+type amEntry struct {
+	ref       dependentRef // head row ref; key=="" for event heads
+	bk        string       // canonical key of the winning binding
+	eventHead bool
+	headTuple Tuple // event heads: the derived occurrence, for erasure
+	headAt    Stamp // event heads: its delivery stamp
+}
+
+// amOf reads the argmax-winner map through the copy-on-write chain.
+func (e *Engine) amOf(key string) *amEntry {
+	for en := e; en != nil; en = en.cowBase {
+		if v, ok := en.amDeriv[key]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// amSet records the winner for a trigger in this engine's local map.
+// Entries are never deleted: a stale entry (its derivation has since been
+// retracted) is detected at use — the retraction is skipped gracefully
+// and the binding-key comparison still answers "did the winner change".
+func (e *Engine) amSet(key string, v *amEntry) {
+	if e.amDeriv == nil {
+		e.amDeriv = map[string]*amEntry{}
+	}
+	e.amDeriv[key] = v
+}
+
+// forEachAm visits every trigger's effective winner entry exactly once;
+// used to materialize the overlay on deep forks.
+func (e *Engine) forEachAm(fn func(key string, v *amEntry)) {
+	if e.cowBase == nil {
+		for k, v := range e.amDeriv {
+			fn(k, v)
+		}
+		return
+	}
+	seen := map[string]bool{}
+	for en := e; en != nil; en = en.cowBase {
+		for k, v := range en.amDeriv {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fn(k, v)
+		}
+	}
+}
+
+// noteArgMaxWin records the winner just derived by a main-phase (or
+// class-a counterfactual) argmax firing, so the counterfactual phase can
+// retract it if a change flips the winner. Called from fireRule after
+// derive; the delta that fired the rule is the trigger (it always carries
+// the binding's max stamp — rules fire in processing order).
+func (e *Engine) noteArgMaxWin(r *Rule, deltaNode string, delta Tuple, st Stamp, win binding) {
+	key := amKey(r.Name, deltaNode, delta.Key(), st.Seq)
+	e.amSet(key, e.amEntryFor(r, deltaNode, win))
+}
+
+// amEntryFor builds the winner entry for a binding whose head was just
+// derived (e.deriveID is the head's derivation id).
+func (e *Engine) amEntryFor(r *Rule, evalNode string, win binding) *amEntry {
+	ent := &amEntry{bk: bindingKey(win, r)}
+	head, destNode, err := e.headOf(r, evalNode, win)
+	if err != nil {
+		// derive already succeeded with this binding; an evaluation error
+		// here is unreachable, but degrade to an unretractable entry
+		// rather than corrupt state.
+		return ent
+	}
+	if d := e.prog.Decl(head.Table); d != nil && d.Event {
+		// Event heads have no row to retract; record the occurrence the
+		// derive just pushed (its delivery stamp is lastDeriveStamp) so a
+		// displaced winner can be erased instead.
+		ent.eventHead = true
+		ent.ref = dependentRef{node: destNode, deriveID: e.deriveID}
+		ent.headTuple = head
+		ent.headAt = e.lastDeriveStamp
+		return ent
+	}
+	ent.ref = dependentRef{node: destNode, key: head.Key(), deriveID: e.deriveID}
+	return ent
+}
+
+// headOf evaluates a rule's head tuple and destination node under a
+// binding (the same computation derive performs).
+func (e *Engine) headOf(r *Rule, evalNode string, b binding) (Tuple, string, error) {
+	args := make([]Value, len(r.Head.Args))
+	for i, expr := range r.Head.Args {
+		v, err := expr.Eval(b.env)
+		if err != nil {
+			return Tuple{}, "", fmt.Errorf("ndlog: rule %s head: %v", r.Name, err)
+		}
+		args[i] = v
+	}
+	destNode, known, err := resolveLoc(r.Head.Loc, evalNode, b.env)
+	if err != nil || !known {
+		return Tuple{}, "", fmt.Errorf("ndlog: rule %s: unresolved head location: %v", r.Name, err)
+	}
+	return Tuple{Table: r.Head.Table, Args: args}, destNode, nil
+}
+
+// cfReeval is one queued argmax trigger re-evaluation, recorded when a
+// counterfactual retraction removes an argmax winner whose trigger fired
+// after the retraction point.
+type cfReeval struct {
+	rule  *Rule
+	atom  int
+	node  string
+	tuple Tuple
+	st    Stamp
+	cause At
+}
+
+// noteCFRetraction is called from retractSupport during the
+// counterfactual phase: if the retracted support belonged to an argmax
+// rule and its trigger fired after the retraction stamp, the trigger must
+// be re-evaluated — in a timely run the firing would have happened
+// without the vanished element and chosen a different winner. Plain rules
+// need nothing (support counting already retracted exactly the bindings
+// that contained the element), and triggers at or before the retraction
+// match timely behavior as-is (fired, then retracted, never re-fired).
+func (e *Engine) noteCFRetraction(sup support, st Stamp) {
+	if sup.rule == "" {
+		return
+	}
+	r := e.prog.Rule(sup.rule)
+	if r == nil || r.ArgMax == "" {
+		return
+	}
+	atom, node, tuple, trig, ok := e.triggerOf(r, sup)
+	if !ok || !st.Before(trig) {
+		return
+	}
+	e.cfReevals = append(e.cfReevals, cfReeval{
+		rule: r, atom: atom, node: node, tuple: tuple, st: trig,
+		cause: At{Node: node, Tuple: tuple, Stamp: st},
+	})
+}
+
+// triggerOf reconstructs the trigger occurrence of a support: the
+// max-stamp body element. Element stamps come from the interval
+// histories (the bodyRef seq identifies the appearance interval), event
+// tuples from the occurrence log, state tuples from the appearance
+// order. A state trigger that has since died is dropped (ok=false): its
+// firings were retracted with it and a timely run would not re-fire.
+func (e *Engine) triggerOf(r *Rule, sup support) (atom int, node string, tuple Tuple, st Stamp, ok bool) {
+	best := -1
+	var bestStamp Stamp
+	for i, b := range sup.body {
+		if i >= len(r.Body) {
+			return 0, "", Tuple{}, Stamp{}, false
+		}
+		n := e.nodes[b.node]
+		if n == nil {
+			return 0, "", Tuple{}, Stamp{}, false
+		}
+		tb := n.tables[r.Body[i].Table]
+		if tb == nil {
+			return 0, "", Tuple{}, Stamp{}, false
+		}
+		var at Stamp
+		found := false
+		for _, iv := range tb.histOf(b.key) {
+			if iv.From.Seq == b.seq {
+				at, found = iv.From, true
+				break
+			}
+		}
+		if !found {
+			return 0, "", Tuple{}, Stamp{}, false
+		}
+		if best < 0 || bestStamp.Before(at) {
+			best, bestStamp = i, at
+		}
+	}
+	if best < 0 {
+		return 0, "", Tuple{}, Stamp{}, false
+	}
+	bref := sup.body[best]
+	n := e.nodes[bref.node]
+	tb := n.tables[r.Body[best].Table]
+	if d := e.prog.Decl(r.Body[best].Table); d != nil && d.Event {
+		t, ok := occAtStamp(tb, bestStamp)
+		if !ok {
+			return 0, "", Tuple{}, Stamp{}, false
+		}
+		return best, bref.node, t, bestStamp, true
+	}
+	rw, ok2 := rowAtStamp(tb, bestStamp)
+	if !ok2 || rw.dead {
+		return 0, "", Tuple{}, Stamp{}, false
+	}
+	return best, bref.node, rw.tuple, bestStamp, true
+}
+
+// occAtStamp finds the event occurrence with the given stamp (binary
+// search over the sorted prefix, linear over the tail).
+func occAtStamp(tb *table, st Stamp) (Tuple, bool) {
+	i := sort.Search(tb.occSorted, func(i int) bool { return !tb.occs[i].at.Before(st) })
+	if i < tb.occSorted && tb.occs[i].at == st {
+		return tb.occs[i].tuple, true
+	}
+	for j := tb.occSorted; j < len(tb.occs); j++ {
+		if tb.occs[j].at == st {
+			return tb.occs[j].tuple, true
+		}
+	}
+	for _, o := range tb.occsTail {
+		if o.at == st {
+			return o.tuple, true
+		}
+	}
+	return Tuple{}, false
+}
+
+// rowAtStamp finds the row that appeared at the given stamp.
+func rowAtStamp(tb *table, st Stamp) (*row, bool) {
+	i := sort.Search(tb.orderSorted, func(i int) bool { return !tb.order[i].appearedAt.Before(st) })
+	if i < tb.orderSorted && tb.order[i].appearedAt == st {
+		return tb.order[i], true
+	}
+	for j := tb.orderSorted; j < len(tb.order); j++ {
+		if tb.order[j].appearedAt == st {
+			return tb.order[j], true
+		}
+	}
+	return nil, false
+}
+
+// drainCFReevals processes the queued argmax re-evaluations in
+// deterministic order (trigger stamp, then rule name, then trigger key).
+// A re-evaluation can cascade into further retractions and hence further
+// queued re-evaluations; the loop runs to fixpoint. reevalArgMax is
+// idempotent (it compares winners before acting), so duplicates across
+// batches are harmless.
+func (e *Engine) drainCFReevals() error {
+	for len(e.cfReevals) > 0 {
+		batch := e.cfReevals
+		e.cfReevals = nil
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].st != batch[j].st {
+				return batch[i].st.Before(batch[j].st)
+			}
+			if batch[i].rule.Name != batch[j].rule.Name {
+				return batch[i].rule.Name < batch[j].rule.Name
+			}
+			return batch[i].tuple.Key() < batch[j].tuple.Key()
+		})
+		for _, rq := range batch {
+			if err := e.reevalArgMax(rq.rule, rq.atom, rq.node, rq.tuple, rq.st, rq.cause); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reevalArgMax re-evaluates one argmax trigger occurrence in full, as of
+// its own stamp, against current state — counterfactual rows included,
+// rows the change set killed excluded. If the winner differs from the one
+// the trigger currently supports, the old head is retracted (cascading)
+// and the new winner derived. Idempotent: an unchanged winner is a no-op.
+func (e *Engine) reevalArgMax(r *Rule, deltaAtom int, nodeName string, delta Tuple, st Stamp, cause At) error {
+	if d := e.prog.Decl(delta.Table); d != nil && d.Event && e.isKilledOcc(st.Seq) {
+		return nil // the trigger occurrence was erased after this re-eval was queued
+	}
+	atom := r.Body[deltaAtom]
+	env := Env{}
+	if !unifyAtom(atom, nodeName, delta, env) {
+		return nil
+	}
+	seed := binding{env: env, body: make([]At, len(r.Body))}
+	seed.body[deltaAtom] = At{Node: nodeName, Tuple: delta, Stamp: st}
+	bindings, err := e.joinRest(r, deltaAtom, nodeName, seed, 0, st)
+	if err != nil {
+		return err
+	}
+	var sat []binding
+	for _, b := range bindings {
+		ok, err := e.finishBinding(r, &b)
+		if err != nil {
+			return fmt.Errorf("ndlog: rule %s: %v", r.Name, err)
+		}
+		if ok {
+			sat = append(sat, b)
+		}
+	}
+	key := amKey(r.Name, nodeName, delta.Key(), st.Seq)
+	cur := e.amOf(key)
+	if len(sat) == 0 {
+		// No satisfying binding survives the changes; whatever the trigger
+		// derived has been (or is being) retracted by the support cascade.
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(sat); i++ {
+		bi := sat[i].env[r.ArgMax]
+		bb := sat[best].env[r.ArgMax]
+		if Less(bb, bi) || (!Less(bi, bb) && bindingKey(sat[i], r) < bindingKey(sat[best], r)) {
+			best = i
+		}
+	}
+	win := sat[best]
+	bk := bindingKey(win, r)
+	if cur != nil && cur.bk == bk {
+		return nil // winner unchanged; the main-phase derivation stands (or fell with its own supports)
+	}
+	if cur != nil && !cur.eventHead && cur.ref.key != "" {
+		// Retract the displaced winner's head. The support may already be
+		// gone (retracted by a cascade); retractSupport handles that.
+		e.retractSupport(cur.ref, cause, st)
+	}
+	if cur != nil && cur.eventHead && cur.headTuple.Table != "" {
+		// A displaced event-head winner has no row; erase its occurrence
+		// (idempotent — a cascade may already have erased it).
+		e.eraseOccurrence(evConsumer{
+			deriveID: cur.ref.deriveID,
+			rule:     r.Name,
+			node:     cur.ref.node,
+			tuple:    cur.headTuple,
+			headAt:   cur.headAt,
+		}, cause, st)
+	}
+	e.stats.CFRefires++
+	if err := e.derive(r, nodeName, win, deltaAtom, st); err != nil {
+		return err
+	}
+	e.amSet(key, e.amEntryFor(r, nodeName, win))
+	return nil
+}

@@ -51,6 +51,11 @@ type Derivation struct {
 	// delta derivation; both are 0 for ordinary rules.
 	AggPrev  int64
 	AggCount int64
+	// AggRemove marks a counterfactual decrement link: Body[0] is the
+	// contributor being removed from the group (its occurrence was
+	// erased), and AggCount is the already-decremented count. Provenance
+	// folds subtract the contributor instead of adding it.
+	AggRemove bool
 }
 
 // Underivation describes the retraction of a prior derivation.
@@ -165,6 +170,40 @@ type Engine struct {
 	sealed          bool
 	cowBase         *Engine
 	immutableShared bool
+	// Counterfactual (delta) evaluation state; see delta.go. Changes
+	// scheduled via ScheduleCFInsert/ScheduleCFDelete wait on cfQueue
+	// until the main heap drains, then propagate semi-naively: cfPhase
+	// marks the drain, the era marks tell counterfactual stamps from main
+	// ones (isCF), cfDirty collects the (node, table) pairs the changes
+	// touched, cfReevals queues argmax trigger re-evaluations, and
+	// amDeriv maps each argmax trigger to the winner it currently
+	// supports (overlaying cowBase like dependents).
+	cfQueue    workHeap
+	cfPhase    bool
+	cfMarksSet bool
+	cfBaseMark uint64
+	cfSeqMark  uint64
+	cfDirty    map[string]struct{}
+	cfReevals  []cfReeval
+	amDeriv    map[string]*amEntry
+	// rfPin pins one counterfactual row at body atom rfPinAtom (on node
+	// rfPinNode) during a delta re-fire, so joinRest matches only that
+	// row at the pinned position.
+	rfPin     *row
+	rfPinAtom int
+	rfPinNode string
+	// evDeps maps a body-element reference (node|key) to the event-head
+	// derivations it fed, so the counterfactual phase can erase derived
+	// event occurrences whose preconditions are retracted (events have no
+	// rows, so the dependents cascade cannot reach them). Overlays
+	// cowBase like dependents; entries are never deleted (stale ones are
+	// filtered by the body sequence number). killedOccs marks erased
+	// event occurrences by stamp sequence; lastDeriveStamp is the stamp
+	// derive() assigned to its most recent head, recorded by argmax
+	// bookkeeping (see delta.go).
+	evDeps          map[string][]evConsumer
+	killedOccs      map[uint64]struct{}
+	lastDeriveStamp Stamp
 }
 
 // errSealed is returned by Run and Schedule calls on a sealed engine.
@@ -191,6 +230,13 @@ type Stats struct {
 	// miss means a broken engine invariant (a stale head left live with
 	// no trace); the differential suites assert this stays 0.
 	AggRetractMisses int
+	// DirtyTables counts the distinct (node, table) pairs the
+	// counterfactual phase touched — how much of the state the change set
+	// actually perturbed. CFRefires counts delta re-firings: main-phase
+	// trigger occurrences re-evaluated because a counterfactual row
+	// appeared before them (see delta.go).
+	DirtyTables int
+	CFRefires   int
 }
 
 type dependentRef struct {
@@ -220,6 +266,21 @@ type table struct {
 	// entry a complete private copy of that key's history. See cow.go.
 	sealed   bool
 	histBase *table
+	// occs logs event-tuple occurrences (events are not stored as rows),
+	// so the counterfactual phase can re-enumerate event triggers that
+	// fired in the main phase. occSorted and orderSorted track the
+	// stamp-sorted prefixes of occs and order: main-phase appends are
+	// stamp-monotone, counterfactual appends land in a short unsorted
+	// tail, and the delta re-fire scans binary-search the prefix. See
+	// delta.go.
+	occs        []eventOcc
+	occSorted   int
+	orderSorted int
+	// A forked table shares occs with its parent (occsShared); appends —
+	// only the counterfactual phase appends to a fork — go to the small
+	// private occsTail instead of reallocating the whole shared log.
+	occsShared bool
+	occsTail   []eventOcc
 }
 
 type row struct {
@@ -345,6 +406,7 @@ func New(prog *Program, obs Observer, opts ...Option) *Engine {
 		nodes:       map[string]*node{},
 		delay:       1,
 		dependents:  map[string][]dependentRef{},
+		evDeps:      map[string][]evConsumer{},
 		immutable:   map[string]bool{},
 		aggGroups:   map[string]*aggGroup{},
 		deriveLimit: 10_000_000,
@@ -531,7 +593,10 @@ func (e *Engine) Run() error {
 			return err
 		}
 	}
-	return nil
+	// Counterfactual changes (ScheduleCFInsert/ScheduleCFDelete) evaluate
+	// only after the main heap drains, as deltas against the completed
+	// execution; see delta.go.
+	return e.runCF()
 }
 
 // RunUntil evaluates scheduled events and their consequences while the
@@ -603,10 +668,22 @@ func (e *Engine) process(it *workItem) error {
 		e.stats.BaseDeletes++
 		return e.deleteBase(it.node, it.tuple, it.stamp)
 	case wkArriveDerived:
+		if e.cfPhase && e.isKilledOcc(it.stamp.Seq) {
+			// A displaced argmax event winner erased before its delivery:
+			// the occurrence never happens (delta.go).
+			return nil
+		}
 		d := it.deriv
 		d.Head.Stamp = it.stamp
 		e.obs.OnDerive(*d)
 		sup := support{deriveID: d.ID, rule: d.Rule, body: bodyRefsOf(d)}
+		if dec := e.prog.Decl(it.tuple.Table); dec != nil && dec.Event {
+			// Event heads have no row for the dependents cascade to
+			// retract; register the derivation under each body element so
+			// the counterfactual phase can erase the occurrence when a
+			// precondition is retracted (delta.go).
+			e.registerEventDeriv(d, sup.body)
+		}
 		return e.appear(it.node, it.tuple, it.stamp, d.ID, sup)
 	default:
 		return fmt.Errorf("ndlog: unknown work kind %d", it.kind)
@@ -638,6 +715,13 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 		// queries (zero-length closed interval).
 		tb := e.writableTable(n, e.tableFor(n, decl))
 		tb.histAppend(t.Key(), Interval{From: st, To: st})
+		tb.occAppend(t, st)
+		if e.cfPhase {
+			e.cfMarkDirty(nodeName, t.Table)
+		}
+		// Events need no delta re-fire: a non-delta event atom never joins
+		// (events are not stored), so an event occurrence only ever fires
+		// rules as their trigger — which this very call does.
 		return e.trigger(nodeName, t, st)
 	}
 	// An appearance always writes (a new row or an extra support), so the
@@ -649,6 +733,11 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 		// Additional support for an existing tuple.
 		r.supports = append(r.supports, sup)
 		e.indexSupport(nodeName, key, sup)
+		if e.cfPhase && sup.deriveID == 0 && st.Before(r.appearedAt) {
+			// The main run inserted the same tuple later; in the timely
+			// run the row exists from st on (delta.go).
+			return e.cfBackdateRow(nodeName, tb, decl, r, st)
+		}
 		return nil
 	}
 	// Primary-key replacement: a base insertion whose key collides with a
@@ -672,6 +761,7 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 	r := &row{tuple: t.Clone(), key: key, appearedAt: st, supports: []support{sup}}
 	tb.live[key] = r
 	tb.order = append(tb.order, r)
+	tb.noteOrderAppend()
 	// Secondary indexes mirror order: a re-appearance after death is a
 	// fresh row and is appended again; dead rows stay behind the probe's
 	// liveness filter (and serve temporal as-of lookups).
@@ -686,7 +776,17 @@ func (e *Engine) appear(nodeName string, t Tuple, st Stamp, deriveID int64, sup 
 	e.stats.Appears++
 	at := At{Node: nodeName, Tuple: t, Stamp: st}
 	e.obs.OnAppear(at, deriveID)
-	return e.trigger(nodeName, t, st)
+	if err := e.trigger(nodeName, t, st); err != nil {
+		return err
+	}
+	if e.cfPhase {
+		// A state row that appears during the counterfactual phase was
+		// missing from the main run: re-fire the main-phase trigger
+		// occurrences that would have joined it (delta.go).
+		e.cfMarkDirty(nodeName, t.Table)
+		return e.refireForRow(nodeName, r, st, Stamp{})
+	}
+	return nil
 }
 
 func (e *Engine) indexSupport(nodeName, key string, sup support) {
@@ -803,6 +903,9 @@ func (e *Engine) retractRow(nodeName string, tb *table, r *row, st Stamp, underi
 	tb.histCloseLast(r.key, st)
 	e.stats.Disappears++
 	e.obs.OnDisappear(At{Node: nodeName, Tuple: r.tuple, Stamp: st}, underiveID)
+	if e.cfPhase {
+		e.cfMarkDirty(nodeName, r.tuple.Table)
+	}
 
 	ref := nodeName + "|" + r.key
 	deps := e.depsOf(ref)
@@ -810,6 +913,12 @@ func (e *Engine) retractRow(nodeName string, tb *table, r *row, st Stamp, underi
 	cause := At{Node: nodeName, Tuple: r.tuple, Stamp: st}
 	for _, dep := range deps {
 		e.retractSupport(dep, cause, st)
+	}
+	if e.cfPhase {
+		// Event-head derivations that joined this row after the stamp of
+		// its counterfactual deletion would not have fired in a timely
+		// run: erase their occurrences and cascade (delta.go).
+		e.eraseEventConsumers(ref, r.appearedAt.Seq, cause, st, true)
 	}
 }
 
@@ -845,6 +954,12 @@ func (e *Engine) retractSupport(dep dependentRef, cause At, st Stamp) {
 	s := r.supports[idx]
 	r.supports = append(r.supports[:idx], r.supports[idx+1:]...)
 	e.unindexSupport(dep.node, dep.key, s)
+	if e.cfPhase {
+		// An argmax winner retracted after its trigger fired must be
+		// re-evaluated: a timely run would have chosen another winner at
+		// the trigger (delta.go).
+		e.noteCFRetraction(s, st)
+	}
 	e.deriveID++
 	uid := e.deriveID
 	ust := e.nextStamp(st.T)
@@ -931,6 +1046,12 @@ func (e *Engine) fireRule(r *Rule, deltaAtom int, nodeName string, delta Tuple, 
 		if err := e.derive(r, nodeName, b, deltaAtom, st); err != nil {
 			return err
 		}
+		if r.ArgMax != "" {
+			// Remember which winner this trigger derived, so a
+			// counterfactual change that flips the winner can retract it
+			// (delta.go).
+			e.noteArgMaxWin(r, nodeName, delta, st, b)
+		}
 	}
 	return nil
 }
@@ -973,6 +1094,12 @@ func (e *Engine) joinRest(r *Rule, deltaAtom int, evalNode string, b binding, ne
 	}
 	if next == deltaAtom {
 		return e.joinRest(r, deltaAtom, evalNode, b, next+1, st)
+	}
+	if e.rfPin != nil && next == e.rfPinAtom {
+		// Delta re-fire: the counterfactual row is pinned at this position
+		// (delta.go); only it may match, so unchanged main-phase bindings
+		// are not re-derived.
+		return e.joinPinned(r, deltaAtom, evalNode, b, next, st)
 	}
 	atom := r.Body[next]
 	decl := e.prog.Decl(atom.Table)
@@ -1240,8 +1367,17 @@ func (e *Engine) derive(r *Rule, evalNode string, b binding, deltaAtom int, st S
 		tick += e.delay
 	}
 	d.Head = At{Node: destNode, Tuple: head} // stamp filled on delivery
-	heap.Push(&e.queue, &workItem{
-		stamp: e.nextStamp(tick),
+	q := &e.queue
+	if e.cfPhase {
+		// Consequences of counterfactual changes stay in the
+		// counterfactual phase: they arrive through its heap, in stamp
+		// order among the remaining changes.
+		q = &e.cfQueue
+	}
+	dst := e.nextStamp(tick)
+	e.lastDeriveStamp = dst
+	heap.Push(q, &workItem{
+		stamp: dst,
 		kind:  wkArriveDerived,
 		node:  destNode,
 		tuple: head,

@@ -77,7 +77,33 @@ func (e *Engine) Fork(obs Observer) *Engine {
 		fg := *g
 		f.aggGroups[gk] = &fg
 	})
+	// Argmax winner entries are write-once; materialize the overlay chain
+	// into a flat map sharing the entries.
+	e.forEachAm(func(k string, v *amEntry) {
+		if f.amDeriv == nil {
+			f.amDeriv = make(map[string]*amEntry)
+		}
+		f.amDeriv[k] = v
+	})
+	// Event-consumer lists and killed-occurrence marks likewise flatten;
+	// consumer entries (and their body ref slices) are write-once.
+	e.forEachEvDeps(func(ref string, deps []evConsumer) {
+		if f.evDeps == nil {
+			f.evDeps = make(map[string][]evConsumer)
+		}
+		f.evDeps[ref] = append([]evConsumer(nil), deps...)
+	})
+	for en := e; en != nil; en = en.cowBase {
+		for seq := range en.killedOccs {
+			if f.killedOccs == nil {
+				f.killedOccs = map[uint64]struct{}{}
+			}
+			f.killedOccs[seq] = struct{}{}
+		}
+	}
 	f.queue = copyQueue(e.queue)
+	f.cfQueue = copyQueue(e.cfQueue)
+	f.cfMarksSet, f.cfBaseMark, f.cfSeqMark = e.cfMarksSet, e.cfBaseMark, e.cfSeqMark
 	return f
 }
 
@@ -122,6 +148,8 @@ func (e *Engine) forkCoW(obs Observer) *Engine {
 		f.nodes[name] = fn
 	}
 	f.queue = copyQueue(e.queue)
+	f.cfQueue = copyQueue(e.cfQueue)
+	f.cfMarksSet, f.cfBaseMark, f.cfSeqMark = e.cfMarksSet, e.cfBaseMark, e.cfSeqMark
 	return f
 }
 
@@ -179,6 +207,16 @@ func forkTable(tb *table, cowHist bool) *table {
 	ft := &table{
 		decl: tb.decl,
 		live: make(map[string]*row, len(tb.live)),
+		// Event occurrences are write-once (tuple, stamp) pairs, so the
+		// clone shares the backing array up to the current length (the
+		// capped capacity keeps a stray append off the base); appends on
+		// the clone go to its private occsTail (occAppend), and the
+		// parent's tail — counterfactual appends, so short — is copied.
+		occs:        tb.occs[:len(tb.occs):len(tb.occs)],
+		occsShared:  true,
+		occsTail:    append([]eventOcc(nil), tb.occsTail...),
+		occSorted:   tb.occSorted,
+		orderSorted: tb.orderSorted,
 	}
 	if cowHist {
 		ft.hist = map[string][]Interval{}

@@ -20,10 +20,13 @@ package provenance
 //     cached fp.
 //
 // Slice-valued index entries (appearsByTuple, appearsByTable,
-// triggerParents) copy the base's slice into the local map on first
-// append, so a local entry is always complete and chain reads stop at the
-// first map holding the key. openExist is the only map with deletions;
-// forks tombstone with -1 (vertex IDs are never negative).
+// triggerParents) are append-only, so a fork's local entry holds only
+// the IDs the fork itself appended (a tail): reads concatenate the
+// chain oldest-first instead of the append copying the base's slice —
+// a hot table-level entry can index the whole prefix, and one
+// counterfactual append must not pay for re-copying it. openExist is
+// the only map with deletions; forks tombstone with -1 (vertex IDs are
+// never negative).
 //
 // Everything downstream — tree projection, seed finding, fold memo — goes
 // through the accessors, so CoW and deep forks are observationally
@@ -143,53 +146,54 @@ func (g *Graph) deleteOpenExist(tk string) {
 	}
 }
 
-// effStrSlice returns the effective slice entry for a key: local entries
-// are complete (appendStrSlice copies before the first local append), so
-// the first map in the chain holding the key wins. The returned slice may
-// be owned by a frozen base; do not mutate or append to it.
-func (g *Graph) effStrSlice(sel func(*Graph) map[string][]int, key string) []int {
-	for gr := g; gr != nil; gr = gr.base {
-		if ids, ok := sel(gr)[key]; ok {
-			return ids
-		}
+// forEachStrSlice visits a key's effective slice entry in insertion
+// order. A fork's local entry is a tail appended after everything in
+// its base (IDs only grow along the chain), so the walk runs
+// deepest-base-first.
+func (g *Graph) forEachStrSlice(sel func(*Graph) map[string][]int, key string, fn func(id int)) {
+	if g.base != nil {
+		g.base.forEachStrSlice(sel, key, fn)
 	}
-	return nil
+	for _, id := range sel(g)[key] {
+		fn(id)
+	}
 }
 
-// effIntSlice is effStrSlice for int-keyed maps.
-func (g *Graph) effIntSlice(sel func(*Graph) map[int][]int, key int) []int {
-	for gr := g; gr != nil; gr = gr.base {
-		if ids, ok := sel(gr)[key]; ok {
-			return ids
-		}
+// forEachIntSlice is forEachStrSlice for int-keyed maps.
+func (g *Graph) forEachIntSlice(sel func(*Graph) map[int][]int, key int, fn func(id int)) {
+	if g.base != nil {
+		g.base.forEachIntSlice(sel, key, fn)
 	}
-	return nil
+	for _, id := range sel(g)[key] {
+		fn(id)
+	}
 }
 
-// appendStrSlice appends id to a key's slice entry, copying the effective
-// base slice into the local map on the key's first local write so the
-// append never lands in a frozen backing array.
+// lastStrSlice returns the newest ID in a key's effective slice entry,
+// or -1. The topmost chain link with a non-empty local entry holds the
+// most recent append.
+func (g *Graph) lastStrSlice(sel func(*Graph) map[string][]int, key string) int {
+	for gr := g; gr != nil; gr = gr.base {
+		if ids := sel(gr)[key]; len(ids) > 0 {
+			return ids[len(ids)-1]
+		}
+	}
+	return -1
+}
+
+// appendStrSlice appends id to a key's local slice entry. The base
+// chain's entries stay untouched and are concatenated on read
+// (forEachStrSlice) — appends are hot (one per APPEAR) and must not
+// re-copy a table-level index of the whole frozen prefix.
 func (g *Graph) appendStrSlice(sel func(*Graph) map[string][]int, key string, id int) {
 	m := sel(g)
-	ids, ok := m[key]
-	if !ok && g.base != nil {
-		if base := g.base.effStrSlice(sel, key); len(base) > 0 {
-			ids = append(make([]int, 0, len(base)+1), base...)
-		}
-	}
-	m[key] = append(ids, id)
+	m[key] = append(m[key], id)
 }
 
 // appendIntSlice is appendStrSlice for int-keyed maps.
 func (g *Graph) appendIntSlice(sel func(*Graph) map[int][]int, key int, id int) {
 	m := sel(g)
-	ids, ok := m[key]
-	if !ok && g.base != nil {
-		if base := g.base.effIntSlice(sel, key); len(base) > 0 {
-			ids = append(make([]int, 0, len(base)+1), base...)
-		}
-	}
-	m[key] = append(ids, id)
+	m[key] = append(m[key], id)
 }
 
 // Chain collectors: flatten an overlay into one map for deep forks. Each
@@ -244,30 +248,27 @@ func collectStrSlice(g *Graph, sel func(*Graph) map[string][]int) map[string][]i
 	if g.base == nil {
 		return copySliceMap(sel(g))
 	}
-	out := map[string][]int{}
-	for gr := g; gr != nil; gr = gr.base {
-		for k, ids := range sel(gr) {
-			if _, ok := out[k]; ok {
-				continue
-			}
-			out[k] = append([]int(nil), ids...)
-		}
+	// Local entries are tails: append them after the base chain's
+	// (recursion bottoms out at the root with fresh copies).
+	out := collectStrSlice(g.base, sel)
+	for k, ids := range sel(g) {
+		out[k] = append(out[k], ids...)
 	}
 	return out
 }
 
 func collectIntSlice(g *Graph, sel func(*Graph) map[int][]int) map[int][]int {
-	out := map[int][]int{}
-	for gr := g; gr != nil; gr = gr.base {
-		for k, ids := range sel(gr) {
-			if _, ok := out[k]; ok {
-				continue
-			}
+	if g.base == nil {
+		m := sel(g)
+		out := make(map[int][]int, len(m))
+		for k, ids := range m {
 			out[k] = append([]int(nil), ids...)
 		}
-		if gr.base == nil {
-			break
-		}
+		return out
+	}
+	out := collectIntSlice(g.base, sel)
+	for k, ids := range sel(g) {
+		out[k] = append(out[k], ids...)
 	}
 	return out
 }

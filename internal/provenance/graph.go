@@ -213,7 +213,11 @@ func tupleKey(node string, t ndlog.Tuple) string {
 // AppearVertexes returns the APPEAR vertex IDs for the exact tuple on the
 // node, in chronological order.
 func (g *Graph) AppearVertexes(node string, t ndlog.Tuple) []int {
-	return append([]int(nil), g.effStrSlice(selAppearsByTuple, tupleKey(node, t))...)
+	var out []int
+	g.forEachStrSlice(selAppearsByTuple, tupleKey(node, t), func(id int) {
+		out = append(out, id)
+	})
+	return out
 }
 
 // FindAppears returns the APPEAR vertexes on a node, over a table,
@@ -221,30 +225,34 @@ func (g *Graph) AppearVertexes(node string, t ndlog.Tuple) []int {
 // entry point: "the packet that arrived at web server 2" is an APPEAR.
 func (g *Graph) FindAppears(node, table string, pred func(ndlog.Tuple) bool) []*Vertex {
 	var out []*Vertex
-	for _, id := range g.effStrSlice(selAppearsByTable, node+"|"+table) {
+	g.forEachStrSlice(selAppearsByTable, node+"|"+table, func(id int) {
 		v := g.vertex(id)
 		if pred == nil || pred(v.Tuple) {
 			out = append(out, v)
 		}
-	}
+	})
 	return out
 }
 
 // LastAppear returns the most recent APPEAR of the tuple on the node, or
 // nil.
 func (g *Graph) LastAppear(node string, t ndlog.Tuple) *Vertex {
-	ids := g.effStrSlice(selAppearsByTuple, tupleKey(node, t))
-	if len(ids) == 0 {
+	id := g.lastStrSlice(selAppearsByTuple, tupleKey(node, t))
+	if id < 0 {
 		return nil
 	}
-	return g.vertex(ids[len(ids)-1])
+	return g.vertex(id)
 }
 
 // TriggerParents returns the DERIVE vertexes that were triggered by the
 // given vertex (the derivations for which it was the last precondition to
 // appear). Following these walks a derivation chain from a seed upward.
 func (g *Graph) TriggerParents(id int) []int {
-	return append([]int(nil), g.effIntSlice(selTriggerParents, id)...)
+	var out []int
+	g.forEachIntSlice(selTriggerParents, id, func(p int) {
+		out = append(out, p)
+	})
+	return out
 }
 
 // HeadAppear returns the APPEAR vertex of the head tuple produced by the

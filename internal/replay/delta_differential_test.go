@@ -1,0 +1,199 @@
+package replay_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ndlog"
+	"repro/internal/replay"
+	"repro/internal/scenarios"
+)
+
+// TestDeltaDifferential replays every Table 1 scenario's captured bad
+// execution through the full diagnosis four times — delta replay on and
+// off, sequentially and with eight candidate workers — and requires all
+// four runs to be byte-identical: the same provenance graph, the same
+// final state, and the same diagnosis in the same number of rounds.
+// This is the correctness guarantee of the delta path: anchoring a
+// trial at the fully-evaluated end of the log and pushing the change
+// set through the counterfactual phase reconstructs exactly the
+// execution that re-firing the whole suffix (or replaying from
+// scratch; TestForkDifferential covers that axis) would produce.
+//
+// The delta arms must also do strictly less work: with the anchor at
+// end-of-log nothing is re-fired, so their cumulative EventsReFired
+// stays below the full-suffix arms'.
+func TestDeltaDifferential(t *testing.T) {
+	for _, name := range scenarios.Names() {
+		t.Run(name, func(t *testing.T) {
+			s, err := scenarios.Build(name, scenarios.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.BadSession == nil {
+				t.Skipf("%s is imperative (no replay session)", name)
+			}
+			prog := s.BadSession.Program()
+			log := s.BadSession.Log()
+
+			// A late counterfactual change exercised directly through
+			// ReplayWith, in addition to the full diagnosis below.
+			events := log.Events()
+			last := events[len(events)-1]
+			directChange := []replay.Change{{Insert: true, Node: last.Node, Tuple: last.Tuple, Tick: last.Tick + 1}}
+
+			type arm struct {
+				delta bool
+				par   int
+			}
+			type run struct {
+				graph    string
+				state    string
+				direct   string
+				diagnose string
+				rounds   int
+				refired  int64
+			}
+			arms := []arm{{true, 1}, {true, 8}, {false, 1}, {false, 8}}
+			runs := make(map[arm]run, len(arms))
+			for _, a := range arms {
+				sess, err := replay.FromLog(prog, log,
+					replay.WithIncrementalReplay(true),
+					replay.WithDeltaReplay(a.delta),
+					replay.WithCheckpointEvery(4))
+				if err != nil {
+					t.Fatal(err)
+				}
+				de, dg, err := sess.ReplayWith(directChange)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct := forkSerializeGraph(dg) + forkSerializeSnapshot(de.CaptureState())
+
+				eng, g, err := sess.Graph()
+				if err != nil {
+					t.Fatal(err)
+				}
+				badTree := g.Tree(s.Bad.Vertex.ID)
+				if badTree == nil {
+					t.Fatalf("bad vertex %d missing from replayed graph", s.Bad.Vertex.ID)
+				}
+				world, err := core.NewWorld(sess)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Diagnose(context.Background(), s.Good, badTree, world, core.Options{Parallelism: a.par})
+				if err != nil {
+					t.Fatalf("diagnose (delta=%v par=%d): %v", a.delta, a.par, err)
+				}
+				if s.Check != nil {
+					if err := s.Check(res); err != nil {
+						t.Fatalf("check (delta=%v par=%d): %v", a.delta, a.par, err)
+					}
+				}
+				var ch []string
+				for _, c := range res.Changes {
+					ch = append(ch, c.String())
+				}
+				runs[a] = run{
+					graph:    forkSerializeGraph(g),
+					state:    forkSerializeSnapshot(eng.CaptureState()),
+					direct:   direct,
+					diagnose: strings.Join(ch, "\n"),
+					rounds:   res.Iterations,
+					refired:  sess.Stats.EventsReFired,
+				}
+			}
+			ref := runs[arms[0]]
+			for _, a := range arms[1:] {
+				r := runs[a]
+				label := fmt.Sprintf("delta=%v par=%d", a.delta, a.par)
+				if r.direct != ref.direct {
+					t.Errorf("direct ReplayWith differs (%s):\nref (%d bytes):\n%.2000s\ngot (%d bytes):\n%.2000s",
+						label, len(ref.direct), ref.direct, len(r.direct), r.direct)
+				}
+				if r.graph != ref.graph {
+					t.Errorf("provenance graphs differ (%s):\nref (%d bytes):\n%.2000s\ngot (%d bytes):\n%.2000s",
+						label, len(ref.graph), ref.graph, len(r.graph), r.graph)
+				}
+				if r.state != ref.state {
+					t.Errorf("final states differ (%s):\nref:\n%s\ngot:\n%s", label, ref.state, r.state)
+				}
+				if r.diagnose != ref.diagnose {
+					t.Errorf("diagnoses differ (%s):\nref:\n%s\ngot:\n%s", label, ref.diagnose, r.diagnose)
+				}
+				if r.rounds != ref.rounds {
+					t.Errorf("iteration counts differ (%s): ref=%d got=%d", label, ref.rounds, r.rounds)
+				}
+			}
+			for _, par := range []int{1, 8} {
+				d, f := runs[arm{true, par}], runs[arm{false, par}]
+				if d.refired >= f.refired {
+					t.Errorf("par=%d: delta arm re-fired %d events, full-suffix arm %d; want strictly fewer",
+						par, d.refired, f.refired)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaReplayBackdate pins the intra-tick displacement semantics of
+// a counterfactual insert that lands before an existing same-key row: a
+// keyed cfg table gets the wrong value early and the right value only
+// after the probe has fired; inserting the right value ahead of the
+// probe must erase the mis-derived output and produce the one the
+// timely run would have derived, in both delta and full-suffix mode.
+func TestDeltaReplayBackdate(t *testing.T) {
+	const prog = `
+table cfg/2 base mutable key(0);
+table probe/1 event base;
+table out/2 event;
+rule fwd out(K, V) :- probe(@n, K), cfg(@n, K, V).
+`
+	for _, delta := range []bool{true, false} {
+		t.Run(fmt.Sprintf("delta=%v", delta), func(t *testing.T) {
+			sess := replay.NewSession(ndlog.MustParse(prog),
+				replay.WithDeltaReplay(delta), replay.WithCheckpointEvery(4))
+			for i, ins := range []struct {
+				table string
+				args  []ndlog.Value
+				tick  int64
+			}{
+				{"cfg", []ndlog.Value{ndlog.Str("k"), ndlog.Str("wrong")}, 5},
+				{"probe", []ndlog.Value{ndlog.Str("k")}, 40},
+				{"cfg", []ndlog.Value{ndlog.Str("k"), ndlog.Str("right")}, 41},
+			} {
+				if err := sess.Insert("n", ndlog.NewTuple(ins.table, ins.args...), ins.tick); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			if err := sess.Run(); err != nil {
+				t.Fatal(err)
+			}
+			eng, dg, err := sess.ReplayWith([]replay.Change{{
+				Insert: true, Node: "n",
+				Tuple: ndlog.NewTuple("cfg", ndlog.Str("k"), ndlog.Str("right")),
+				Tick:  39,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Event tuples never enter the live state; the surviving
+			// occurrences are the APPEAR vertexes the counterfactual
+			// phase did not erase — the history is the authority.
+			var outs []string
+			for _, v := range dg.FindAppears("n", "out", nil) {
+				if eng.Exists("n", v.Tuple, v.At) {
+					outs = append(outs, v.Tuple.String())
+				}
+			}
+			want := `out("k", "right")`
+			if len(outs) != 1 || outs[0] != want {
+				t.Errorf("counterfactual outputs = %v, want exactly [%s]", outs, want)
+			}
+		})
+	}
+}

@@ -35,7 +35,10 @@ func cacheTestSession(t *testing.T, n int64, opts ...SessionOption) *Session {
 // builds under the lock, neither would see the other and both would time
 // out.
 func TestPrefixBuildsOverlap(t *testing.T) {
-	s := cacheTestSession(t, 200)
+	// Delta replay anchors every change set at the end of the log; the
+	// distinct per-change anchors this test needs require the full-suffix
+	// path.
+	s := cacheTestSession(t, 200, WithDeltaReplay(false))
 
 	const timeout = 30 * time.Second
 	var mu sync.Mutex
@@ -197,7 +200,9 @@ func TestLogEventsReturnsCopy(t *testing.T) {
 // forked prefix skips must equal the number of log events at or before
 // the anchor, including with duplicate and unsorted ticks.
 func TestCountUpToIndex(t *testing.T) {
-	s := NewSession(fwdProg)
+	// Per-change-tick anchors: delta replay would raise them all to the
+	// end of the log.
+	s := NewSession(fwdProg, WithDeltaReplay(false))
 	if err := s.Insert("s1", ndlog.NewTuple("flowEntry", ndlog.Int(1),
 		ndlog.MustParsePrefix("0.0.0.0/0"), ndlog.Str("s2")), 0); err != nil {
 		t.Fatalf("Insert: %v", err)

@@ -55,6 +55,17 @@ type ReplayStats struct {
 	// incremental replays did not re-execute (they were already evaluated
 	// inside the forked prefix).
 	EventsSkipped int64
+	// EventsReFired is the total number of logged base events that
+	// counterfactual replays did re-execute after the fork point. With
+	// delta replay (WithDeltaReplay, default on) the fork anchors at the
+	// end of the log and this stays zero on cache hits: the changes
+	// propagate through the delta phase instead of re-firing the suffix.
+	EventsReFired int64
+	// DirtyTables is the total number of (node, table) pairs the delta
+	// phases of counterfactual replays touched — the footprint the
+	// semi-naïve propagation actually visited instead of the whole
+	// derived state.
+	DirtyTables int64
 }
 
 // prefixSlack is how many ticks before the earliest injected change the
@@ -127,6 +138,15 @@ type Session struct {
 	// forks a cached prefix engine instead of re-executing the whole log.
 	incremental bool
 	prefix      *prefixCache
+	// deltaReplay anchors counterfactual forks at the END of the log
+	// (default on): the whole base run is evaluated once, cached, and
+	// every trial forks it and propagates only its change set through the
+	// engine's delta phase instead of re-firing the event suffix.
+	deltaReplay bool
+	// lastTickMemo caches the maximum event tick of the log (lastTickLen
+	// is the log length it was computed from).
+	lastTickMemo int64
+	lastTickLen  int
 	// cowForks makes cached prefixes sealed and forked copy-on-write
 	// (default on); prefixSize overrides the prefix-cache capacity; and
 	// warmStart makes Open rehydrate the last checkpoint-anchored prefix
@@ -196,6 +216,17 @@ func WithCopyOnWriteForks(on bool) SessionOption {
 	return func(s *Session) { s.cowForks = on }
 }
 
+// WithDeltaReplay enables or disables delta replay (default on): with it
+// on, a counterfactual ReplayWith forks the cached base run — the log
+// evaluated to its last tick — and seeds the engine's semi-naïve delta
+// queue with the change set, re-deriving only affected state instead of
+// re-firing the whole event suffix after the earliest change. Results
+// are byte-identical either way (asserted by TestDeltaDifferential); the
+// switch exists for that differential test and as an ablation flag.
+func WithDeltaReplay(on bool) SessionOption {
+	return func(s *Session) { s.deltaReplay = on }
+}
+
 // WithPrefixCacheSize overrides how many materialized prefix engines the
 // session (and its clones) keep alive (default 8). Values below 1 are
 // clamped to 1.
@@ -236,6 +267,7 @@ func NewSession(prog *ndlog.Program, opts ...SessionOption) *Session {
 		prog:        prog,
 		log:         NewLog(),
 		incremental: true,
+		deltaReplay: true,
 		cowForks:    true,
 		prefix:      &prefixCache{entries: map[int64]*prefixEntry{}},
 	}
@@ -341,6 +373,7 @@ func (s *Session) Clone() *Session {
 		lastCkpt:    s.lastCkpt,
 		ckpts:       append([]ndlog.Snapshot(nil), s.ckpts...),
 		incremental: s.incremental,
+		deltaReplay: s.deltaReplay,
 		prefix:      s.prefix,
 		replayed:    s.replayed,
 		replayedG:   s.replayedG,
@@ -375,6 +408,8 @@ func (s *Session) AbsorbStats(other *Session) {
 	s.Stats.PrefixMisses += other.Stats.PrefixMisses
 	s.Stats.ForkNanos += other.Stats.ForkNanos
 	s.Stats.EventsSkipped += other.Stats.EventsSkipped
+	s.Stats.EventsReFired += other.Stats.EventsReFired
+	s.Stats.DirtyTables += other.Stats.DirtyTables
 }
 
 // Program returns the session's program.
@@ -521,8 +556,17 @@ func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndl
 		return nil, nil, fmt.Errorf("replay: %w", err)
 	}
 	if s.incremental && len(changes) > 0 {
-		if anchor, ok := s.anchorFor(changes); ok {
-			e, rec, err := s.forkPrefix(ctx, anchor)
+		anchor, ok := s.anchorFor(changes)
+		if s.deltaReplay {
+			// Delta replay anchors at the end of the log: the fork has the
+			// whole base run evaluated, so none of the suffix re-fires —
+			// the changes propagate through the engine's delta phase.
+			if t, lok := s.lastLogTick(); lok && (!ok || t > anchor) {
+				anchor, ok = t, true
+			}
+		}
+		if ok {
+			e, rec, processed, err := s.forkPrefix(ctx, anchor)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -533,6 +577,8 @@ func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndl
 				if err := e.Run(); err != nil {
 					return nil, nil, fmt.Errorf("replay: %v", err)
 				}
+				s.Stats.EventsReFired += int64(s.log.Len() - processed)
+				s.Stats.DirtyTables += int64(e.Stats().DirtyTables)
 				return e, rec.Graph(), nil
 			}
 			// No log events at or before the anchor: fall through to the
@@ -551,6 +597,10 @@ func (s *Session) ReplayWithContext(ctx context.Context, changes []Change) (*ndl
 	}
 	if err := e.Run(); err != nil {
 		return nil, nil, fmt.Errorf("replay: %v", err)
+	}
+	if len(changes) > 0 {
+		s.Stats.EventsReFired += int64(s.log.Len())
+		s.Stats.DirtyTables += int64(e.Stats().DirtyTables)
 	}
 	return e, rec.Graph(), nil
 }
@@ -581,7 +631,7 @@ func (s *Session) ReplayUntilContext(ctx context.Context, tick int64) (*ndlog.En
 	var e *ndlog.Engine
 	var rec *provenance.Recorder
 	if s.incremental && tick >= 0 {
-		fe, frec, err := s.forkPrefix(ctx, tick)
+		fe, frec, _, err := s.forkPrefix(ctx, tick)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -622,6 +672,25 @@ func (s *Session) anchorFor(changes []Change) (int64, bool) {
 	return target, true
 }
 
+// lastLogTick returns the maximum tick of any logged event (memoized per
+// log length); false when the log is empty.
+func (s *Session) lastLogTick() (int64, bool) {
+	if s.log.Len() == 0 {
+		return 0, false
+	}
+	if s.lastTickLen != s.log.Len() {
+		var max int64
+		first := true
+		s.log.Each(func(ev Event) {
+			if first || ev.Tick > max {
+				max, first = ev.Tick, false
+			}
+		})
+		s.lastTickMemo, s.lastTickLen = max, s.log.Len()
+	}
+	return s.lastTickMemo, true
+}
+
 // snapToCheckpoint rounds an anchor target down to the latest checkpoint
 // tick at or before it, when one exists. The checkpoint grid coarsens
 // the cache's base layer — injections at nearby ticks roll forward from
@@ -637,16 +706,17 @@ func (s *Session) snapToCheckpoint(target int64) int64 {
 }
 
 // forkPrefix returns a private fork of the materialized prefix anchored
-// at the tick, building (and caching) the prefix on a miss. A nil engine
-// with nil error means no prefix is worthwhile (no log events at or
-// before the anchor) and the caller should run from scratch.
-func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, *provenance.Recorder, error) {
+// at the tick, building (and caching) the prefix on a miss, plus the
+// number of log events the prefix already evaluated. A nil engine with
+// nil error means no prefix is worthwhile (no log events at or before
+// the anchor) and the caller should run from scratch.
+func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, *provenance.Recorder, int, error) {
 	entry, hit, err := s.prefix.acquire(ctx, s, anchor)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if entry == nil {
-		return nil, nil, nil
+		return nil, nil, 0, nil
 	}
 	if hit {
 		s.Stats.PrefixHits++
@@ -658,7 +728,7 @@ func (s *Session) forkPrefix(ctx context.Context, anchor int64) (*ndlog.Engine, 
 	e := entry.eng.Fork(rec)
 	s.Stats.ForkNanos += time.Since(forkStart).Nanoseconds() //diffprov:allow detnow
 	s.Stats.EventsSkipped += int64(entry.processed)
-	return e, rec, nil
+	return e, rec, entry.processed, nil
 }
 
 // acquire returns the ready prefix entry for the anchor, building it on
@@ -886,9 +956,13 @@ func (s *Session) scheduleScratch(ctx context.Context) (*ndlog.Engine, *provenan
 	return e, rec, nil
 }
 
-// scheduleChanges schedules the injected counterfactual changes; the
-// engine already has the log scheduled (or evaluated, in a fork), so the
-// changes take the next base sequence numbers either way.
+// scheduleChanges schedules the injected counterfactual changes through
+// the engine's counterfactual phase (ScheduleCFInsert/Delete): they are
+// applied after the base run settles, in stamp order, with only affected
+// derivations re-evaluated. The engine already has the log scheduled (or
+// evaluated, in a fork), so the changes take the next base sequence
+// numbers either way — which is what makes the delta-forked and
+// from-scratch arms byte-identical.
 func (s *Session) scheduleChanges(ctx context.Context, e *ndlog.Engine, changes []Change) error {
 	for i, c := range changes {
 		if i%ctxCheckEvery == ctxCheckEvery-1 {
@@ -898,9 +972,9 @@ func (s *Session) scheduleChanges(ctx context.Context, e *ndlog.Engine, changes 
 		}
 		var err error
 		if c.Insert {
-			err = e.ScheduleInsert(c.Node, c.Tuple, c.Tick)
+			err = e.ScheduleCFInsert(c.Node, c.Tuple, c.Tick)
 		} else {
-			err = e.ScheduleDelete(c.Node, c.Tuple, c.Tick)
+			err = e.ScheduleCFDelete(c.Node, c.Tuple, c.Tick)
 		}
 		if err != nil {
 			return fmt.Errorf("replay: injecting %s: %w", c, err)

@@ -324,6 +324,14 @@ type diagnosis struct {
 	ForkNs        int64 `json:"forkNs,omitempty"`
 	EventsSkipped int64 `json:"eventsSkipped,omitempty"`
 
+	// Delta-replay activity for this request: how many logged base
+	// events counterfactual replays re-fired after the fork point (zero
+	// on every cache hit with delta replay on — changes propagate
+	// through the delta phase instead), and how many (node, table)
+	// pairs the delta phases actually touched.
+	EventsReFired int64 `json:"eventsReFired,omitempty"`
+	DirtyTables   int64 `json:"dirtyTables,omitempty"`
+
 	// Fingerprint and parallel-evaluation activity for this request:
 	// divergence alignments answered from the fingerprint memo,
 	// counterfactual replays deduplicated by change-set hash, and
@@ -413,6 +421,8 @@ func runDiagnosis(ctx context.Context, sc *scenarios.Scenario,
 		d.PrefixMisses = iso.BadSession.Stats.PrefixMisses
 		d.ForkNs = iso.BadSession.Stats.ForkNanos
 		d.EventsSkipped = iso.BadSession.Stats.EventsSkipped
+		d.EventsReFired = iso.BadSession.Stats.EventsReFired
+		d.DirtyTables = iso.BadSession.Stats.DirtyTables
 	}
 	return d, nil
 }
